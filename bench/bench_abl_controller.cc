@@ -1,0 +1,63 @@
+// Extension bench (paper §6 future work, "more sophisticated feedback
+// control"): the paper's ±10 % step controller vs a proportional
+// controller, judged on (a) periods to converge after a congestion step
+// and (b) behaviour after convergence.
+
+#include <memory>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace dcg;
+  using namespace dcg::bench;
+
+  Banner("Extension: controllers", "Algorithm 1 step vs proportional control");
+
+  struct Variant {
+    const char* name;
+    bool proportional;
+  };
+  const Variant variants[] = {{"step (paper)", false},
+                              {"proportional", true}};
+
+  double reach_time[2];
+  double throughput[2];
+  for (int v = 0; v < 2; ++v) {
+    exp::ExperimentConfig config;
+    config.seed = 65;
+    config.system = exp::SystemType::kDecongestant;
+    config.kind = exp::WorkloadKind::kYcsb;
+    config.phases = {{0, 45, 0.95}};  // immediately congested primary
+    config.duration = sim::Seconds(400);
+    config.warmup = sim::Seconds(150);
+
+    exp::Experiment experiment(config);
+    if (variants[v].proportional) {
+      experiment.balancer()->SetController(
+          std::make_unique<core::ProportionalController>());
+    }
+    double reached = -1;
+    experiment.balancer()->SetPeriodCallback(
+        [&](const core::ReadBalancer::PeriodStats& stats) {
+          if (reached < 0 && stats.published_fraction >= 0.65) {
+            reached = sim::ToSeconds(stats.at);
+          }
+        });
+    experiment.Run();
+    reach_time[v] = reached;
+    throughput[v] = experiment.Summarize().read_throughput;
+    std::printf("%-14s controller: fraction>=0.65 at t=%4.0f s, "
+                "steady reads/s %.0f\n",
+                variants[v].name, reached, throughput[v]);
+  }
+
+  ShapeCheck("both controllers converge to the shared-load equilibrium",
+             reach_time[0] > 0 && reach_time[1] > 0);
+  ShapeCheck(
+      "the proportional controller converges at least as fast as the "
+      "step controller",
+      reach_time[1] <= reach_time[0]);
+  ShapeCheck("steady-state throughput is equivalent (within 5%)",
+             throughput[1] >= 0.95 * throughput[0]);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Extension bench: Decongestant through a primary fail-over (the paper
+// notes fail-overs are rare and leaves them out of scope; the substrate
+// supports them, so we drill one). The primary is killed mid-run; writes
+// stall until the election, reads keep flowing to the survivors, and the
+// Read Balancer re-balances around the new 2-node reality; the old
+// primary then rejoins and load spreads again.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace dcg;
+  using namespace dcg::bench;
+
+  Banner("Extension: fail-over drill",
+         "kill the primary at t=200 s, restart it at t=400 s (YCSB-B)");
+
+  exp::ExperimentConfig config;
+  config.seed = 66;
+  config.system = exp::SystemType::kDecongestant;
+  config.kind = exp::WorkloadKind::kYcsb;
+  config.phases = {{0, 30, 0.95}};
+  config.duration = sim::Seconds(600);
+  config.warmup = sim::Seconds(100);
+  config.run_s_workload = false;  // the S probe pair is not failover-aware
+
+  exp::Experiment experiment(config);
+  auto& rs = experiment.replica_set();
+  experiment.loop().ScheduleAt(sim::Seconds(200), [&rs] { rs.KillNode(0); });
+  experiment.loop().ScheduleAt(sim::Seconds(400), [&rs] {
+    rs.RestartNode(0);
+  });
+  experiment.Run();
+  // Quiesce: stop the clients and let replication drain before comparing
+  // replica contents.
+  experiment.pool().SetTarget(0);
+  experiment.loop().RunUntil(sim::Seconds(605));
+
+  PrintSeries(experiment, /*tpcc=*/false);
+
+  double before = 0, during = 0, after = 0;
+  int n_before = 0, n_during = 0, n_after = 0;
+  for (const auto& row : experiment.rows()) {
+    const double t = sim::ToSeconds(row.start);
+    if (t >= 100 && t < 200) {
+      before += row.ReadThroughput();
+      ++n_before;
+    } else if (t >= 230 && t < 400) {
+      during += row.ReadThroughput();
+      ++n_during;
+    } else if (t >= 500) {
+      after += row.ReadThroughput();
+      ++n_after;
+    }
+  }
+  before /= n_before;
+  during /= n_during;
+  after /= n_after;
+
+  std::printf("\nread throughput: before %.0f/s, after failover (2 nodes) "
+              "%.0f/s, after rejoin %.0f/s\n",
+              before, during, after);
+  std::printf("elections: %llu, new primary: node %d, all nodes converged: "
+              "%s\n",
+              static_cast<unsigned long long>(rs.elections()),
+              rs.primary_index(),
+              rs.node(0).db().Fingerprint() ==
+                          rs.node(1).db().Fingerprint() &&
+                      rs.node(1).db().Fingerprint() ==
+                          rs.node(2).db().Fingerprint()
+                  ? "yes"
+                  : "no");
+
+  ShapeCheck("exactly one election took place", rs.elections() == 1);
+  ShapeCheck("the cluster keeps serving reads on 2 nodes (>= 50% of "
+             "3-node throughput)",
+             during >= 0.5 * before);
+  ShapeCheck("throughput recovers after the old primary rejoins (>= 90%)",
+             after >= 0.9 * before);
+  ShapeCheck("all replicas converge to identical data",
+             rs.node(0).db().Fingerprint() == rs.node(1).db().Fingerprint() &&
+                 rs.node(1).db().Fingerprint() ==
+                     rs.node(2).db().Fingerprint());
+  return 0;
+}

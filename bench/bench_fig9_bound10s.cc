@@ -1,0 +1,70 @@
+// Figure 9: bounding data staleness at 10 s under read-write TPC-C with
+// 60 clients. The raw (max) secondary staleness periodically exceeds the
+// bound — grows gradually while the primary's checkpoint stalls the oplog
+// getMores, then collapses — but Decongestant's clients never see it:
+// reads are redirected to the primary in time.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace dcg;
+  using namespace dcg::bench;
+
+  Banner("Figure 9", "bounding staleness: TPC-C, 60 clients, bound = 10 s");
+  std::printf("paper clients: 60 (sim %d)\n", ScaledClients(60));
+
+  exp::ExperimentConfig config;
+  config.seed = 49;
+  config.system = exp::SystemType::kDecongestant;
+  config.kind = exp::WorkloadKind::kTpcc;
+  config.phases = {{0, ScaledClients(60), 0.5}};
+  config.duration = sim::Seconds(400);
+  config.warmup = sim::Seconds(60);
+  config.balancer.stale_bound_seconds = 10;
+  ApplyTpccDiskProfile(&config);
+
+  exp::Experiment experiment(config);
+  experiment.Run();
+
+  std::printf("\n%8s %14s %14s\n", "time(s)", "raw max lag(s)",
+              "client-seen(s)");
+  size_t sample_idx = 0;
+  double max_raw = 0, max_seen = 0;
+  int sawtooth_rises = 0;
+  double prev_raw = 0;
+  for (const auto& point : experiment.staleness_series()) {
+    double seen = 0;
+    while (sample_idx < experiment.s_samples().size() &&
+           experiment.s_samples()[sample_idx].first <= point.at) {
+      seen = std::max(seen, experiment.s_samples()[sample_idx].second);
+      ++sample_idx;
+    }
+    if (point.at % (5 * sim::kSecond) == 0 || point.true_max_s >= 5.0) {
+      std::printf("%8.0f %14.2f %14.2f\n", sim::ToSeconds(point.at),
+                  point.true_max_s, seen);
+    }
+    if (point.true_max_s > prev_raw + 0.5) ++sawtooth_rises;
+    prev_raw = point.true_max_s;
+    if (sim::ToSeconds(point.at) >= 60) {
+      max_raw = std::max(max_raw, point.true_max_s);
+      max_seen = std::max(max_seen, seen);
+    }
+  }
+
+  std::printf("\nmax raw secondary staleness: %.1f s\n", max_raw);
+  std::printf("max client-observed staleness: %.1f s\n", max_seen);
+  std::printf("staleness-triggered zero events: %llu\n",
+              static_cast<unsigned long long>(
+                  experiment.balancer()->stale_zero_events()));
+
+  ShapeCheck("raw secondary staleness periodically exceeds the 10 s bound",
+             max_raw > 10.0);
+  ShapeCheck(
+      "client-observed staleness stays within the bound (+ granularity)",
+      max_seen <= 11.5);
+  ShapeCheck("the gate actually fired (reads redirected to the primary)",
+             experiment.balancer()->stale_zero_events() > 0);
+  ShapeCheck("staleness follows a sawtooth (multiple rise episodes)",
+             sawtooth_rises >= 3);
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Google-benchmark microbenchmarks for the hot substrate components: the
+// B+-tree, document values, the filter matcher, the histogram, the event
+// loop, and one full simulated-second of a loaded cluster.
+
+#include <benchmark/benchmark.h>
+
+#include "doc/filter.h"
+#include "exp/experiment.h"
+#include "metrics/histogram.h"
+#include "sim/event_loop.h"
+#include "sim/random.h"
+#include "store/btree.h"
+
+namespace dcg {
+namespace {
+
+store::BTree::Payload MakeDoc(int64_t i) {
+  return std::make_shared<const doc::Value>(
+      doc::Value::Doc({{"_id", i}, {"v", i * 3}, {"s", "payload"}}));
+}
+
+void BM_BTreeInsert(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    store::BTree tree;
+    for (int64_t i = 0; i < n; ++i) {
+      tree.Insert(doc::Value((i * 7919) % n), MakeDoc(i));
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_BTreePointLookup(benchmark::State& state) {
+  const int64_t n = 100000;
+  store::BTree tree;
+  for (int64_t i = 0; i < n; ++i) tree.Insert(doc::Value(i), MakeDoc(i));
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Find(doc::Value(rng.UniformInt(0, n - 1))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreePointLookup);
+
+void BM_BTreeRangeScan100(benchmark::State& state) {
+  const int64_t n = 100000;
+  store::BTree tree;
+  for (int64_t i = 0; i < n; ++i) tree.Insert(doc::Value(i), MakeDoc(i));
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    auto it = tree.LowerBound(doc::Value(rng.UniformInt(0, n - 101)));
+    int count = 0;
+    while (it.Valid() && count < 100) {
+      benchmark::DoNotOptimize(it.payload());
+      it.Next();
+      ++count;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_BTreeRangeScan100);
+
+void BM_ValueCompare(benchmark::State& state) {
+  const doc::Value a = doc::Value::List({1, 2, "abc", 4.5});
+  const doc::Value b = doc::Value::List({1, 2, "abd", 4.5});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Compare(b));
+  }
+}
+BENCHMARK(BM_ValueCompare);
+
+void BM_FilterMatch(benchmark::State& state) {
+  const doc::Filter filter = doc::Filter::And(
+      {doc::Filter::Gte("age", doc::Value(18)),
+       doc::Filter::Eq("addr.city", doc::Value("sydney"))});
+  const doc::Value d = doc::Value::Doc(
+      {{"_id", 1},
+       {"age", 30},
+       {"addr", doc::Value::Doc({{"city", "sydney"}})}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.Matches(d));
+  }
+}
+BENCHMARK(BM_FilterMatch);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  metrics::Histogram h;
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    h.Add(rng.Exponential(1e6));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramAdd);
+
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      loop.ScheduleAt(sim::Micros(i * 37 % 1000), [&fired] { ++fired; });
+    }
+    loop.RunAll();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventLoopScheduleRun);
+
+// One simulated second of a loaded 3-node cluster under Decongestant —
+// the end-to-end cost that bounds how fast experiments run.
+void BM_SimulatedSecondYcsb(benchmark::State& state) {
+  exp::ExperimentConfig config;
+  config.seed = 99;
+  config.kind = exp::WorkloadKind::kYcsb;
+  config.phases = {{0, 40, 0.95}};
+  config.duration = sim::Seconds(1);
+  auto experiment = std::make_unique<exp::Experiment>(config);
+  experiment->Run();  // prime: loads data, starts loops
+  sim::Time horizon = sim::Seconds(1);
+  for (auto _ : state) {
+    horizon += sim::Seconds(1);
+    experiment->loop().RunUntil(horizon);
+  }
+  state.SetLabel("sim-seconds/iter=1");
+}
+BENCHMARK(BM_SimulatedSecondYcsb)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dcg
+
+BENCHMARK_MAIN();

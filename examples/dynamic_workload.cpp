@@ -1,0 +1,76 @@
+// Dynamic-workload example: the motivating scenario of the paper's
+// introduction. An application's read/write mix shifts at runtime (here
+// YCSB-A -> YCSB-B and back); a hard-coded Read Preference is wrong in at
+// least one phase, while Decongestant re-balances on the fly.
+//
+//   ./build/examples/dynamic_workload
+
+#include <cstdio>
+
+#include "exp/experiment.h"
+
+namespace {
+
+dcg::exp::Summary RunOne(dcg::exp::SystemType system) {
+  using namespace dcg;
+
+  exp::ExperimentConfig config;
+  config.seed = 1234;
+  config.system = system;
+  config.kind = exp::WorkloadKind::kYcsb;
+  // Three phases: write-heavy, read-heavy, write-heavy again.
+  config.phases = {{.at = 0, .clients = 40, .ycsb_read_proportion = 0.5},
+                   {.at = sim::Seconds(250),
+                    .clients = 40,
+                    .ycsb_read_proportion = 0.95},
+                   {.at = sim::Seconds(500),
+                    .clients = 40,
+                    .ycsb_read_proportion = 0.5}};
+  config.duration = sim::Seconds(750);
+  config.warmup = sim::Seconds(50);
+
+  exp::Experiment experiment(config);
+  experiment.Run();
+
+  if (system == exp::SystemType::kDecongestant) {
+    std::printf("\nDecongestant's view of the shifting workload:\n");
+    std::printf("%8s %10s %8s %10s\n", "time", "reads/s", "sec(%)",
+                "fraction");
+    for (const auto& row : experiment.rows()) {
+      if (sim::ToSeconds(row.start) < 30 ||
+          (static_cast<int64_t>(sim::ToSeconds(row.start)) % 50) != 0) {
+        continue;
+      }
+      std::printf("%8s %10.0f %8.1f %10.2f\n",
+                  sim::FormatTime(row.start).c_str(), row.ReadThroughput(),
+                  row.SecondaryPercent(), row.balance_fraction);
+    }
+  }
+  return experiment.Summarize();
+}
+
+}  // namespace
+
+int main() {
+  using namespace dcg;
+
+  std::printf("Shifting YCSB mix (A -> B -> A), 40 clients, three ways of "
+              "routing reads...\n");
+
+  const exp::SystemType systems[] = {exp::SystemType::kPrimary,
+                                     exp::SystemType::kSecondary,
+                                     exp::SystemType::kDecongestant};
+  std::printf("\n%-14s %10s %10s %8s\n", "system", "reads/s", "p80(ms)",
+              "sec(%)");
+  for (exp::SystemType system : systems) {
+    const exp::Summary summary = RunOne(system);
+    std::printf("%-14s %10.0f %10.2f %8.1f\n", ToString(system).data(),
+                summary.read_throughput, summary.p80_read_latency_ms,
+                summary.secondary_percent);
+  }
+
+  std::printf(
+      "\nThe hard-coded options each fit only one phase; Decongestant "
+      "tracks the mix\nand matches or beats both across the whole run.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "core/controller.h"
+
+#include <algorithm>
+
+namespace dcg::core {
+
+double StepController::NextFraction(const ControlInputs& inputs,
+                                    const BalancerConfig& config) {
+  const double latest = inputs.latest_fraction;
+  if (!inputs.ratio_valid) return latest;  // no evidence: hold
+  if (inputs.ratio > config.high_ratio) {
+    // Primary congested: shift reads toward the secondaries.
+    return std::min(latest + config.delta, config.high_bal);
+  }
+  if (inputs.ratio < config.low_ratio) {
+    // Secondaries congested: shift reads back to the primary.
+    return std::max(latest - config.delta, config.low_bal);
+  }
+  if (config.downward_probe && inputs.history_flat) {
+    // Stable for the whole history: probe downward to favour fresh
+    // primary reads when they are free (§3.3).
+    return std::max(latest - config.delta, config.low_bal);
+  }
+  return latest;
+}
+
+double ProportionalController::NextFraction(const ControlInputs& inputs,
+                                            const BalancerConfig& config) {
+  const double latest = inputs.latest_fraction;
+  if (!inputs.ratio_valid) return latest;
+  double step;
+  if (inputs.ratio >= config.low_ratio && inputs.ratio <= config.high_ratio) {
+    // Inside the dead band: drift gently toward the fresh primary.
+    step = config.downward_probe ? -drift_ : 0.0;
+  } else {
+    step = std::clamp(gain_ * (inputs.ratio - 1.0), -max_step_, max_step_);
+  }
+  return std::clamp(latest + step, config.low_bal, config.high_bal);
+}
+
+std::unique_ptr<FractionController> MakeStepController() {
+  return std::make_unique<StepController>();
+}
+
+}  // namespace dcg::core

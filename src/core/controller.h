@@ -1,0 +1,75 @@
+#ifndef DCG_CORE_CONTROLLER_H_
+#define DCG_CORE_CONTROLLER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "core/balancer_config.h"
+
+namespace dcg::core {
+
+/// Per-period inputs to a Balance Fraction controller.
+struct ControlInputs {
+  /// RecentBal.latest(): the newest non-zero decision.
+  double latest_fraction = 0.0;
+  /// Lss,primary / Lss,secondary. Meaningless when !ratio_valid.
+  double ratio = 1.0;
+  /// False when either latency list was empty this period.
+  bool ratio_valid = false;
+  /// True when the whole RecentBal history equals latest_fraction.
+  bool history_flat = false;
+};
+
+/// Strategy for turning the latency-ratio signal into the next Balance
+/// Fraction. The paper's Algorithm 1 is StepController; the paper's
+/// future-work section asks for "more sophisticated feedback control",
+/// which ProportionalController sketches. The staleness gate is NOT part
+/// of the controller — the Read Balancer applies it on top, whatever the
+/// controller decides.
+class FractionController {
+ public:
+  virtual ~FractionController() = default;
+
+  /// Returns the next fraction, within [config.low_bal, config.high_bal].
+  virtual double NextFraction(const ControlInputs& inputs,
+                              const BalancerConfig& config) = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// Algorithm 1's controller: ±DELTA steps outside the dead band, a
+/// downward probe when the history has been flat, hold otherwise.
+class StepController : public FractionController {
+ public:
+  double NextFraction(const ControlInputs& inputs,
+                      const BalancerConfig& config) override;
+  std::string_view name() const override { return "step"; }
+};
+
+/// A proportional controller: moves the fraction by gain · (ratio − 1),
+/// clamped to at most `max_step` per period, with a small downward drift
+/// when the ratio sits inside the dead band (the freshness-seeking role
+/// of Algorithm 1's probe). Converges in fewer periods under large
+/// imbalances and takes smaller steps near equilibrium.
+class ProportionalController : public FractionController {
+ public:
+  explicit ProportionalController(double gain = 0.25, double max_step = 0.3,
+                                  double drift = 0.02)
+      : gain_(gain), max_step_(max_step), drift_(drift) {}
+
+  double NextFraction(const ControlInputs& inputs,
+                      const BalancerConfig& config) override;
+  std::string_view name() const override { return "proportional"; }
+
+ private:
+  double gain_;
+  double max_step_;
+  double drift_;
+};
+
+/// Factory for the default (paper) controller.
+std::unique_ptr<FractionController> MakeStepController();
+
+}  // namespace dcg::core
+
+#endif  // DCG_CORE_CONTROLLER_H_

@@ -1,0 +1,149 @@
+#include "core/read_balancer.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dcg::core {
+
+ReadBalancer::ReadBalancer(driver::MongoClient* client, SharedState* state,
+                           BalancerConfig config, sim::Rng rng)
+    : client_(client),
+      state_(state),
+      config_(config),
+      rng_(std::move(rng)),
+      controller_(MakeStepController()) {
+  DCG_CHECK(config_.recent_history >= 1);
+  DCG_CHECK(config_.low_bal > 0.0 && config_.high_bal <= 1.0);
+  DCG_CHECK(config_.low_ratio < config_.high_ratio);
+  // RecentBal starts as LOWBAL everywhere; the published fraction starts
+  // at LOWBAL too (§3.3: initial Balance Fraction is 10 %).
+  recent_bal_.assign(config_.recent_history, config_.low_bal);
+  rtt_samples_.resize(client_->replica_set().node_count());
+  state_->set_balance_fraction(config_.stale_bound_seconds == 0
+                                   ? 0.0
+                                   : config_.low_bal);
+}
+
+void ReadBalancer::Start() {
+  PingLoop();
+  ServerStatusLoop();
+  client_->loop().ScheduleAfter(config_.period, [this] { OnPeriodEnd(); });
+}
+
+sim::Duration ReadBalancer::Median(std::vector<sim::Duration> samples) {
+  if (samples.empty()) return 0;
+  const size_t mid = samples.size() / 2;
+  std::nth_element(samples.begin(), samples.begin() + mid, samples.end());
+  return samples[mid];
+}
+
+void ReadBalancer::RecordRtt(int node, sim::Duration rtt) {
+  auto& window = rtt_samples_[node];
+  window.push_back(rtt);
+  while (window.size() > static_cast<size_t>(config_.rtt_window)) {
+    window.pop_front();
+  }
+}
+
+void ReadBalancer::PingLoop() {
+  const int nodes = client_->replica_set().node_count();
+  for (int i = 0; i < nodes; ++i) {
+    client_->PingNode(i, [this, i](sim::Duration rtt) { RecordRtt(i, rtt); });
+  }
+  client_->loop().ScheduleAfter(config_.ping_interval, [this] { PingLoop(); });
+}
+
+void ReadBalancer::ServerStatusLoop() {
+  client_->ServerStatus([this](const repl::ReplicaSet::ServerStatusReply& r) {
+    OnServerStatus(r);
+  });
+  client_->loop().ScheduleAfter(config_.server_status_interval,
+                                [this] { ServerStatusLoop(); });
+}
+
+// Algorithm 1, Rcv-ServerStatus.
+void ReadBalancer::OnServerStatus(
+    const repl::ReplicaSet::ServerStatusReply& reply) {
+  staleness_estimate_ = repl::ReplicaSet::MaxStalenessSeconds(reply);
+  PublishFraction();
+}
+
+void ReadBalancer::PublishFraction() {
+  const bool blocked = config_.stale_bound_seconds == 0 ||
+                       staleness_estimate_ > config_.stale_bound_seconds;
+  if (blocked && !stale_blocked_) ++stale_zero_events_;
+  stale_blocked_ = blocked;
+  state_->set_balance_fraction(blocked ? 0.0 : recent_bal_.back());
+}
+
+sim::Duration ReadBalancer::MedianRttPrimary() const {
+  const auto& window =
+      rtt_samples_[static_cast<size_t>(client_->replica_set().primary_index())];
+  return Median({window.begin(), window.end()});
+}
+
+sim::Duration ReadBalancer::MedianRttSecondaries() const {
+  const auto primary =
+      static_cast<size_t>(client_->replica_set().primary_index());
+  std::vector<sim::Duration> all;
+  for (size_t i = 0; i < rtt_samples_.size(); ++i) {
+    if (i == primary) continue;
+    all.insert(all.end(), rtt_samples_[i].begin(), rtt_samples_[i].end());
+  }
+  return Median(std::move(all));
+}
+
+// Algorithm 1, OnPeriodEnd.
+void ReadBalancer::OnPeriodEnd() {
+  std::vector<sim::Duration> primary_lat = state_->DrainPrimaryLatencies();
+  std::vector<sim::Duration> secondary_lat = state_->DrainSecondaryLatencies();
+
+  PeriodStats stats;
+  stats.at = client_->loop().Now();
+
+  const double latest = recent_bal_.back();
+  ControlInputs inputs;
+  inputs.latest_fraction = latest;
+  inputs.history_flat =
+      std::all_of(recent_bal_.begin(), recent_bal_.end(),
+                  [latest](double b) { return b == latest; });
+
+  if (!primary_lat.empty() && !secondary_lat.empty()) {
+    sim::Duration lss_primary = Median(std::move(primary_lat));
+    sim::Duration lss_secondary = Median(std::move(secondary_lat));
+    if (config_.subtract_rtt) {
+      lss_primary -= MedianRttPrimary();
+      lss_secondary -= MedianRttSecondaries();
+    }
+    lss_primary = std::max(lss_primary, config_.min_server_side_latency);
+    lss_secondary = std::max(lss_secondary, config_.min_server_side_latency);
+    inputs.ratio = static_cast<double>(lss_primary) /
+                   static_cast<double>(lss_secondary);
+    inputs.ratio_valid = true;
+    stats.lss_primary = lss_primary;
+    stats.lss_secondary = lss_secondary;
+    stats.ratio = inputs.ratio;
+    stats.ratio_valid = true;
+  }
+  // With an empty latency list there is no ratio evidence this period;
+  // the controller holds the previous decision (this happens while the
+  // staleness gate has zeroed the fraction, or under very light read
+  // load).
+  const double new_bal = controller_->NextFraction(inputs, config_);
+
+  recent_bal_.pop_front();
+  recent_bal_.push_back(new_bal);
+  PublishFraction();
+
+  ++periods_completed_;
+  stats.new_fraction = new_bal;
+  stats.published_fraction = state_->balance_fraction();
+  stats.staleness_estimate_s = staleness_estimate_;
+  if (period_cb_) period_cb_(stats);
+
+  client_->loop().ScheduleAfter(config_.period, [this] { OnPeriodEnd(); });
+}
+
+}  // namespace dcg::core

@@ -1,0 +1,110 @@
+#ifndef DCG_CORE_READ_BALANCER_H_
+#define DCG_CORE_READ_BALANCER_H_
+
+#include <deque>
+#include <memory>
+#include <functional>
+#include <vector>
+
+#include "core/balancer_config.h"
+#include "core/controller.h"
+#include "core/shared_state.h"
+#include "driver/client.h"
+#include "sim/random.h"
+
+namespace dcg::core {
+
+/// The Read Balancer of Algorithm 1 — the decision-making component of
+/// Decongestant. One instance runs on each client system (Figure 1).
+///
+/// Every second it (a) pings all replica-set nodes to maintain RTT
+/// windows, and (b) calls serverStatus on the primary to refresh the
+/// conservative staleness estimate, zeroing the Balance Fraction whenever
+/// any secondary exceeds the client's StaleBound. Every period (10 s) it
+/// drains the shared latency lists, forms the Server-Side Latency
+/// estimates
+///     Lss = P50(Lclient) − P50(RTT)
+/// for primary- and secondary-routed reads, and steps the Balance
+/// Fraction by ±DELTA according to their ratio.
+class ReadBalancer {
+ public:
+  /// Per-period diagnostics, for experiment time series and tests.
+  struct PeriodStats {
+    sim::Time at = 0;
+    sim::Duration lss_primary = 0;
+    sim::Duration lss_secondary = 0;
+    double ratio = 0.0;          // Lss,primary / Lss,secondary
+    bool ratio_valid = false;    // false when a latency list was empty
+    double new_fraction = 0.0;   // RecentBal.latest() after the update
+    double published_fraction = 0.0;  // what clients see (0 when stale)
+    int64_t staleness_estimate_s = 0;
+  };
+
+  ReadBalancer(driver::MongoClient* client, SharedState* state,
+               BalancerConfig config, sim::Rng rng);
+
+  ReadBalancer(const ReadBalancer&) = delete;
+  ReadBalancer& operator=(const ReadBalancer&) = delete;
+
+  /// Starts the ping loop, the serverStatus loop, and the period timer.
+  void Start();
+
+  /// Latest staleness estimate (seconds), from the primary's serverStatus.
+  int64_t staleness_estimate_seconds() const { return staleness_estimate_; }
+
+  /// True while the Balance Fraction is forced to zero by staleness.
+  bool stale_blocked() const { return stale_blocked_; }
+
+  /// The most recent non-zero decision (RecentBal.latest()).
+  double recent_fraction() const { return recent_bal_.back(); }
+
+  uint64_t periods_completed() const { return periods_completed_; }
+  uint64_t stale_zero_events() const { return stale_zero_events_; }
+
+  const BalancerConfig& config() const { return config_; }
+
+  /// Observer invoked at the end of every period.
+  void SetPeriodCallback(std::function<void(const PeriodStats&)> cb) {
+    period_cb_ = std::move(cb);
+  }
+
+  /// Median of a sample set (exposed for tests; returns 0 on empty).
+  static sim::Duration Median(std::vector<sim::Duration> samples);
+
+  /// Replaces the feedback controller (default: the paper's
+  /// StepController). Call before Start().
+  void SetController(std::unique_ptr<FractionController> controller) {
+    controller_ = std::move(controller);
+  }
+  const FractionController& controller() const { return *controller_; }
+
+ private:
+  void PingLoop();
+  void ServerStatusLoop();
+  void OnServerStatus(const repl::ReplicaSet::ServerStatusReply& reply);
+  void OnPeriodEnd();
+  /// Publishes the Balance Fraction clients see, applying the staleness
+  /// gate of Algorithm 1 (lines 3-7 / 22-27).
+  void PublishFraction();
+  sim::Duration MedianRttPrimary() const;
+  sim::Duration MedianRttSecondaries() const;
+  void RecordRtt(int node, sim::Duration rtt);
+
+  driver::MongoClient* client_;
+  SharedState* state_;
+  BalancerConfig config_;
+  sim::Rng rng_;
+  std::unique_ptr<FractionController> controller_;
+
+  std::deque<double> recent_bal_;  // RecentBal, newest at the back
+  std::vector<std::deque<sim::Duration>> rtt_samples_;  // per node
+  int64_t staleness_estimate_ = 0;
+  bool stale_blocked_ = false;
+  uint64_t periods_completed_ = 0;
+  uint64_t stale_zero_events_ = 0;
+  std::function<void(const PeriodStats&)> period_cb_;
+};
+
+}  // namespace dcg::core
+
+#endif  // DCG_CORE_READ_BALANCER_H_

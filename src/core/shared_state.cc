@@ -1,0 +1,24 @@
+#include "core/shared_state.h"
+
+#include <utility>
+
+namespace dcg::core {
+
+void SharedState::RecordLatency(driver::ReadPreference used,
+                                sim::Duration latency) {
+  if (driver::PrefersSecondary(used)) {
+    secondary_latencies_.push_back(latency);
+  } else {
+    primary_latencies_.push_back(latency);
+  }
+}
+
+std::vector<sim::Duration> SharedState::DrainPrimaryLatencies() {
+  return std::exchange(primary_latencies_, {});
+}
+
+std::vector<sim::Duration> SharedState::DrainSecondaryLatencies() {
+  return std::exchange(secondary_latencies_, {});
+}
+
+}  // namespace dcg::core

@@ -1,0 +1,49 @@
+#ifndef DCG_CORE_SHARED_STATE_H_
+#define DCG_CORE_SHARED_STATE_H_
+
+#include <vector>
+
+#include "driver/read_preference.h"
+#include "sim/time.h"
+
+namespace dcg::core {
+
+/// The shared variables of Figure 1 through which the Read Balancer and
+/// the client application threads communicate:
+///   * the latest Balance Fraction decision, and
+///   * two lists of client-observed read latencies (primary- and
+///     secondary-routed), which the balancer drains at each period end.
+///
+/// In the paper these are shared-memory variables on the client system; in
+/// the single-threaded simulation they are a plain object, but the
+/// interface is kept narrow so a threaded port would only need to add
+/// locking here.
+class SharedState {
+ public:
+  explicit SharedState(double initial_fraction)
+      : balance_fraction_(initial_fraction) {}
+
+  /// The latest Balance Fraction: 0, or within [LOWBAL, HIGHBAL].
+  double balance_fraction() const { return balance_fraction_; }
+  void set_balance_fraction(double f) { balance_fraction_ = f; }
+
+  /// Clients report each read's end-to-end latency under the Read
+  /// Preference actually used.
+  void RecordLatency(driver::ReadPreference used, sim::Duration latency);
+
+  /// The balancer takes (and clears) a period's latencies.
+  std::vector<sim::Duration> DrainPrimaryLatencies();
+  std::vector<sim::Duration> DrainSecondaryLatencies();
+
+  size_t pending_primary() const { return primary_latencies_.size(); }
+  size_t pending_secondary() const { return secondary_latencies_.size(); }
+
+ private:
+  double balance_fraction_;
+  std::vector<sim::Duration> primary_latencies_;
+  std::vector<sim::Duration> secondary_latencies_;
+};
+
+}  // namespace dcg::core
+
+#endif  // DCG_CORE_SHARED_STATE_H_

@@ -1,0 +1,194 @@
+#include "doc/filter.h"
+
+#include <utility>
+
+namespace dcg::doc {
+
+struct Filter::Node {
+  Kind kind;
+  std::string path;
+  Value value;
+  std::vector<Value> values;       // kIn
+  std::vector<Filter> children;    // kAnd / kOr / kNot
+  bool should_exist = true;        // kExists
+};
+
+std::shared_ptr<Filter::Node> Filter::NewNode() {
+  return std::make_shared<Node>();
+}
+
+Filter Filter::True() {
+  auto n = NewNode();
+  n->kind = Kind::kTrue;
+  return Filter(std::move(n));
+}
+
+#define DCG_FILTER_CMP(NAME, KIND)                        \
+  Filter Filter::NAME(std::string path, Value v) {        \
+    auto n = NewNode();                                   \
+    n->kind = Kind::KIND;                                 \
+    n->path = std::move(path);                            \
+    n->value = std::move(v);                              \
+    return Filter(std::move(n));                          \
+  }
+
+DCG_FILTER_CMP(Eq, kEq)
+DCG_FILTER_CMP(Ne, kNe)
+DCG_FILTER_CMP(Lt, kLt)
+DCG_FILTER_CMP(Lte, kLte)
+DCG_FILTER_CMP(Gt, kGt)
+DCG_FILTER_CMP(Gte, kGte)
+
+#undef DCG_FILTER_CMP
+
+Filter Filter::In(std::string path, std::vector<Value> vs) {
+  auto n = NewNode();
+  n->kind = Kind::kIn;
+  n->path = std::move(path);
+  n->values = std::move(vs);
+  return Filter(std::move(n));
+}
+
+Filter Filter::Exists(std::string path, bool should_exist) {
+  auto n = NewNode();
+  n->kind = Kind::kExists;
+  n->path = std::move(path);
+  n->should_exist = should_exist;
+  return Filter(std::move(n));
+}
+
+Filter Filter::And(std::vector<Filter> fs) {
+  auto n = NewNode();
+  n->kind = Kind::kAnd;
+  n->children = std::move(fs);
+  return Filter(std::move(n));
+}
+
+Filter Filter::Or(std::vector<Filter> fs) {
+  auto n = NewNode();
+  n->kind = Kind::kOr;
+  n->children = std::move(fs);
+  return Filter(std::move(n));
+}
+
+Filter Filter::Not(Filter f) {
+  auto n = NewNode();
+  n->kind = Kind::kNot;
+  n->children.push_back(std::move(f));
+  return Filter(std::move(n));
+}
+
+bool Filter::Matches(const Value& document) const {
+  const Node& n = *node_;
+  switch (n.kind) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kEq: {
+      const Value* v = document.FindPath(n.path);
+      return v != nullptr && *v == n.value;
+    }
+    case Kind::kNe: {
+      const Value* v = document.FindPath(n.path);
+      return v != nullptr && *v != n.value;
+    }
+    case Kind::kLt: {
+      const Value* v = document.FindPath(n.path);
+      return v != nullptr && *v < n.value;
+    }
+    case Kind::kLte: {
+      const Value* v = document.FindPath(n.path);
+      return v != nullptr && *v <= n.value;
+    }
+    case Kind::kGt: {
+      const Value* v = document.FindPath(n.path);
+      return v != nullptr && *v > n.value;
+    }
+    case Kind::kGte: {
+      const Value* v = document.FindPath(n.path);
+      return v != nullptr && *v >= n.value;
+    }
+    case Kind::kIn: {
+      const Value* v = document.FindPath(n.path);
+      if (v == nullptr) return false;
+      for (const auto& cand : n.values) {
+        if (*v == cand) return true;
+      }
+      return false;
+    }
+    case Kind::kExists:
+      return (document.FindPath(n.path) != nullptr) == n.should_exist;
+    case Kind::kAnd:
+      for (const auto& c : n.children) {
+        if (!c.Matches(document)) return false;
+      }
+      return true;
+    case Kind::kOr:
+      for (const auto& c : n.children) {
+        if (c.Matches(document)) return true;
+      }
+      return false;
+    case Kind::kNot:
+      return !n.children[0].Matches(document);
+  }
+  return false;
+}
+
+std::string Filter::ToString() const {
+  const Node& n = *node_;
+  auto cmp = [&](const char* op) {
+    return "(" + n.path + " " + op + " " + n.value.ToJson() + ")";
+  };
+  switch (n.kind) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kEq:
+      return cmp("==");
+    case Kind::kNe:
+      return cmp("!=");
+    case Kind::kLt:
+      return cmp("<");
+    case Kind::kLte:
+      return cmp("<=");
+    case Kind::kGt:
+      return cmp(">");
+    case Kind::kGte:
+      return cmp(">=");
+    case Kind::kIn: {
+      std::string out = "(" + n.path + " in [";
+      for (size_t i = 0; i < n.values.size(); ++i) {
+        if (i > 0) out += ",";
+        out += n.values[i].ToJson();
+      }
+      return out + "])";
+    }
+    case Kind::kExists:
+      return "(" + n.path + (n.should_exist ? " exists)" : " missing)");
+    case Kind::kAnd:
+    case Kind::kOr: {
+      const char* sep = n.kind == Kind::kAnd ? " and " : " or ";
+      std::string out = "(";
+      for (size_t i = 0; i < n.children.size(); ++i) {
+        if (i > 0) out += sep;
+        out += n.children[i].ToString();
+      }
+      return out + ")";
+    }
+    case Kind::kNot:
+      return "not " + n.children[0].ToString();
+  }
+  return "?";
+}
+
+const Value* Filter::EqualityValue(std::string_view path) const {
+  const Node& n = *node_;
+  if (n.kind == Kind::kEq && n.path == path) return &n.value;
+  if (n.kind == Kind::kAnd) {
+    for (const auto& c : n.children) {
+      const Value* v = c.EqualityValue(path);
+      if (v != nullptr) return v;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace dcg::doc

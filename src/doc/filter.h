@@ -1,0 +1,78 @@
+#ifndef DCG_DOC_FILTER_H_
+#define DCG_DOC_FILTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "doc/value.h"
+
+namespace dcg::doc {
+
+/// A query predicate over documents — the subset of MongoDB's find()
+/// filter language the workloads need: path comparisons, $in, $exists,
+/// and $and / $or / $not combinators.
+///
+/// Filters are immutable once built and cheap to share; Collection::Find
+/// evaluates them against candidate documents.
+class Filter {
+ public:
+  /// Matches every document.
+  static Filter True();
+
+  // Path comparisons (missing paths never match, mirroring MongoDB for
+  // everything except $exists:false).
+  static Filter Eq(std::string path, Value v);
+  static Filter Ne(std::string path, Value v);
+  static Filter Lt(std::string path, Value v);
+  static Filter Lte(std::string path, Value v);
+  static Filter Gt(std::string path, Value v);
+  static Filter Gte(std::string path, Value v);
+  static Filter In(std::string path, std::vector<Value> vs);
+  static Filter Exists(std::string path, bool should_exist);
+
+  // Combinators.
+  static Filter And(std::vector<Filter> fs);
+  static Filter Or(std::vector<Filter> fs);
+  static Filter Not(Filter f);
+
+  /// Evaluates the predicate against one document.
+  bool Matches(const Value& document) const;
+
+  /// Human-readable rendering, for debugging and test failure messages.
+  std::string ToString() const;
+
+  /// If this filter pins `path` to a single value via a top-level Eq (or an
+  /// Eq inside a top-level And), returns that value; otherwise nullptr.
+  /// Collections use this to answer point queries through an index instead
+  /// of scanning.
+  const Value* EqualityValue(std::string_view path) const;
+
+ private:
+  enum class Kind {
+    kTrue,
+    kEq,
+    kNe,
+    kLt,
+    kLte,
+    kGt,
+    kGte,
+    kIn,
+    kExists,
+    kAnd,
+    kOr,
+    kNot,
+  };
+
+  struct Node;
+
+  static std::shared_ptr<Node> NewNode();
+
+  explicit Filter(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+
+  std::shared_ptr<const Node> node_;
+};
+
+}  // namespace dcg::doc
+
+#endif  // DCG_DOC_FILTER_H_

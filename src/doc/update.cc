@@ -1,0 +1,147 @@
+#include "doc/update.h"
+
+#include <utility>
+
+namespace dcg::doc {
+namespace {
+
+// Returns the final path segment and navigates `*parent` to the enclosing
+// object, creating intermediates. Returns false on type conflicts.
+bool ResolveParent(Value* root, std::string_view path, Value** parent,
+                   std::string_view* leaf) {
+  size_t dot = path.rfind('.');
+  if (dot == std::string_view::npos) {
+    *parent = root;
+    *leaf = path;
+    return root->is_object();
+  }
+  std::string_view prefix = path.substr(0, dot);
+  *leaf = path.substr(dot + 1);
+  Value* cur = root;
+  while (!prefix.empty()) {
+    if (!cur->is_object()) return false;
+    const size_t d = prefix.find('.');
+    std::string_view head =
+        d == std::string_view::npos ? prefix : prefix.substr(0, d);
+    prefix = d == std::string_view::npos ? std::string_view{}
+                                         : prefix.substr(d + 1);
+    Value* child = cur->Find(head);
+    if (child == nullptr) {
+      cur->Set(head, Value(Object{}));
+      child = cur->Find(head);
+    }
+    cur = child;
+  }
+  *parent = cur;
+  return cur->is_object();
+}
+
+bool ApplyOne(const UpdateOp& op, Value* target) {
+  Value* parent = nullptr;
+  std::string_view leaf;
+  if (!ResolveParent(target, op.path, &parent, &leaf)) return false;
+  switch (op.kind) {
+    case UpdateOp::Kind::kSet:
+      parent->Set(leaf, op.value);
+      return true;
+    case UpdateOp::Kind::kInc: {
+      if (!op.value.is_number()) return false;
+      Value* cur = parent->Find(leaf);
+      if (cur == nullptr) {
+        parent->Set(leaf, op.value);
+        return true;
+      }
+      if (!cur->is_number()) return false;
+      if (cur->is_int64() && op.value.is_int64()) {
+        *cur = Value(cur->as_int64() + op.value.as_int64());
+      } else {
+        *cur = Value(cur->as_number() + op.value.as_number());
+      }
+      return true;
+    }
+    case UpdateOp::Kind::kUnset:
+      parent->Erase(leaf);
+      return true;
+    case UpdateOp::Kind::kPush: {
+      Value* cur = parent->Find(leaf);
+      if (cur == nullptr) {
+        parent->Set(leaf, Value(Array{op.value}));
+        return true;
+      }
+      if (!cur->is_array()) return false;
+      cur->as_array().push_back(op.value);
+      return true;
+    }
+    case UpdateOp::Kind::kMax: {
+      Value* cur = parent->Find(leaf);
+      if (cur == nullptr || *cur < op.value) parent->Set(leaf, op.value);
+      return true;
+    }
+    case UpdateOp::Kind::kMin: {
+      Value* cur = parent->Find(leaf);
+      if (cur == nullptr || *cur > op.value) parent->Set(leaf, op.value);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+UpdateSpec& UpdateSpec::Set(std::string path, Value v) {
+  ops_.push_back({UpdateOp::Kind::kSet, std::move(path), std::move(v)});
+  return *this;
+}
+UpdateSpec& UpdateSpec::Inc(std::string path, Value v) {
+  ops_.push_back({UpdateOp::Kind::kInc, std::move(path), std::move(v)});
+  return *this;
+}
+UpdateSpec& UpdateSpec::Unset(std::string path) {
+  ops_.push_back({UpdateOp::Kind::kUnset, std::move(path), Value()});
+  return *this;
+}
+UpdateSpec& UpdateSpec::Push(std::string path, Value v) {
+  ops_.push_back({UpdateOp::Kind::kPush, std::move(path), std::move(v)});
+  return *this;
+}
+UpdateSpec& UpdateSpec::Max(std::string path, Value v) {
+  ops_.push_back({UpdateOp::Kind::kMax, std::move(path), std::move(v)});
+  return *this;
+}
+UpdateSpec& UpdateSpec::Min(std::string path, Value v) {
+  ops_.push_back({UpdateOp::Kind::kMin, std::move(path), std::move(v)});
+  return *this;
+}
+
+bool UpdateSpec::Apply(Value* target) const {
+  if (!target->is_object()) return false;
+  for (const auto& op : ops_) {
+    if (!ApplyOne(op, target)) return false;
+  }
+  return true;
+}
+
+Value UpdateSpec::ToValue() const {
+  Array out;
+  out.reserve(ops_.size());
+  for (const auto& op : ops_) {
+    out.push_back(Value::Doc({{"k", static_cast<int64_t>(op.kind)},
+                              {"p", op.path},
+                              {"v", op.value}}));
+  }
+  return Value(std::move(out));
+}
+
+UpdateSpec UpdateSpec::FromValue(const Value& v) {
+  UpdateSpec spec;
+  for (const auto& item : v.as_array()) {
+    UpdateOp op;
+    op.kind = static_cast<UpdateOp::Kind>(item.Find("k")->as_int64());
+    op.path = item.Find("p")->as_string();
+    op.value = *item.Find("v");
+    spec.ops_.push_back(std::move(op));
+  }
+  return spec;
+}
+
+}  // namespace dcg::doc

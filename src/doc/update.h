@@ -1,0 +1,67 @@
+#ifndef DCG_DOC_UPDATE_H_
+#define DCG_DOC_UPDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "doc/value.h"
+
+namespace dcg::doc {
+
+/// A single field mutation, in the spirit of MongoDB update operators.
+struct UpdateOp {
+  enum class Kind {
+    kSet,    // $set  path = value
+    kInc,    // $inc  path += value (numeric; missing treated as 0)
+    kUnset,  // $unset remove path's final field
+    kPush,   // $push append value to array at path (creates the array)
+    kMax,    // $max  path = max(path, value)
+    kMin,    // $min  path = min(path, value)
+  };
+
+  Kind kind;
+  std::string path;
+  Value value;  // unused for kUnset
+};
+
+/// An ordered list of mutations applied atomically to one document.
+///
+/// UpdateSpec is the payload of update oplog entries: the primary executes
+/// it against its copy and ships the *spec* to the secondaries, which replay
+/// it — like MongoDB's oplog does for operator updates. Applying the same
+/// spec to an identical document yields an identical result, which is what
+/// the replication convergence property tests assert.
+class UpdateSpec {
+ public:
+  UpdateSpec() = default;
+
+  /// Fluent builders.
+  UpdateSpec& Set(std::string path, Value v);
+  UpdateSpec& Inc(std::string path, Value v);
+  UpdateSpec& Unset(std::string path);
+  UpdateSpec& Push(std::string path, Value v);
+  UpdateSpec& Max(std::string path, Value v);
+  UpdateSpec& Min(std::string path, Value v);
+
+  const std::vector<UpdateOp>& ops() const { return ops_; }
+  bool empty() const { return ops_.empty(); }
+
+  /// Applies every op, in order, to `target` (must be an Object).
+  /// Returns false (leaving a partially applied document) only on type
+  /// errors such as $inc on a non-numeric field; callers treat that as a
+  /// workload bug, not a recoverable condition.
+  bool Apply(Value* target) const;
+
+  /// Serializes the spec into a Value (for embedding in oplog entries).
+  Value ToValue() const;
+
+  /// Parses a spec previously produced by ToValue().
+  static UpdateSpec FromValue(const Value& v);
+
+ private:
+  std::vector<UpdateOp> ops_;
+};
+
+}  // namespace dcg::doc
+
+#endif  // DCG_DOC_UPDATE_H_

@@ -1,0 +1,147 @@
+#ifndef DCG_DOC_VALUE_H_
+#define DCG_DOC_VALUE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace dcg::doc {
+
+class Value;
+
+/// An ordered field -> value map, like a BSON document. Field order is
+/// insertion order; lookup is linear, which is faster than hashing for the
+/// small documents OLTP workloads produce.
+using Object = std::vector<std::pair<std::string, Value>>;
+
+/// An array of values.
+using Array = std::vector<Value>;
+
+/// The scalar/document value model of the store ("mongolite").
+///
+/// Supported types, in canonical sort order:
+///   Null < Bool < Number (Int64 and Double compare numerically)
+///        < String < Timestamp < Array < Object
+///
+/// Timestamp is distinct from Int64 so replication optimes and S-workload
+/// probe payloads are self-describing; it holds nanoseconds of simulated
+/// time.
+class Value {
+ public:
+  enum class Type {
+    kNull = 0,
+    kBool,
+    kInt64,
+    kDouble,
+    kString,
+    kTimestamp,
+    kArray,
+    kObject,
+  };
+
+  /// Constructs Null.
+  Value() : v_(std::monostate{}) {}
+  Value(bool b) : v_(b) {}                    // NOLINT(google-explicit-*)
+  Value(int i) : v_(static_cast<int64_t>(i)) {}   // NOLINT
+  Value(int64_t i) : v_(i) {}                 // NOLINT
+  Value(double d) : v_(d) {}                  // NOLINT
+  Value(const char* s) : v_(std::string(s)) {}    // NOLINT
+  Value(std::string s) : v_(std::move(s)) {}  // NOLINT
+  Value(Array a) : v_(std::move(a)) {}        // NOLINT
+  Value(Object o) : v_(std::move(o)) {}       // NOLINT
+
+  /// Builds a Timestamp value (nanoseconds of simulated time).
+  static Value Timestamp(int64_t ns);
+
+  /// Builds an Object from an initializer list of fields, e.g.
+  ///   Value::Doc({{"_id", 7}, {"name", "x"}})
+  static Value Doc(std::initializer_list<std::pair<std::string, Value>> f);
+
+  /// Builds an Array.
+  static Value List(std::initializer_list<Value> items);
+
+  Type type() const;
+
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_int64() const { return type() == Type::kInt64; }
+  bool is_double() const { return type() == Type::kDouble; }
+  bool is_number() const { return is_int64() || is_double(); }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_timestamp() const { return type() == Type::kTimestamp; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+
+  // Accessors. Calling the wrong accessor for the held type is a programming
+  // error and throws std::bad_variant_access.
+  bool as_bool() const { return std::get<bool>(v_); }
+  int64_t as_int64() const { return std::get<int64_t>(v_); }
+  double as_double() const { return std::get<double>(v_); }
+  /// Numeric value as double regardless of Int64/Double representation.
+  double as_number() const;
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  int64_t as_timestamp() const { return std::get<Ts>(v_).ns; }
+  const Array& as_array() const { return std::get<Array>(v_); }
+  Array& as_array() { return std::get<Array>(v_); }
+  const Object& as_object() const { return std::get<Object>(v_); }
+  Object& as_object() { return std::get<Object>(v_); }
+
+  /// Looks up a direct field of an Object value. Returns nullptr when the
+  /// value is not an object or the field is absent.
+  const Value* Find(std::string_view field) const;
+  Value* Find(std::string_view field);
+
+  /// Looks up a dotted path ("a.b.c"); also indexes into arrays when a path
+  /// segment is a decimal number. Returns nullptr when absent.
+  const Value* FindPath(std::string_view path) const;
+
+  /// Sets a direct field on an Object value (appends or overwrites).
+  /// Requires the value to be an Object.
+  void Set(std::string_view field, Value v);
+
+  /// Sets a dotted path, creating intermediate objects as needed.
+  /// Requires the value (and every existing intermediate) to be an Object.
+  void SetPath(std::string_view path, Value v);
+
+  /// Removes a direct field. Returns true if it existed.
+  bool Erase(std::string_view field);
+
+  /// Canonical total-order comparison (see class comment).
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& o) const { return Compare(o) == 0; }
+  bool operator!=(const Value& o) const { return Compare(o) != 0; }
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+  bool operator<=(const Value& o) const { return Compare(o) <= 0; }
+  bool operator>(const Value& o) const { return Compare(o) > 0; }
+  bool operator>=(const Value& o) const { return Compare(o) >= 0; }
+
+  /// Renders as compact JSON-ish text (timestamps as {"$ts": n}).
+  std::string ToJson() const;
+
+  /// Approximate in-memory footprint in bytes, for the dirty-data
+  /// bookkeeping of the disk model.
+  size_t ApproxSize() const;
+
+ private:
+  struct Ts {
+    int64_t ns;
+  };
+  using Repr = std::variant<std::monostate, bool, int64_t, double, std::string,
+                            Ts, Array, Object>;
+
+  Repr v_;
+};
+
+/// Name of a value type, for error messages and debugging.
+std::string_view TypeName(Value::Type t);
+
+}  // namespace dcg::doc
+
+#endif  // DCG_DOC_VALUE_H_

@@ -1,0 +1,242 @@
+#include "driver/client.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dcg::driver {
+
+MongoClient::MongoClient(sim::EventLoop* loop, sim::Rng rng,
+                         net::Network* network, repl::ReplicaSet* rs,
+                         net::HostId client_host, ClientOptions options)
+    : loop_(loop),
+      rng_(std::move(rng)),
+      network_(network),
+      rs_(rs),
+      client_host_(client_host),
+      options_(options) {
+  if (options_.enforce_mongodb_min_staleness &&
+      options_.max_staleness_seconds >= 0) {
+    DCG_CHECK_MSG(options_.max_staleness_seconds >= 90,
+                  "MongoDB requires maxStalenessSeconds >= 90");
+  }
+  // Seed RTT estimates from link base RTTs (first handshake).
+  rtt_estimate_.resize(rs_->node_count());
+  for (int i = 0; i < rs_->node_count(); ++i) {
+    rtt_estimate_[i] = network_->BaseRtt(client_host_, rs_->node(i).host());
+  }
+  staleness_cache_.assign(rs_->node_count(), 0);
+}
+
+void MongoClient::Start() {
+  ProbeLoop();
+  if (options_.max_staleness_seconds >= 0) StalenessLoop();
+}
+
+void MongoClient::ProbeLoop() {
+  for (int i = 0; i < rs_->node_count(); ++i) {
+    PingNode(i, [this, i](sim::Duration rtt) {
+      const double alpha = options_.rtt_ewma_alpha;
+      rtt_estimate_[i] = static_cast<sim::Duration>(
+          alpha * static_cast<double>(rtt) +
+          (1.0 - alpha) * static_cast<double>(rtt_estimate_[i]));
+    });
+  }
+  loop_->ScheduleAfter(options_.rtt_probe_interval, [this] { ProbeLoop(); });
+}
+
+void MongoClient::StalenessLoop() {
+  ServerStatus([this](const repl::ReplicaSet::ServerStatusReply& reply) {
+    for (size_t i = 0; i < reply.secondary_last_applied.size(); ++i) {
+      const int node = reply.secondary_nodes[i];
+      const repl::OpTime& sec = reply.secondary_last_applied[i];
+      if (sec.seq >= reply.primary_last_applied.seq) {
+        staleness_cache_[node] = 0;
+      } else {
+        staleness_cache_[node] =
+            (reply.primary_last_applied.wall - sec.wall) / sim::kSecond;
+      }
+    }
+  });
+  loop_->ScheduleAfter(options_.staleness_refresh_interval,
+                       [this] { StalenessLoop(); });
+}
+
+std::vector<int> MongoClient::EligibleSecondaries() {
+  const int primary = rs_->primary_index();
+  std::vector<int> eligible;
+  sim::Duration min_rtt = std::numeric_limits<sim::Duration>::max();
+  for (int i = 0; i < rs_->node_count(); ++i) {
+    if (i == primary || !rs_->IsAlive(i)) continue;
+    min_rtt = std::min(min_rtt, rtt_estimate_[i]);
+  }
+  for (int i = 0; i < rs_->node_count(); ++i) {
+    if (i == primary || !rs_->IsAlive(i)) continue;
+    if (rtt_estimate_[i] > min_rtt + options_.selection_latency_window) {
+      continue;
+    }
+    if (options_.max_staleness_seconds >= 0 &&
+        staleness_cache_[i] > options_.max_staleness_seconds) {
+      continue;
+    }
+    eligible.push_back(i);
+  }
+  return eligible;
+}
+
+int MongoClient::SelectNode(ReadPreference pref) {
+  const int primary = rs_->primary_index();
+  const bool primary_alive = rs_->IsAlive(primary);
+  switch (pref) {
+    case ReadPreference::kPrimary:
+      return primary_alive ? primary : kNoNode;
+    case ReadPreference::kPrimaryPreferred: {
+      if (primary_alive) return primary;
+      std::vector<int> eligible = EligibleSecondaries();
+      if (eligible.empty()) return kNoNode;
+      return eligible[static_cast<size_t>(
+          rng_.UniformInt(0, static_cast<int64_t>(eligible.size()) - 1))];
+    }
+    case ReadPreference::kSecondary:
+    case ReadPreference::kSecondaryPreferred: {
+      std::vector<int> eligible = EligibleSecondaries();
+      if (eligible.empty()) {
+        // kSecondary with no eligible node is an error in MongoDB; like
+        // secondaryPreferred we fall back to the primary so workloads keep
+        // running (the maxStaleness ablation relies on this).
+        return primary_alive ? primary : kNoNode;
+      }
+      return eligible[static_cast<size_t>(
+          rng_.UniformInt(0, static_cast<int64_t>(eligible.size()) - 1))];
+    }
+    case ReadPreference::kNearest: {
+      int best = kNoNode;
+      for (int i = 0; i < rs_->node_count(); ++i) {
+        if (!rs_->IsAlive(i)) continue;
+        if (best < 0 || rtt_estimate_[i] < rtt_estimate_[best]) best = i;
+      }
+      return best;
+    }
+  }
+  return primary_alive ? primary : kNoNode;
+}
+
+void MongoClient::Read(ReadPreference pref, server::OpClass op_class,
+                       repl::ReplicaSet::ReadBody body,
+                       std::function<void(const ReadResult&)> done) {
+  ReadAfter(pref, repl::OpTime{}, op_class, std::move(body), std::move(done));
+}
+
+void MongoClient::ReadAfter(ReadPreference pref, const repl::OpTime& after,
+                            server::OpClass op_class,
+                            repl::ReplicaSet::ReadBody body,
+                            std::function<void(const ReadResult&)> done) {
+  const int node = SelectNode(pref);
+  if (node == kNoNode) {
+    // No selectable server right now (fail-over in progress): the driver
+    // retries server selection, as real drivers do.
+    loop_->ScheduleAfter(options_.selection_retry_interval,
+                         [this, pref, after, op_class, body = std::move(body),
+                          done = std::move(done)]() mutable {
+                           ReadAfter(pref, after, op_class, std::move(body),
+                                     std::move(done));
+                         });
+    return;
+  }
+  const net::HostId node_host = rs_->node(node).host();
+  const sim::Time start = loop_->Now();
+  network_->Send(
+      client_host_, node_host,
+      [this, node, node_host, pref, op_class, after, start,
+       body = std::move(body), done = std::move(done)]() mutable {
+        rs_->ReadAfter(
+            node, after, op_class,
+            [this, node, node_host, pref, start, body = std::move(body),
+             done = std::move(done)](const store::Database& db) {
+              body(db);
+              const repl::OpTime operation_time =
+                  rs_->node(node).last_applied();
+              network_->Send(node_host, client_host_,
+                             [this, node, pref, start, operation_time,
+                              done = std::move(done)] {
+                               ReadResult result;
+                               result.latency = loop_->Now() - start;
+                               result.requested = pref;
+                               result.node = node;
+                               result.used_secondary =
+                                   node != rs_->primary_index();
+                               result.operation_time = operation_time;
+                               if (done) done(result);
+                             });
+            });
+      });
+}
+
+void MongoClient::Write(server::OpClass op_class,
+                        repl::ReplicaSet::TxnBody body,
+                        std::function<void(const WriteResult&)> done,
+                        repl::WriteConcern concern) {
+  if (!rs_->IsAlive(rs_->primary_index())) {
+    // Not-master: retry server selection until the election resolves.
+    loop_->ScheduleAfter(options_.selection_retry_interval,
+                         [this, op_class, concern, body = std::move(body),
+                          done = std::move(done)]() mutable {
+                           Write(op_class, std::move(body), std::move(done),
+                                 concern);
+                         });
+    return;
+  }
+  const net::HostId primary_host = rs_->primary().host();
+  const sim::Time start = loop_->Now();
+  network_->Send(
+      client_host_, primary_host,
+      [this, primary_host, op_class, concern, start, body = std::move(body),
+       done = std::move(done)]() mutable {
+        rs_->WriteTransaction(
+            op_class, std::move(body),
+            [this, primary_host, start, done = std::move(done)](
+                bool committed) {
+              const repl::OpTime operation_time =
+                  rs_->primary().last_applied();
+              network_->Send(primary_host, client_host_,
+                             [this, start, committed, operation_time,
+                              done = std::move(done)] {
+                               WriteResult result;
+                               result.latency = loop_->Now() - start;
+                               result.committed = committed;
+                               result.operation_time = operation_time;
+                               if (done) done(result);
+                             });
+            },
+            concern);
+      });
+}
+
+void MongoClient::ServerStatus(
+    std::function<void(const repl::ReplicaSet::ServerStatusReply&)> done) {
+  if (!rs_->IsAlive(rs_->primary_index())) {
+    loop_->ScheduleAfter(options_.selection_retry_interval,
+                         [this, done = std::move(done)]() mutable {
+                           ServerStatus(std::move(done));
+                         });
+    return;
+  }
+  const net::HostId primary_host = rs_->primary().host();
+  network_->Send(
+      client_host_, primary_host, [this, primary_host, done = std::move(done)] {
+        rs_->ServerStatus(
+            [this, primary_host, done = std::move(done)](
+                const repl::ReplicaSet::ServerStatusReply& reply) {
+              network_->Send(primary_host, client_host_,
+                             [reply, done = std::move(done)] { done(reply); });
+            });
+      });
+}
+
+void MongoClient::PingNode(int node, std::function<void(sim::Duration)> done) {
+  network_->Ping(client_host_, rs_->node(node).host(), std::move(done));
+}
+
+}  // namespace dcg::driver

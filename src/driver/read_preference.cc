@@ -1,0 +1,21 @@
+#include "driver/read_preference.h"
+
+namespace dcg::driver {
+
+std::string_view ToString(ReadPreference pref) {
+  switch (pref) {
+    case ReadPreference::kPrimary:
+      return "primary";
+    case ReadPreference::kPrimaryPreferred:
+      return "primaryPreferred";
+    case ReadPreference::kSecondary:
+      return "secondary";
+    case ReadPreference::kSecondaryPreferred:
+      return "secondaryPreferred";
+    case ReadPreference::kNearest:
+      return "nearest";
+  }
+  return "unknown";
+}
+
+}  // namespace dcg::driver

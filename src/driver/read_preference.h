@@ -1,0 +1,30 @@
+#ifndef DCG_DRIVER_READ_PREFERENCE_H_
+#define DCG_DRIVER_READ_PREFERENCE_H_
+
+#include <string_view>
+
+namespace dcg::driver {
+
+/// MongoDB Read Preference options (§2.2 of the paper). Decongestant and
+/// the paper's baselines use only kPrimary and kSecondary; the remaining
+/// modes are implemented for driver completeness (and the maxStaleness
+/// ablation uses kSecondaryPreferred).
+enum class ReadPreference {
+  kPrimary = 0,
+  kPrimaryPreferred,
+  kSecondary,
+  kSecondaryPreferred,
+  kNearest,
+};
+
+std::string_view ToString(ReadPreference pref);
+
+/// True when the preference targets secondaries first.
+inline bool PrefersSecondary(ReadPreference pref) {
+  return pref == ReadPreference::kSecondary ||
+         pref == ReadPreference::kSecondaryPreferred;
+}
+
+}  // namespace dcg::driver
+
+#endif  // DCG_DRIVER_READ_PREFERENCE_H_

@@ -1,0 +1,32 @@
+#include "driver/session.h"
+
+#include <utility>
+
+namespace dcg::driver {
+
+void CausalSession::Read(
+    ReadPreference pref, server::OpClass op_class,
+    repl::ReplicaSet::ReadBody body,
+    std::function<void(const MongoClient::ReadResult&)> done) {
+  client_->ReadAfter(
+      pref, operation_time_, op_class, std::move(body),
+      [this, done = std::move(done)](const MongoClient::ReadResult& r) {
+        Advance(r.operation_time);
+        if (done) done(r);
+      });
+}
+
+void CausalSession::Write(
+    server::OpClass op_class, repl::ReplicaSet::TxnBody body,
+    std::function<void(const MongoClient::WriteResult&)> done,
+    repl::WriteConcern concern) {
+  client_->Write(
+      op_class, std::move(body),
+      [this, done = std::move(done)](const MongoClient::WriteResult& r) {
+        Advance(r.operation_time);
+        if (done) done(r);
+      },
+      concern);
+}
+
+}  // namespace dcg::driver

@@ -1,0 +1,42 @@
+#include "exp/client_pool.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace dcg::exp {
+
+ClientPool::ClientPool(sim::EventLoop* loop, workload::Workload* workload,
+                       std::function<void(const workload::OpOutcome&)> on_op)
+    : loop_(loop), workload_(workload), on_op_(std::move(on_op)) {}
+
+void ClientPool::SetTarget(int n) {
+  DCG_CHECK(n >= 0);
+  target_ = n;
+  if (static_cast<int>(running_.size()) < n) running_.resize(n, false);
+  for (int idx = 0; idx < n; ++idx) {
+    if (!running_[idx]) {
+      running_[idx] = true;
+      ++running_count_;
+      // Defer the first issue to a fresh event so SetTarget returns before
+      // any operation runs (deterministic start order).
+      loop_->ScheduleAfter(0, [this, idx] { RunClient(idx); });
+    }
+  }
+  // Slots >= n park themselves when their in-flight op completes.
+}
+
+void ClientPool::RunClient(int idx) {
+  if (idx >= target_) {
+    running_[idx] = false;
+    --running_count_;
+    return;
+  }
+  workload_->Issue(idx, [this, idx](const workload::OpOutcome& outcome) {
+    ++ops_completed_;
+    if (on_op_) on_op_(outcome);
+    RunClient(idx);
+  });
+}
+
+}  // namespace dcg::exp

@@ -1,0 +1,35 @@
+#include "exp/client_system.h"
+
+#include <utility>
+
+namespace dcg::exp {
+
+ClientSystem::ClientSystem(sim::EventLoop* loop, sim::Rng rng,
+                           net::Network* network, repl::ReplicaSet* rs,
+                           net::HostId host,
+                           driver::ClientOptions client_options,
+                           core::BalancerConfig balancer_config,
+                           workload::YcsbConfig ycsb_config) {
+  client_ = std::make_unique<driver::MongoClient>(
+      loop, rng.Fork(), network, rs, host, client_options);
+  state_ = std::make_unique<core::SharedState>(balancer_config.low_bal);
+  policy_ = std::make_unique<core::DecongestantPolicy>(state_.get());
+  balancer_ = std::make_unique<core::ReadBalancer>(
+      client_.get(), state_.get(), balancer_config, rng.Fork());
+  ycsb_ = std::make_unique<workload::YcsbWorkload>(
+      client_.get(), policy_.get(), ycsb_config, rng.Fork());
+  pool_ = std::make_unique<ClientPool>(
+      loop, ycsb_.get(), [this](const workload::OpOutcome& outcome) {
+        if (!outcome.read_only) return;
+        ++reads_;
+        if (outcome.used_secondary) ++secondary_reads_;
+      });
+}
+
+void ClientSystem::Start(int clients) {
+  client_->Start();
+  balancer_->Start();
+  pool_->SetTarget(clients);
+}
+
+}  // namespace dcg::exp

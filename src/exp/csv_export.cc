@@ -1,0 +1,75 @@
+#include "exp/csv_export.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace dcg::exp {
+namespace {
+
+class CsvFile {
+ public:
+  explicit CsvFile(const std::string& path)
+      : file_(std::fopen(path.c_str(), "w")) {}
+  ~CsvFile() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  bool ok() const { return file_ != nullptr; }
+  void Line(const char* fmt, ...) __attribute__((format(printf, 2, 3))) {
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(file_, fmt, args);
+    va_end(args);
+    std::fputc('\n', file_);
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+}  // namespace
+
+bool WritePeriodsCsv(const Experiment& experiment, const std::string& path) {
+  CsvFile csv(path);
+  if (!csv.ok()) return false;
+  csv.Line(
+      "start_s,reads,reads_secondary,writes,read_throughput,"
+      "p80_latency_ms,secondary_pct,balance_fraction,est_staleness_s,"
+      "stock_level,stock_level_p80_ms");
+  for (const PeriodRow& row : experiment.rows()) {
+    csv.Line("%.1f,%llu,%llu,%llu,%.2f,%.3f,%.2f,%.2f,%lld,%llu,%.3f",
+             sim::ToSeconds(row.start),
+             static_cast<unsigned long long>(row.reads),
+             static_cast<unsigned long long>(row.reads_secondary),
+             static_cast<unsigned long long>(row.writes),
+             row.ReadThroughput(), row.P80ReadLatencyMs(),
+             row.SecondaryPercent(), row.balance_fraction,
+             static_cast<long long>(row.est_staleness_max_s),
+             static_cast<unsigned long long>(row.stock_level),
+             row.stock_level_latency.Percentile(80) /
+                 static_cast<double>(sim::kMillisecond));
+  }
+  return true;
+}
+
+bool WriteStalenessCsv(const Experiment& experiment, const std::string& path) {
+  CsvFile csv(path);
+  if (!csv.ok()) return false;
+  csv.Line("time_s,estimate_s,true_max_s");
+  for (const StalenessPoint& p : experiment.staleness_series()) {
+    csv.Line("%.1f,%.1f,%.3f", sim::ToSeconds(p.at), p.estimate_s,
+             p.true_max_s);
+  }
+  return true;
+}
+
+bool WriteSamplesCsv(const Experiment& experiment, const std::string& path) {
+  CsvFile csv(path);
+  if (!csv.ok()) return false;
+  csv.Line("time_s,observed_staleness_s");
+  for (const auto& [at, staleness] : experiment.s_samples()) {
+    csv.Line("%.3f,%.3f", sim::ToSeconds(at), staleness);
+  }
+  return true;
+}
+
+}  // namespace dcg::exp

@@ -1,0 +1,23 @@
+#ifndef DCG_EXP_CSV_EXPORT_H_
+#define DCG_EXP_CSV_EXPORT_H_
+
+#include <string>
+
+#include "exp/experiment.h"
+
+namespace dcg::exp {
+
+/// Writes the per-period time series (one row per report period:
+/// throughput, P80 latency, secondary share, balance fraction, staleness
+/// estimate) to `path`. Returns false on I/O failure.
+bool WritePeriodsCsv(const Experiment& experiment, const std::string& path);
+
+/// Writes the per-second staleness series (estimate + ground truth).
+bool WriteStalenessCsv(const Experiment& experiment, const std::string& path);
+
+/// Writes the individual S-workload staleness samples.
+bool WriteSamplesCsv(const Experiment& experiment, const std::string& path);
+
+}  // namespace dcg::exp
+
+#endif  // DCG_EXP_CSV_EXPORT_H_

@@ -1,0 +1,254 @@
+#include "exp/experiment.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dcg::exp {
+
+std::string_view ToString(SystemType type) {
+  switch (type) {
+    case SystemType::kDecongestant:
+      return "decongestant";
+    case SystemType::kPrimary:
+      return "primary";
+    case SystemType::kSecondary:
+      return "secondary";
+  }
+  return "unknown";
+}
+
+double PeriodRow::ReadThroughput() const {
+  const double seconds = sim::ToSeconds(end - start);
+  return seconds <= 0 ? 0 : static_cast<double>(reads) / seconds;
+}
+
+double PeriodRow::SecondaryPercent() const {
+  return reads == 0 ? 0
+                    : 100.0 * static_cast<double>(reads_secondary) /
+                          static_cast<double>(reads);
+}
+
+double PeriodRow::P80ReadLatencyMs() const {
+  return read_latency.Percentile(80) / static_cast<double>(sim::kMillisecond);
+}
+
+Experiment::Experiment(ExperimentConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      shared_state_(config_.balancer.low_bal) {
+  DCG_CHECK_MSG(!config_.phases.empty(), "need at least one phase");
+  DCG_CHECK_MSG(config_.phases.front().at == 0, "first phase must start at 0");
+
+  // --- Topology: client host + one host per replica-set node. ---
+  network_ = std::make_unique<net::Network>(&loop_, rng_.Fork());
+  const net::HostId client_host = network_->AddHost("client-host");
+  std::vector<net::HostId> node_hosts;
+  const int nodes = config_.repl.secondaries + 1;
+  DCG_CHECK(static_cast<int>(config_.client_node_rtt.size()) >= nodes);
+  for (int i = 0; i < nodes; ++i) {
+    node_hosts.push_back(network_->AddHost("db-node-" + std::to_string(i)));
+    network_->SetLink(client_host, node_hosts[i], config_.client_node_rtt[i],
+                      config_.rtt_jitter);
+  }
+  for (int i = 0; i < nodes; ++i) {
+    for (int j = i + 1; j < nodes; ++j) {
+      network_->SetLink(node_hosts[i], node_hosts[j], config_.inter_node_rtt,
+                        config_.rtt_jitter);
+    }
+  }
+
+  // --- Replica set and driver. ---
+  rs_ = std::make_unique<repl::ReplicaSet>(&loop_, rng_.Fork(),
+                                           network_.get(), config_.repl,
+                                           config_.server, node_hosts);
+  client_ = std::make_unique<driver::MongoClient>(&loop_, rng_.Fork(),
+                                                  network_.get(), rs_.get(),
+                                                  client_host,
+                                                  config_.client_options);
+
+  // --- Routing policy / system under test. ---
+  switch (config_.system) {
+    case SystemType::kDecongestant:
+      policy_ = std::make_unique<core::DecongestantPolicy>(&shared_state_);
+      balancer_ = std::make_unique<core::ReadBalancer>(
+          client_.get(), &shared_state_, config_.balancer, rng_.Fork());
+      break;
+    case SystemType::kPrimary:
+      policy_ = std::make_unique<core::FixedPolicy>(
+          driver::ReadPreference::kPrimary);
+      break;
+    case SystemType::kSecondary:
+      policy_ = std::make_unique<core::FixedPolicy>(
+          driver::ReadPreference::kSecondary);
+      break;
+  }
+
+  // --- Pre-replicated data: every node loads the identical snapshot. ---
+  for (int i = 0; i < nodes; ++i) {
+    store::Database* db = &rs_->node(i).db();
+    if (config_.kind == WorkloadKind::kYcsb) {
+      workload::YcsbWorkload::Load(config_.ycsb, db);
+    } else {
+      workload::TpccWorkload::Load(config_.tpcc, db);
+    }
+    if (config_.run_s_workload) {
+      workload::SWorkload::Load(config_.s_config, db);
+    }
+  }
+
+  // --- Workload objects. ---
+  if (config_.kind == WorkloadKind::kYcsb) {
+    auto ycsb_config = config_.ycsb;
+    ycsb_config.read_proportion = config_.phases.front().ycsb_read_proportion;
+    auto ycsb = std::make_unique<workload::YcsbWorkload>(
+        client_.get(), policy_.get(), ycsb_config, rng_.Fork());
+    ycsb_ = ycsb.get();
+    workload_ = std::move(ycsb);
+  } else {
+    auto tpcc = std::make_unique<workload::TpccWorkload>(
+        client_.get(), policy_.get(), config_.tpcc, rng_.Fork());
+    tpcc_ = tpcc.get();
+    workload_ = std::move(tpcc);
+  }
+
+  pool_ = std::make_unique<ClientPool>(
+      &loop_, workload_.get(),
+      [this](const workload::OpOutcome& o) { OnOp(o); });
+
+  if (config_.run_s_workload) {
+    std::function<bool()> secondary_in_use;
+    switch (config_.system) {
+      case SystemType::kDecongestant:
+        secondary_in_use = [this] {
+          return shared_state_.balance_fraction() > 0.0;
+        };
+        break;
+      case SystemType::kPrimary:
+        secondary_in_use = [] { return false; };
+        break;
+      case SystemType::kSecondary:
+        secondary_in_use = [] { return true; };
+        break;
+    }
+    s_workload_ = std::make_unique<workload::SWorkload>(
+        client_.get(), std::move(secondary_in_use), config_.s_config,
+        rng_.Fork(), [this](double staleness_s) {
+          // Stored in milliseconds for sub-second histogram resolution.
+          current_.s_staleness.Add(staleness_s * 1000.0);
+          s_samples_.emplace_back(loop_.Now(), staleness_s);
+        });
+  }
+}
+
+Experiment::~Experiment() = default;
+
+void Experiment::OnOp(const workload::OpOutcome& outcome) {
+  if (outcome.read_only) {
+    ++current_.reads;
+    if (outcome.used_secondary) ++current_.reads_secondary;
+    current_.read_latency.Add(static_cast<double>(outcome.latency));
+    if (outcome.type == "stock_level") {
+      ++current_.stock_level;
+      current_.stock_level_latency.Add(static_cast<double>(outcome.latency));
+    }
+  } else {
+    ++current_.writes;
+  }
+}
+
+void Experiment::SampleStaleness() {
+  StalenessPoint point;
+  point.at = loop_.Now();
+  point.true_max_s = sim::ToSeconds(rs_->MaxTrueStaleness());
+  if (balancer_ != nullptr) {
+    point.estimate_s =
+        static_cast<double>(balancer_->staleness_estimate_seconds());
+    current_.est_staleness_max_s =
+        std::max(current_.est_staleness_max_s,
+                 balancer_->staleness_estimate_seconds());
+  }
+  staleness_series_.push_back(point);
+  loop_.ScheduleAfter(sim::Seconds(1), [this] { SampleStaleness(); });
+}
+
+void Experiment::ClosePeriod() {
+  current_.end = loop_.Now();
+  current_.balance_fraction = shared_state_.balance_fraction();
+  rows_.push_back(std::move(current_));
+  current_ = PeriodRow{};
+  current_.start = loop_.Now();
+  loop_.ScheduleAfter(config_.report_period, [this] { ClosePeriod(); });
+}
+
+void Experiment::Run() {
+  rs_->Start();
+  client_->Start();
+  if (balancer_ != nullptr) balancer_->Start();
+  if (s_workload_ != nullptr) s_workload_->Start();
+
+  // Phase schedule.
+  pool_->SetTarget(config_.phases.front().clients);
+  for (size_t i = 1; i < config_.phases.size(); ++i) {
+    const Phase phase = config_.phases[i];
+    loop_.ScheduleAt(phase.at, [this, phase] {
+      pool_->SetTarget(phase.clients);
+      if (ycsb_ != nullptr) {
+        ycsb_->set_read_proportion(phase.ycsb_read_proportion);
+      }
+    });
+  }
+
+  current_.start = loop_.Now();
+  loop_.ScheduleAfter(config_.report_period, [this] { ClosePeriod(); });
+  loop_.ScheduleAfter(sim::Seconds(1), [this] { SampleStaleness(); });
+
+  loop_.RunUntil(config_.duration);
+}
+
+Summary Experiment::Summarize() const {
+  Summary summary;
+  metrics::Histogram read_latency;
+  metrics::Histogram sl_latency;
+  metrics::Histogram staleness;
+  sim::Duration measured = 0;
+  uint64_t stock_level = 0;
+  for (const PeriodRow& row : rows_) {
+    if (row.start < config_.warmup) continue;
+    measured += row.end - row.start;
+    summary.total_reads += row.reads;
+    summary.total_writes += row.writes;
+    stock_level += row.stock_level;
+    read_latency.Merge(row.read_latency);
+    sl_latency.Merge(row.stock_level_latency);
+    staleness.Merge(row.s_staleness);
+  }
+  uint64_t secondary_reads = 0;
+  for (const PeriodRow& row : rows_) {
+    if (row.start < config_.warmup) continue;
+    secondary_reads += row.reads_secondary;
+  }
+  const double seconds = sim::ToSeconds(measured);
+  if (seconds > 0) {
+    summary.read_throughput = static_cast<double>(summary.total_reads) / seconds;
+    summary.write_throughput =
+        static_cast<double>(summary.total_writes) / seconds;
+    summary.stock_level_throughput =
+        static_cast<double>(stock_level) / seconds;
+  }
+  if (summary.total_reads > 0) {
+    summary.secondary_percent = 100.0 *
+                                static_cast<double>(secondary_reads) /
+                                static_cast<double>(summary.total_reads);
+  }
+  summary.p80_read_latency_ms =
+      read_latency.Percentile(80) / static_cast<double>(sim::kMillisecond);
+  summary.p80_stock_level_latency_ms =
+      sl_latency.Percentile(80) / static_cast<double>(sim::kMillisecond);
+  summary.p80_staleness_s = staleness.Percentile(80) / 1000.0;
+  summary.max_staleness_s = staleness.max() / 1000.0;
+  return summary;
+}
+
+}  // namespace dcg::exp

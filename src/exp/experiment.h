@@ -1,0 +1,183 @@
+#ifndef DCG_EXP_EXPERIMENT_H_
+#define DCG_EXP_EXPERIMENT_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/read_balancer.h"
+#include "core/routing_policy.h"
+#include "core/shared_state.h"
+#include "driver/client.h"
+#include "exp/client_pool.h"
+#include "metrics/histogram.h"
+#include "net/network.h"
+#include "repl/replica_set.h"
+#include "sim/event_loop.h"
+#include "workload/s_workload.h"
+#include "workload/tpcc.h"
+#include "workload/workload.h"
+#include "workload/ycsb.h"
+
+namespace dcg::exp {
+
+/// Which system routes the read-only transactions (§4.1.3).
+enum class SystemType {
+  kDecongestant,
+  kPrimary,    // baseline: Read Preference hard-coded to primary
+  kSecondary,  // baseline: hard-coded to secondary
+};
+
+std::string_view ToString(SystemType type);
+
+enum class WorkloadKind { kYcsb, kTpcc };
+
+/// One workload phase. The first phase applies at t=0; later phases change
+/// the client count and/or the YCSB mix at their start time (the dynamic
+/// workloads of §4.2).
+struct Phase {
+  sim::Duration at = 0;
+  int clients = 0;
+  double ycsb_read_proportion = 0.5;  // ignored for TPC-C
+};
+
+/// Full experiment description: cluster, system under test, workload
+/// schedule, and measurement settings.
+struct ExperimentConfig {
+  uint64_t seed = 42;
+  SystemType system = SystemType::kDecongestant;
+
+  WorkloadKind kind = WorkloadKind::kYcsb;
+  workload::YcsbConfig ycsb;
+  workload::TpccConfig tpcc;
+  std::vector<Phase> phases;  // at least one, first with at == 0
+
+  sim::Duration duration = sim::Seconds(300);
+  /// Excluded from Summarize() (the paper excludes the first 100 s).
+  sim::Duration warmup = sim::Seconds(100);
+  sim::Duration report_period = sim::Seconds(10);
+
+  core::BalancerConfig balancer;
+  repl::ReplicaSetParams repl;
+  server::ServerParams server;
+  driver::ClientOptions client_options;
+
+  bool run_s_workload = true;
+  workload::SWorkloadConfig s_config;
+
+  /// Client-to-node base RTTs (availability-zone layout: the client host
+  /// shares AZ-a with node 0).
+  std::vector<sim::Duration> client_node_rtt = {
+      sim::Millis(0.4), sim::Millis(1.2), sim::Millis(1.6)};
+  sim::Duration inter_node_rtt = sim::Millis(1.0);
+  sim::Duration rtt_jitter = sim::Micros(40);
+};
+
+/// Per-report-period measurements — one row per 10 s, matching the time
+/// series the paper's figures plot.
+struct PeriodRow {
+  sim::Time start = 0;
+  sim::Time end = 0;
+  uint64_t reads = 0;             // read-only transactions completed
+  uint64_t reads_secondary = 0;   // ... of which served by a secondary
+  uint64_t writes = 0;
+  metrics::Histogram read_latency;  // ns, all read-only txns
+  uint64_t stock_level = 0;         // TPC-C only
+  metrics::Histogram stock_level_latency;  // ns
+  metrics::Histogram s_staleness;   // seconds, S-workload samples
+  int64_t est_staleness_max_s = 0;  // max serverStatus estimate in period
+  double balance_fraction = 0.0;    // published fraction at period end
+
+  double ReadThroughput() const;
+  double SecondaryPercent() const;
+  double P80ReadLatencyMs() const;
+};
+
+/// A point on a staleness time series (Figures 8-10).
+struct StalenessPoint {
+  sim::Time at = 0;
+  double estimate_s = -1;  // serverStatus-based estimate (-1: none taken)
+  double true_max_s = 0;   // simulator ground truth
+};
+
+/// Whole-run aggregates over [warmup, duration) (the paper's single-point
+/// experiments, Figures 5-7 and 11).
+struct Summary {
+  double read_throughput = 0;    // read-only txns / s
+  double p80_read_latency_ms = 0;
+  double secondary_percent = 0;
+  double p80_staleness_s = 0;    // S-workload P80
+  double max_staleness_s = 0;    // S-workload max
+  double stock_level_throughput = 0;
+  double p80_stock_level_latency_ms = 0;
+  double write_throughput = 0;
+  uint64_t total_reads = 0;
+  uint64_t total_writes = 0;
+};
+
+/// Builds the full stack — event loop, network, replica set, driver,
+/// routing policy (+ Read Balancer for Decongestant), workload, client
+/// pool, S workload — runs it, and collects the paper's measurements.
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+  ~Experiment();
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  /// Runs the configured duration of simulated time.
+  void Run();
+
+  const std::vector<PeriodRow>& rows() const { return rows_; }
+  const std::vector<StalenessPoint>& staleness_series() const {
+    return staleness_series_;
+  }
+  /// Individual S-workload samples (time, staleness seconds).
+  const std::vector<std::pair<sim::Time, double>>& s_samples() const {
+    return s_samples_;
+  }
+
+  Summary Summarize() const;
+
+  // Introspection for tests and benches.
+  sim::EventLoop& loop() { return loop_; }
+  repl::ReplicaSet& replica_set() { return *rs_; }
+  driver::MongoClient& client() { return *client_; }
+  core::ReadBalancer* balancer() { return balancer_.get(); }
+  core::SharedState& shared_state() { return shared_state_; }
+  workload::YcsbWorkload* ycsb() { return ycsb_; }
+  workload::TpccWorkload* tpcc() { return tpcc_; }
+  workload::SWorkload* s_workload() { return s_workload_.get(); }
+  ClientPool& pool() { return *pool_; }
+  const ExperimentConfig& config() const { return config_; }
+
+ private:
+  void OnOp(const workload::OpOutcome& outcome);
+  void ClosePeriod();
+  void SampleStaleness();
+
+  ExperimentConfig config_;
+  sim::EventLoop loop_;
+  sim::Rng rng_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<repl::ReplicaSet> rs_;
+  std::unique_ptr<driver::MongoClient> client_;
+  core::SharedState shared_state_;
+  std::unique_ptr<core::RoutingPolicy> policy_;
+  std::unique_ptr<core::ReadBalancer> balancer_;
+  std::unique_ptr<workload::Workload> workload_;
+  workload::YcsbWorkload* ycsb_ = nullptr;
+  workload::TpccWorkload* tpcc_ = nullptr;
+  std::unique_ptr<workload::SWorkload> s_workload_;
+  std::unique_ptr<ClientPool> pool_;
+
+  std::vector<PeriodRow> rows_;
+  PeriodRow current_;
+  std::vector<StalenessPoint> staleness_series_;
+  std::vector<std::pair<sim::Time, double>> s_samples_;
+};
+
+}  // namespace dcg::exp
+
+#endif  // DCG_EXP_EXPERIMENT_H_

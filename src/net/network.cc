@@ -1,0 +1,48 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dcg::net {
+
+HostId Network::AddHost(std::string name) {
+  host_names_.push_back(std::move(name));
+  return static_cast<HostId>(host_names_.size()) - 1;
+}
+
+void Network::SetLink(HostId a, HostId b, sim::Duration base_rtt,
+                      sim::Duration jitter_mean) {
+  const auto key = std::minmax(a, b);
+  links_[{key.first, key.second}] = Link{base_rtt, jitter_mean};
+}
+
+const Network::Link& Network::GetLink(HostId a, HostId b) const {
+  const auto key = std::minmax(a, b);
+  auto it = links_.find({key.first, key.second});
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+sim::Duration Network::BaseRtt(HostId a, HostId b) const {
+  return GetLink(a, b).base_rtt;
+}
+
+sim::Duration Network::SampleOneWay(HostId a, HostId b) {
+  if (a == b) return 0;  // loopback
+  const Link& link = GetLink(a, b);
+  const double jitter =
+      rng_.Exponential(static_cast<double>(link.jitter_mean));
+  return link.base_rtt / 2 + static_cast<sim::Duration>(jitter);
+}
+
+void Network::Send(HostId from, HostId to, std::function<void()> fn) {
+  loop_->ScheduleAfter(SampleOneWay(from, to), std::move(fn));
+}
+
+void Network::Ping(HostId from, HostId to,
+                   std::function<void(sim::Duration)> done) {
+  const sim::Duration rtt = SampleOneWay(from, to) + SampleOneWay(to, from);
+  loop_->ScheduleAfter(rtt, [rtt, done = std::move(done)] { done(rtt); });
+}
+
+}  // namespace dcg::net

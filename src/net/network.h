@@ -1,0 +1,76 @@
+#ifndef DCG_NET_NETWORK_H_
+#define DCG_NET_NETWORK_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace dcg::net {
+
+/// Identifies a host on the simulated network (client host or DB node).
+using HostId = int;
+
+/// Point-to-point network model with per-pair round-trip latencies.
+///
+/// The paper's testbed spreads the replica set across three AWS
+/// availability zones; the RTT between the client host and each node
+/// differs by under 2 ms, yet §3.3.1 shows this is enough to distort raw
+/// client latencies for ~1 ms YCSB reads — which is exactly why the Read
+/// Balancer subtracts P50(RTT). We model each directed message as
+/// base_rtt/2 plus exponential jitter.
+class Network {
+ public:
+  Network(sim::EventLoop* loop, sim::Rng rng)
+      : loop_(loop), rng_(std::move(rng)) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers a host. Returns its id.
+  HostId AddHost(std::string name);
+
+  const std::string& HostName(HostId h) const { return host_names_.at(h); }
+  int host_count() const { return static_cast<int>(host_names_.size()); }
+
+  /// Sets the symmetric base RTT and mean jitter for a host pair.
+  void SetLink(HostId a, HostId b, sim::Duration base_rtt,
+               sim::Duration jitter_mean);
+
+  /// Base RTT configured for a pair (excludes jitter).
+  sim::Duration BaseRtt(HostId a, HostId b) const;
+
+  /// Samples a one-way delay for a message from `a` to `b`.
+  sim::Duration SampleOneWay(HostId a, HostId b);
+
+  /// Delivers `fn` at the destination after a sampled one-way delay.
+  void Send(HostId from, HostId to, std::function<void()> fn);
+
+  /// Simulates an application-level ping: calls `done(rtt)` after a full
+  /// round trip (two sampled one-way delays).
+  void Ping(HostId from, HostId to,
+            std::function<void(sim::Duration rtt)> done);
+
+ private:
+  struct Link {
+    sim::Duration base_rtt = sim::Millis(0.5);
+    sim::Duration jitter_mean = sim::Micros(30);
+  };
+
+  const Link& GetLink(HostId a, HostId b) const;
+
+  sim::EventLoop* loop_;
+  sim::Rng rng_;
+  std::vector<std::string> host_names_;
+  std::map<std::pair<HostId, HostId>, Link> links_;
+  Link default_link_;
+};
+
+}  // namespace dcg::net
+
+#endif  // DCG_NET_NETWORK_H_

@@ -1,0 +1,81 @@
+#ifndef DCG_REPL_OPLOG_H_
+#define DCG_REPL_OPLOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "doc/value.h"
+#include "sim/time.h"
+
+namespace dcg::repl {
+
+/// A position in the replicated log: the primary's wall-clock time of the
+/// commit plus a dense sequence number. Comparisons use the sequence; the
+/// wall time feeds staleness arithmetic (lastAppliedOpTime differences,
+/// §2.3 of the paper).
+struct OpTime {
+  sim::Time wall = 0;
+  uint64_t seq = 0;
+
+  bool operator==(const OpTime& o) const { return seq == o.seq; }
+  bool operator<(const OpTime& o) const { return seq < o.seq; }
+  bool operator<=(const OpTime& o) const { return seq <= o.seq; }
+};
+
+enum class OpKind { kInsert, kUpdate, kRemove, kNoop };
+
+/// One logical replicated operation. Inserts carry the full document;
+/// updates carry the serialized UpdateSpec (operator replay, like
+/// MongoDB's oplog `u` entries); removes carry only the id.
+struct OplogEntry {
+  OpTime optime;
+  OpKind kind = OpKind::kNoop;
+  std::string collection;
+  doc::Value id;
+  doc::Value payload;
+  size_t approx_bytes = 0;
+
+  size_t ApproxBytes() const;
+};
+
+/// The primary's capped operation log. Secondaries read batches after
+/// their own last-applied sequence number.
+class Oplog {
+ public:
+  /// `capacity` caps retained entries; older entries fall off (a secondary
+  /// that falls behind the cap would need initial sync in MongoDB — the
+  /// replica set CHECK-fails in that case, since our experiments are sized
+  /// to never hit it).
+  explicit Oplog(size_t capacity = 2'000'000);
+
+  void Append(OplogEntry entry);
+
+  /// Entries with seq in (after_seq, after_seq + max_batch]. CHECK-fails
+  /// when entries after `after_seq` have already been truncated.
+  std::vector<OplogEntry> ReadAfter(uint64_t after_seq,
+                                    size_t max_batch) const;
+
+  /// Sequence of the newest entry (0 when empty).
+  uint64_t last_seq() const;
+  /// OpTime of the newest entry (zero OpTime when empty).
+  OpTime last_optime() const;
+
+  /// Discards every entry with seq > `seq` (failover rollback of
+  /// un-replicated writes).
+  void TruncateAfter(uint64_t seq);
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  uint64_t first_seq() const { return first_seq_; }
+
+ private:
+  size_t capacity_;
+  uint64_t first_seq_ = 1;  // seq of entries_.front(), when non-empty
+  std::deque<OplogEntry> entries_;
+};
+
+}  // namespace dcg::repl
+
+#endif  // DCG_REPL_OPLOG_H_

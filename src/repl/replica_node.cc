@@ -1,0 +1,41 @@
+#include "repl/replica_node.h"
+
+#include "doc/update.h"
+#include "util/check.h"
+
+namespace dcg::repl {
+
+void ReplicaNode::ApplyEntry(const OplogEntry& entry) {
+  DCG_CHECK_MSG(last_applied_.seq + 1 == entry.optime.seq,
+                "out-of-order oplog application on %s", name().c_str());
+  store::Collection& coll = db().GetOrCreate(entry.collection);
+  switch (entry.kind) {
+    case OpKind::kInsert:
+      // Idempotent replay semantics: an insert overwrites any stale copy.
+      coll.Upsert(entry.payload);
+      break;
+    case OpKind::kUpdate: {
+      const doc::UpdateSpec spec = doc::UpdateSpec::FromValue(entry.payload);
+      const bool ok = coll.Update(entry.id, spec);
+      DCG_CHECK_MSG(ok, "replayed update of missing doc in %s",
+                    entry.collection.c_str());
+      break;
+    }
+    case OpKind::kRemove:
+      coll.Remove(entry.id);
+      break;
+    case OpKind::kNoop:
+      break;
+  }
+  last_applied_ = entry.optime;
+  ++entries_applied_;
+  server_.AddDirtyBytes(entry.ApproxBytes());
+}
+
+void ReplicaNode::AdvanceLastApplied(const OpTime& optime) {
+  DCG_CHECK(last_applied_.seq + 1 == optime.seq);
+  last_applied_ = optime;
+  ++entries_applied_;
+}
+
+}  // namespace dcg::repl

@@ -1,0 +1,380 @@
+#include "repl/replica_set.h"
+
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dcg::repl {
+
+ReplicaSet::ReplicaSet(sim::EventLoop* loop, sim::Rng rng,
+                       net::Network* network, ReplicaSetParams params,
+                       server::ServerParams node_params,
+                       std::vector<net::HostId> hosts)
+    : loop_(loop),
+      rng_(std::move(rng)),
+      network_(network),
+      params_(params),
+      oplog_(params.oplog_capacity) {
+  DCG_CHECK(params_.secondaries >= 1);
+  DCG_CHECK(static_cast<int>(hosts.size()) == params_.secondaries + 1);
+  for (int i = 0; i <= params_.secondaries; ++i) {
+    const std::string name =
+        i == 0 ? "primary" : "secondary-" + std::to_string(i);
+    nodes_.push_back(std::make_unique<ReplicaNode>(loop_, rng_.Fork(),
+                                                   node_params, hosts[i],
+                                                   name));
+  }
+  known_last_applied_.resize(nodes_.size());
+  alive_.assign(nodes_.size(), true);
+  pulling_.assign(nodes_.size(), false);
+  heartbeating_.assign(nodes_.size(), false);
+}
+
+void ReplicaSet::Start() {
+  for (auto& node : nodes_) node->server().Start();
+  for (int i = 0; i < node_count(); ++i) {
+    if (IsActiveSecondary(i)) StartSecondaryLoops(i);
+  }
+}
+
+void ReplicaSet::StartSecondaryLoops(int idx) {
+  if (!pulling_[idx]) {
+    pulling_[idx] = true;
+    SendGetMore(idx);
+  }
+  if (!heartbeating_[idx]) {
+    heartbeating_[idx] = true;
+    HeartbeatLoop(idx);
+  }
+}
+
+void ReplicaSet::KillNode(int idx) {
+  DCG_CHECK(idx >= 0 && idx < node_count());
+  if (!alive_[idx]) return;
+  alive_[idx] = false;
+  if (idx == primary_index_) {
+    // Acknowledgements in flight are lost with the primary; their outcome
+    // is uncertain to the client.
+    FailMajorityWaiters();
+    loop_->ScheduleAfter(params_.election_timeout, [this] { ElectPrimary(); });
+  }
+}
+
+void ReplicaSet::ElectPrimary() {
+  if (alive_[primary_index_]) return;  // stale timer: already resolved
+  int winner = -1;
+  for (int i = 0; i < node_count(); ++i) {
+    if (!alive_[i]) continue;
+    if (winner < 0 ||
+        node(winner).last_applied() < node(i).last_applied()) {
+      winner = i;
+    }
+  }
+  DCG_CHECK_MSG(winner >= 0, "no surviving member to elect");
+  // Writes the dead primary acknowledged at w:1 but never shipped are
+  // rolled back: the replicated history ends at the winner's optime.
+  oplog_.TruncateAfter(node(winner).last_applied().seq);
+  next_seq_ = node(winner).last_applied().seq + 1;
+  primary_index_ = winner;
+  ++term_;
+  ++elections_;
+  for (int i = 0; i < node_count(); ++i) {
+    if (IsActiveSecondary(i)) StartSecondaryLoops(i);
+  }
+}
+
+void ReplicaSet::RestartNode(int idx) {
+  DCG_CHECK(idx >= 0 && idx < node_count());
+  DCG_CHECK_MSG(!alive_[idx], "node is already running");
+  DCG_CHECK_MSG(alive_[primary_index_], "no primary to initial-sync from");
+  // Initial sync: clone the current primary's data wholesale, then join
+  // the oplog stream from the primary's current position.
+  node(idx).db().ResetFrom(primary().db());
+  node(idx).ResetForResync(primary().last_applied());
+  known_last_applied_[idx] = primary().last_applied();
+  alive_[idx] = true;
+  StartSecondaryLoops(idx);
+}
+
+void ReplicaSet::Read(int idx, server::OpClass c, ReadBody body) {
+  DCG_CHECK(idx >= 0 && idx < node_count());
+  ReplicaNode& n = node(idx);
+  n.server().Execute(c, [&n, body = std::move(body)] { body(n.db()); });
+}
+
+void ReplicaSet::ReadAfter(int idx, const OpTime& after, server::OpClass c,
+                           ReadBody body) {
+  DCG_CHECK(idx >= 0 && idx < node_count());
+  if (node(idx).last_applied().seq >= after.seq) {
+    Read(idx, c, std::move(body));
+    return;
+  }
+  // The node has not yet applied the required optime: re-check shortly
+  // (models the server parking the operation until the timestamp is
+  // reached).
+  loop_->ScheduleAfter(
+      sim::Millis(5), [this, idx, after, c, body = std::move(body)]() mutable {
+        ReadAfter(idx, after, c, std::move(body));
+      });
+}
+
+void ReplicaSet::WriteTransaction(server::OpClass c, TxnBody body,
+                                  std::function<void(bool)> done,
+                                  WriteConcern concern) {
+  double throttle = 1.0;
+  if (params_.flow_control_enabled &&
+      KnownMaxLag() > params_.flow_control_target_lag) {
+    throttle = params_.flow_control_throttle;
+    ++flow_control_engaged_writes_;
+  }
+  const int expected_primary = primary_index_;
+  const uint64_t expected_term = term_;
+  primary().server().ExecuteScaled(
+      c, throttle,
+      [this, body = std::move(body), done = std::move(done), concern,
+       expected_primary, expected_term] {
+        // The node lost the primary role (or crashed) while the operation
+        // was queued: the write never commits.
+        if (!alive_[expected_primary] || term_ != expected_term ||
+            primary_index_ != expected_primary) {
+          if (done) done(false);
+          return;
+        }
+        TxnContext ctx(&primary().db());
+        body(&ctx);
+        if (ctx.aborted()) {
+          if (done) done(false);
+          return;
+        }
+        uint64_t commit_seq = primary().last_applied().seq;
+        for (OplogEntry& entry : ctx.entries()) {
+          entry.optime = OpTime{loop_->Now(), next_seq_++};
+          commit_seq = entry.optime.seq;
+          primary().server().AddDirtyBytes(entry.ApproxBytes());
+          primary().AdvanceLastApplied(entry.optime);
+          oplog_.Append(std::move(entry));
+        }
+        ++committed_writes_;
+        if (concern == WriteConcern::kMajority && done) {
+          // Acknowledge once a majority of nodes are known to have
+          // applied the commit point.
+          majority_waiters_.push_back(
+              {commit_seq, [this, done = std::move(done)](bool ok) {
+                 if (ok) ++majority_writes_acked_;
+                 done(ok);
+               }});
+          CheckMajorityWaiters();
+          return;
+        }
+        if (done) done(true);
+      });
+}
+
+void ReplicaSet::ServerStatus(
+    std::function<void(const ServerStatusReply&)> done) {
+  primary().server().Execute(
+      server::OpClass::kServerStatus, [this, done = std::move(done)] {
+        ServerStatusReply reply;
+        reply.primary_last_applied = primary().last_applied();
+        for (int i = 0; i < node_count(); ++i) {
+          if (i == primary_index_ || !alive_[i]) continue;
+          reply.secondary_last_applied.push_back(known_last_applied_[i]);
+          reply.secondary_nodes.push_back(i);
+        }
+        reply.generated_at = loop_->Now();
+        done(reply);
+      });
+}
+
+int64_t ReplicaSet::MaxStalenessSeconds(const ServerStatusReply& reply) {
+  int64_t max_seconds = 0;
+  for (const OpTime& sec : reply.secondary_last_applied) {
+    if (sec.seq >= reply.primary_last_applied.seq) continue;
+    const sim::Duration gap = reply.primary_last_applied.wall - sec.wall;
+    max_seconds = std::max(max_seconds, gap / sim::kSecond);
+  }
+  return max_seconds;
+}
+
+sim::Duration ReplicaSet::TrueStaleness(int secondary_idx) const {
+  DCG_CHECK(secondary_idx >= 0 && secondary_idx < node_count());
+  DCG_CHECK(secondary_idx != primary_index_);
+  const OpTime& p = primary().last_applied();
+  const OpTime& s = node(secondary_idx).last_applied();
+  if (s.seq >= p.seq) return 0;
+  return p.wall - s.wall;
+}
+
+sim::Duration ReplicaSet::MaxTrueStaleness() const {
+  sim::Duration max_lag = 0;
+  for (int i = 0; i < node_count(); ++i) {
+    if (i == primary_index_ || !alive_[i]) continue;
+    max_lag = std::max(max_lag, TrueStaleness(i));
+  }
+  return max_lag;
+}
+
+sim::Duration ReplicaSet::KnownMaxLag() const {
+  const OpTime& p = primary().last_applied();
+  sim::Duration max_lag = 0;
+  for (int i = 0; i < node_count(); ++i) {
+    if (i == primary_index_ || !alive_[i]) continue;
+    const OpTime& sec = known_last_applied_[i];
+    if (sec.seq >= p.seq) continue;
+    max_lag = std::max(max_lag, p.wall - sec.wall);
+  }
+  return max_lag;
+}
+
+int ReplicaSet::KnownReplicationCount(uint64_t seq) const {
+  int count = primary().last_applied().seq >= seq ? 1 : 0;
+  for (int i = 0; i < node_count(); ++i) {
+    if (i == primary_index_ || !alive_[i]) continue;
+    if (known_last_applied_[i].seq >= seq) ++count;
+  }
+  return count;
+}
+
+void ReplicaSet::SendGetMore(int secondary_idx) {
+  if (!IsActiveSecondary(secondary_idx)) {
+    pulling_[secondary_idx] = false;  // loop retires
+    return;
+  }
+  network_->Send(node(secondary_idx).host(), primary().host(),
+                 [this, secondary_idx] {
+                   HandleGetMoreAtPrimary(secondary_idx);
+                 });
+}
+
+void ReplicaSet::HandleGetMoreAtPrimary(int secondary_idx) {
+  if (!IsActiveSecondary(secondary_idx)) {
+    pulling_[secondary_idx] = false;
+    return;
+  }
+  if (!alive_[primary_index_]) {
+    // No primary to pull from: retry after the idle interval; the
+    // election will install a new sync source.
+    loop_->ScheduleAfter(params_.getmore_idle_poll, [this, secondary_idx] {
+      SendGetMore(secondary_idx);
+    });
+    return;
+  }
+  server::ServerNode& p = primary().server();
+  // §4.5: a long checkpoint flush saturates the disk and the primary stops
+  // answering oplog getMores until it completes; secondaries then catch up
+  // in one large batch.
+  if (p.checkpointing()) {
+    if (p.checkpoint_duration() > params_.getmore_block_threshold) {
+      ++getmore_stalls_;
+      loop_->ScheduleAt(p.checkpoint_end() + sim::Millis(1),
+                        [this, secondary_idx] {
+                          HandleGetMoreAtPrimary(secondary_idx);
+                        });
+      return;
+    }
+    if (params_.getmore_soft_delay > 0) {
+      // Short checkpoint: the flush is competing for the disk, so oplog
+      // reads are slow but not stopped. Defer once, then serve.
+      const sim::Duration defer = std::min(
+          params_.getmore_soft_delay, p.checkpoint_end() - loop_->Now());
+      loop_->ScheduleAfter(defer, [this, secondary_idx] {
+        ServeGetMore(secondary_idx);
+      });
+      return;
+    }
+  }
+  ServeGetMore(secondary_idx);
+}
+
+void ReplicaSet::ServeGetMore(int secondary_idx) {
+  if (!IsActiveSecondary(secondary_idx)) {
+    pulling_[secondary_idx] = false;
+    return;
+  }
+  if (!alive_[primary_index_]) {
+    loop_->ScheduleAfter(params_.getmore_idle_poll, [this, secondary_idx] {
+      SendGetMore(secondary_idx);
+    });
+    return;
+  }
+  primary().server().Execute(server::OpClass::kGetMore, [this, secondary_idx] {
+    std::vector<OplogEntry> batch =
+        oplog_.ReadAfter(node(secondary_idx).last_applied().seq,
+                         params_.getmore_max_batch);
+    network_->Send(primary().host(), node(secondary_idx).host(),
+                   [this, secondary_idx, batch = std::move(batch)]() mutable {
+                     HandleBatchAtSecondary(secondary_idx, std::move(batch));
+                   });
+  });
+}
+
+void ReplicaSet::HandleBatchAtSecondary(int secondary_idx,
+                                        std::vector<OplogEntry> batch) {
+  if (!IsActiveSecondary(secondary_idx)) {
+    pulling_[secondary_idx] = false;
+    return;
+  }
+  if (batch.empty()) {
+    loop_->ScheduleAfter(params_.getmore_idle_poll, [this, secondary_idx] {
+      SendGetMore(secondary_idx);
+    });
+    return;
+  }
+  ReplicaNode& sec = node(secondary_idx);
+  // Application cost scales with batch size; one lognormal factor models
+  // run-to-run variance without sampling per entry.
+  const sim::Duration per_entry =
+      sec.server().SampleService(server::OpClass::kOplogApply);
+  const auto cost =
+      static_cast<sim::Duration>(static_cast<double>(per_entry) *
+                                 static_cast<double>(batch.size()));
+  sec.server().ExecuteWithCost(
+      cost, [this, secondary_idx, batch = std::move(batch)] {
+        ReplicaNode& s = node(secondary_idx);
+        for (const OplogEntry& entry : batch) s.ApplyEntry(entry);
+        // More data may already be waiting: pull again immediately.
+        SendGetMore(secondary_idx);
+      });
+}
+
+void ReplicaSet::CheckMajorityWaiters() {
+  const int majority = node_count() / 2 + 1;
+  for (size_t i = 0; i < majority_waiters_.size();) {
+    if (KnownReplicationCount(majority_waiters_[i].seq) >= majority) {
+      std::function<void(bool)> ack = std::move(majority_waiters_[i].ack);
+      majority_waiters_.erase(majority_waiters_.begin() +
+                              static_cast<ptrdiff_t>(i));
+      ack(true);
+    } else {
+      ++i;
+    }
+  }
+}
+
+void ReplicaSet::FailMajorityWaiters() {
+  std::vector<MajorityWaiter> failed = std::move(majority_waiters_);
+  majority_waiters_.clear();
+  for (MajorityWaiter& waiter : failed) waiter.ack(false);
+}
+
+void ReplicaSet::HeartbeatLoop(int secondary_idx) {
+  if (!IsActiveSecondary(secondary_idx)) {
+    heartbeating_[secondary_idx] = false;  // loop retires
+    return;
+  }
+  const OpTime progress = node(secondary_idx).last_applied();
+  network_->Send(node(secondary_idx).host(), primary().host(),
+                 [this, secondary_idx, progress] {
+                   OpTime& known = known_last_applied_[secondary_idx];
+                   if (known < progress) known = progress;
+                   CheckMajorityWaiters();
+                 });
+  loop_->ScheduleAfter(params_.heartbeat_interval, [this, secondary_idx] {
+    HeartbeatLoop(secondary_idx);
+  });
+}
+
+}  // namespace dcg::repl

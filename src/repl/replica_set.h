@@ -1,0 +1,230 @@
+#ifndef DCG_REPL_REPLICA_SET_H_
+#define DCG_REPL_REPLICA_SET_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/network.h"
+#include "repl/oplog.h"
+#include "repl/replica_node.h"
+#include "repl/txn.h"
+#include "server/server_node.h"
+#include "sim/event_loop.h"
+#include "sim/random.h"
+
+namespace dcg::repl {
+
+/// Replication knobs (defaults mirror the MongoDB 4.2 behaviour the paper
+/// describes, scaled to the simulation).
+struct ReplicaSetParams {
+  int secondaries = 2;
+
+  /// Max oplog entries returned per getMore.
+  size_t getmore_max_batch = 5000;
+
+  /// How long a fully caught-up secondary waits before polling again
+  /// (models the awaitData tailable-cursor timeout).
+  sim::Duration getmore_idle_poll = sim::Millis(50);
+
+  /// How often secondaries report their lastAppliedOpTime to the primary.
+  /// This lag is why the primary's view of secondary progress — and hence
+  /// Decongestant's staleness estimate — is conservative (§2.3).
+  sim::Duration heartbeat_interval = sim::Millis(500);
+
+  /// Flow control (§4.5): when the max lag known to the primary exceeds
+  /// the target, write service times are stretched by the throttle factor.
+  bool flow_control_enabled = true;
+  sim::Duration flow_control_target_lag = sim::Seconds(5);
+  double flow_control_throttle = 3.0;
+
+  /// A checkpoint whose flush is expected to take longer than this stalls
+  /// getMore service entirely until it finishes — the mechanism behind the
+  /// sawtooth staleness of Figure 9 ("the primary gets around to servicing
+  /// the getMore and sends a large batch").
+  sim::Duration getmore_block_threshold = sim::Seconds(15);
+
+  /// During shorter checkpoints, getMore responses are merely deferred by
+  /// this much (the disk is busy but not saturated) — producing the mild,
+  /// bounded staleness YCSB-A exhibits rather than a full stall.
+  sim::Duration getmore_soft_delay = sim::Millis(1500);
+
+  size_t oplog_capacity = 2'000'000;
+
+  /// How long after a primary failure the surviving members elect a new
+  /// primary (election timeout + vote rounds, collapsed into one delay).
+  sim::Duration election_timeout = sim::Seconds(5);
+};
+
+/// Durability requirement for a write (MongoDB write concern).
+enum class WriteConcern {
+  kW1,        // acknowledged once committed on the primary (default)
+  kMajority,  // acknowledged once a majority of nodes have applied it
+};
+
+/// A primary plus N secondaries wired through the simulated network —
+/// the MongoDB replica set substrate.
+///
+/// The driver delivers operations *at* a node (it models the client-to-node
+/// network hop itself); ReplicaSet models everything server-side: CPU
+/// queueing, commit + oplog append on the primary, batched log-shipping to
+/// secondaries, heartbeats, serverStatus, and flow control.
+class ReplicaSet {
+ public:
+  ReplicaSet(sim::EventLoop* loop, sim::Rng rng, net::Network* network,
+             ReplicaSetParams params, server::ServerParams node_params,
+             std::vector<net::HostId> hosts /* primary first */);
+
+  ReplicaSet(const ReplicaSet&) = delete;
+  ReplicaSet& operator=(const ReplicaSet&) = delete;
+
+  /// Starts checkpoint cycles, pull loops, and heartbeats.
+  void Start();
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  int secondary_count() const { return node_count() - 1; }
+  /// Node 0 starts as the primary; fail-overs can move the role.
+  ReplicaNode& node(int idx) { return *nodes_[idx]; }
+  const ReplicaNode& node(int idx) const { return *nodes_[idx]; }
+  ReplicaNode& primary() { return *nodes_[primary_index_]; }
+  const ReplicaNode& primary() const { return *nodes_[primary_index_]; }
+  int primary_index() const { return primary_index_; }
+
+  // --- fault injection & fail-over ---
+
+  bool IsAlive(int idx) const { return alive_[idx]; }
+
+  /// Crashes a node. Killing the primary schedules an election after
+  /// `election_timeout`; the most up-to-date surviving member wins, the
+  /// oplog is truncated to its last applied optime (w:1 writes beyond it
+  /// are lost — MongoDB rollback semantics), and outstanding w:majority
+  /// acknowledgements fail as "uncertain".
+  ///
+  /// Crash granularity: operations already *in service* on the node when
+  /// it dies still complete (their responses race the failure — clients
+  /// may see them, as with a real crash); writes still *queued* observe
+  /// the term change at commit time and fail. New operations are kept
+  /// away by the driver's liveness checks.
+  void KillNode(int idx);
+
+  /// Restarts a crashed node: it initial-syncs (clones) from the current
+  /// primary and rejoins as a secondary.
+  void RestartNode(int idx);
+
+  /// Election epoch (increments on every successful election).
+  uint64_t term() const { return term_; }
+  uint64_t elections() const { return elections_; }
+
+  /// Runs `body` against node `idx`'s data once that node's CPU finishes a
+  /// service of class `c` (i.e., at the read's server-side completion).
+  using ReadBody = std::function<void(const store::Database&)>;
+  void Read(int idx, server::OpClass c, ReadBody body);
+
+  /// Executes a read-write transaction on the primary under service class
+  /// `c`. The body runs atomically at the commit instant; on commit its
+  /// recorded writes enter the oplog. `done(committed)` follows.
+  using TxnBody = std::function<void(TxnContext*)>;
+  void WriteTransaction(server::OpClass c, TxnBody body,
+                        std::function<void(bool committed)> done,
+                        WriteConcern concern = WriteConcern::kW1);
+
+  /// Runs `body` against node `idx`'s data like Read(), but only once the
+  /// node has applied at least `after` — MongoDB's afterClusterTime /
+  /// causal-consistency read gate. On an up-to-date node this is
+  /// identical to Read(); on a lagging secondary the operation waits.
+  void ReadAfter(int idx, const OpTime& after, server::OpClass c,
+                 ReadBody body);
+
+  /// What the primary's serverStatus reports about replication progress.
+  struct ServerStatusReply {
+    OpTime primary_last_applied;
+    /// Per live secondary, as known to the primary via heartbeats
+    /// (lagged); `secondary_nodes` holds the matching node indexes.
+    std::vector<OpTime> secondary_last_applied;
+    std::vector<int> secondary_nodes;
+    sim::Time generated_at = 0;
+  };
+
+  /// Executes serverStatus at the primary (it queues on the CPU like any
+  /// other command) and delivers the reply.
+  void ServerStatus(std::function<void(const ServerStatusReply&)> done);
+
+  /// The staleness estimate of §2.3, from a reply: max over secondaries of
+  /// (primary lastApplied wall − secondary lastApplied wall), floored to
+  /// whole seconds like MongoDB's reporting granularity.
+  static int64_t MaxStalenessSeconds(const ServerStatusReply& reply);
+
+  /// Ground-truth staleness of one secondary right now (not what a client
+  /// could observe — used by tests and experiment plots).
+  sim::Duration TrueStaleness(int secondary_idx) const;
+  sim::Duration MaxTrueStaleness() const;
+
+  const Oplog& oplog() const { return oplog_; }
+  uint64_t committed_writes() const { return committed_writes_; }
+  uint64_t flow_control_engaged_writes() const {
+    return flow_control_engaged_writes_;
+  }
+  uint64_t getmore_stalls() const { return getmore_stalls_; }
+
+  /// True max lag as *known by the primary* (flow control's signal).
+  sim::Duration KnownMaxLag() const;
+
+  /// Number of nodes (primary included, via heartbeat knowledge for
+  /// secondaries) known to have applied sequence `seq`.
+  int KnownReplicationCount(uint64_t seq) const;
+
+  uint64_t majority_writes_acked() const { return majority_writes_acked_; }
+
+ private:
+  /// Resolves w:majority waiters whose sequence has reached a majority.
+  void CheckMajorityWaiters();
+  /// Fails all outstanding w:majority waiters (primary crash: outcome
+  /// uncertain to the client).
+  void FailMajorityWaiters();
+  void ElectPrimary();
+  /// True when node `idx` should run replication consumer loops.
+  bool IsActiveSecondary(int idx) const {
+    return alive_[idx] && idx != primary_index_;
+  }
+  void StartSecondaryLoops(int idx);
+  void SendGetMore(int secondary_idx);
+  void HandleGetMoreAtPrimary(int secondary_idx);
+  void ServeGetMore(int secondary_idx);
+  void HandleBatchAtSecondary(int secondary_idx,
+                              std::vector<OplogEntry> batch);
+  void HeartbeatLoop(int secondary_idx);
+
+  sim::EventLoop* loop_;
+  sim::Rng rng_;
+  net::Network* network_;
+  ReplicaSetParams params_;
+  std::vector<std::unique_ptr<ReplicaNode>> nodes_;
+  Oplog oplog_;
+  uint64_t next_seq_ = 1;
+  /// known_last_applied_[idx] = node idx's progress as last heard by the
+  /// primary via heartbeats (the primary's own slot is unused).
+  std::vector<OpTime> known_last_applied_;
+  std::vector<bool> alive_;
+  // One pull chain / heartbeat chain per node at a time; the flags retire
+  // a chain when its node stops being an active secondary and prevent
+  // elections from spawning duplicates.
+  std::vector<bool> pulling_;
+  std::vector<bool> heartbeating_;
+  int primary_index_ = 0;
+  uint64_t term_ = 1;
+  uint64_t elections_ = 0;
+  uint64_t committed_writes_ = 0;
+  uint64_t flow_control_engaged_writes_ = 0;
+  uint64_t getmore_stalls_ = 0;
+  uint64_t majority_writes_acked_ = 0;
+
+  struct MajorityWaiter {
+    uint64_t seq;
+    std::function<void(bool)> ack;
+  };
+  std::vector<MajorityWaiter> majority_waiters_;
+};
+
+}  // namespace dcg::repl
+
+#endif  // DCG_REPL_REPLICA_SET_H_

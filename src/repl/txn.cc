@@ -1,0 +1,81 @@
+#include "repl/txn.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace dcg::repl {
+
+void TxnContext::Insert(const std::string& collection, doc::Value document) {
+  DCG_CHECK(!aborted_);
+  store::Collection& coll = db_->GetOrCreate(collection);
+  const doc::Value* id = document.Find("_id");
+  DCG_CHECK(id != nullptr);
+
+  OplogEntry entry;
+  entry.kind = OpKind::kInsert;
+  entry.collection = collection;
+  entry.id = *id;
+  entry.approx_bytes = document.ApproxSize();
+  entry.payload = document;
+
+  undo_.push_back({collection, *id, coll.FindById(*id)});
+  const bool inserted = coll.Insert(std::move(document));
+  DCG_CHECK_MSG(inserted, "duplicate _id inserted into %s",
+                collection.c_str());
+  entries_.push_back(std::move(entry));
+}
+
+bool TxnContext::Update(const std::string& collection, const doc::Value& id,
+                        const doc::UpdateSpec& spec) {
+  DCG_CHECK(!aborted_);
+  store::Collection& coll = db_->GetOrCreate(collection);
+  store::DocPtr pre = coll.FindById(id);
+  if (pre == nullptr) return false;
+  undo_.push_back({collection, id, pre});
+  const bool ok = coll.Update(id, spec);
+  DCG_CHECK(ok);
+
+  OplogEntry entry;
+  entry.kind = OpKind::kUpdate;
+  entry.collection = collection;
+  entry.id = id;
+  entry.payload = spec.ToValue();
+  entry.approx_bytes = coll.FindById(id)->ApproxSize();
+  entries_.push_back(std::move(entry));
+  return true;
+}
+
+bool TxnContext::Remove(const std::string& collection, const doc::Value& id) {
+  DCG_CHECK(!aborted_);
+  store::Collection& coll = db_->GetOrCreate(collection);
+  store::DocPtr pre = coll.FindById(id);
+  if (pre == nullptr) return false;
+  undo_.push_back({collection, id, pre});
+  coll.Remove(id);
+
+  OplogEntry entry;
+  entry.kind = OpKind::kRemove;
+  entry.collection = collection;
+  entry.id = id;
+  entry.approx_bytes = 32 + id.ApproxSize();
+  entries_.push_back(std::move(entry));
+  return true;
+}
+
+void TxnContext::Abort() {
+  DCG_CHECK(!aborted_);
+  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+    store::Collection& coll = db_->GetOrCreate(it->collection);
+    if (it->pre_image == nullptr) {
+      coll.Remove(it->id);
+    } else {
+      coll.Upsert(*it->pre_image);
+    }
+  }
+  undo_.clear();
+  entries_.clear();
+  aborted_ = true;
+}
+
+}  // namespace dcg::repl

@@ -1,0 +1,56 @@
+#include "server/cpu_queue.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace dcg::server {
+
+CpuQueue::CpuQueue(sim::EventLoop* loop, int cores)
+    : loop_(loop), cores_(cores) {
+  DCG_CHECK(cores >= 1);
+}
+
+void CpuQueue::Submit(sim::Duration service_time, std::function<void()> done) {
+  if (service_time < 0) service_time = 0;
+  Job job{service_time, std::move(done)};
+  if (busy_ < cores_) {
+    StartJob(std::move(job));
+  } else {
+    waiting_.push_back(std::move(job));
+  }
+}
+
+void CpuQueue::StartJob(Job job) {
+  ++busy_;
+  total_busy_time_ += job.service_time;
+  loop_->ScheduleAfter(job.service_time,
+                       [this, done = std::move(job.done)]() mutable {
+                         OnJobDone();
+                         done();
+                       });
+}
+
+void CpuQueue::OnJobDone() {
+  --busy_;
+  if (!waiting_.empty()) {
+    Job next = std::move(waiting_.front());
+    waiting_.pop_front();
+    StartJob(std::move(next));
+  }
+}
+
+double CpuQueue::WindowUtilization() const {
+  const sim::Duration window = loop_->Now() - window_start_;
+  if (window <= 0) return 0.0;
+  const auto busy = static_cast<double>(total_busy_time_ -
+                                        window_busy_start_);
+  return busy / (static_cast<double>(window) * cores_);
+}
+
+void CpuQueue::ResetUtilizationWindow() {
+  window_start_ = loop_->Now();
+  window_busy_start_ = total_busy_time_;
+}
+
+}  // namespace dcg::server

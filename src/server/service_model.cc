@@ -1,0 +1,92 @@
+#include "server/service_model.h"
+
+#include "util/check.h"
+
+namespace dcg::server {
+
+std::string_view OpClassName(OpClass c) {
+  switch (c) {
+    case OpClass::kPointRead:
+      return "point_read";
+    case OpClass::kInsert:
+      return "insert";
+    case OpClass::kUpdate:
+      return "update";
+    case OpClass::kRemove:
+      return "remove";
+    case OpClass::kGetMore:
+      return "get_more";
+    case OpClass::kOplogApply:
+      return "oplog_apply";
+    case OpClass::kServerStatus:
+      return "server_status";
+    case OpClass::kTpccStockLevel:
+      return "tpcc_stock_level";
+    case OpClass::kTpccNewOrder:
+      return "tpcc_new_order";
+    case OpClass::kTpccPayment:
+      return "tpcc_payment";
+    case OpClass::kTpccOrderStatus:
+      return "tpcc_order_status";
+    case OpClass::kTpccDelivery:
+      return "tpcc_delivery";
+    case OpClass::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+bool IsReadOnly(OpClass c) {
+  switch (c) {
+    case OpClass::kPointRead:
+    case OpClass::kGetMore:
+    case OpClass::kServerStatus:
+    case OpClass::kTpccStockLevel:
+    case OpClass::kTpccOrderStatus:
+      return true;
+    default:
+      return false;
+  }
+}
+
+sim::Duration ServiceModel::Mean(OpClass c) const {
+  switch (c) {
+    case OpClass::kPointRead:
+      return point_read;
+    case OpClass::kInsert:
+      return insert;
+    case OpClass::kUpdate:
+      return update;
+    case OpClass::kRemove:
+      return remove;
+    case OpClass::kGetMore:
+      return get_more;
+    case OpClass::kOplogApply:
+      return oplog_apply;
+    case OpClass::kServerStatus:
+      return server_status;
+    case OpClass::kTpccStockLevel:
+      return tpcc_stock_level;
+    case OpClass::kTpccNewOrder:
+      return tpcc_new_order;
+    case OpClass::kTpccPayment:
+      return tpcc_payment;
+    case OpClass::kTpccOrderStatus:
+      return tpcc_order_status;
+    case OpClass::kTpccDelivery:
+      return tpcc_delivery;
+    case OpClass::kCount:
+      break;
+  }
+  DCG_CHECK_MSG(false, "bad op class");
+  return 0;
+}
+
+sim::Duration ServiceModel::Sample(OpClass c, sim::Rng* rng) const {
+  const sim::Duration mean = Mean(c);
+  if (sigma <= 0.0) return mean;
+  const double sampled = rng->LogNormal(static_cast<double>(mean), sigma);
+  return static_cast<sim::Duration>(sampled);
+}
+
+}  // namespace dcg::server

@@ -1,0 +1,69 @@
+#ifndef DCG_SERVER_SERVICE_MODEL_H_
+#define DCG_SERVER_SERVICE_MODEL_H_
+
+#include <string_view>
+
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace dcg::server {
+
+/// Classes of work a node can execute. Client operations and internal
+/// replication traffic (getMore, oplog application, serverStatus) share the
+/// same CPUs — that sharing is what makes a congested primary slow down
+/// log-shipping and grow secondary staleness (§4.5 of the paper).
+enum class OpClass {
+  kPointRead = 0,
+  kInsert,
+  kUpdate,
+  kRemove,
+  kGetMore,       // primary serving a secondary's oplog batch request
+  kOplogApply,    // secondary applying one oplog entry
+  kServerStatus,  // the diagnostic command Decongestant polls
+  kTpccStockLevel,
+  kTpccNewOrder,
+  kTpccPayment,
+  kTpccOrderStatus,
+  kTpccDelivery,
+  kCount,
+};
+
+std::string_view OpClassName(OpClass c);
+
+/// True for transaction/operation classes that do not modify data.
+bool IsReadOnly(OpClass c);
+
+/// Mean service times per op class, with log-normal dispersion.
+///
+/// Defaults are calibrated (see DESIGN.md §5) so the 8-core nodes saturate
+/// at the relative client counts where the paper's Figure 5 curves bend
+/// (e.g. the ~70 % secondary-read equilibrium for YCSB-B on a 3-node
+/// cluster). Absolute values are deliberately ~10× the paper's hardware so
+/// a 900-simulated-second experiment stays cheap to run — only the ratios
+/// and saturation points matter for the reproduced shapes.
+struct ServiceModel {
+  sim::Duration point_read = sim::Millis(3.5);
+  sim::Duration insert = sim::Millis(5.0);
+  sim::Duration update = sim::Millis(5.0);
+  sim::Duration remove = sim::Millis(4.5);
+  sim::Duration get_more = sim::Millis(2.0);
+  sim::Duration oplog_apply = sim::Micros(100);  // parallel batch appliers
+  sim::Duration server_status = sim::Millis(1.0);
+  sim::Duration tpcc_stock_level = sim::Millis(40.0);
+  sim::Duration tpcc_new_order = sim::Millis(15.0);
+  sim::Duration tpcc_payment = sim::Millis(8.0);
+  sim::Duration tpcc_order_status = sim::Millis(10.0);
+  sim::Duration tpcc_delivery = sim::Millis(20.0);
+
+  /// Log-normal sigma applied to every sample (0 = deterministic).
+  double sigma = 0.30;
+
+  sim::Duration Mean(OpClass c) const;
+
+  /// Samples a service time for one execution of `c`.
+  sim::Duration Sample(OpClass c, sim::Rng* rng) const;
+};
+
+}  // namespace dcg::server
+
+#endif  // DCG_SERVER_SERVICE_MODEL_H_

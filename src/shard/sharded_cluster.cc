@@ -1,0 +1,157 @@
+#include "shard/sharded_cluster.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dcg::shard {
+namespace {
+
+uint64_t HashId(const doc::Value& id) {
+  const std::string encoded = id.ToJson();
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : encoded) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+ShardedCluster::ShardedCluster(sim::EventLoop* loop, sim::Rng rng,
+                               net::Network* network,
+                               net::HostId client_host,
+                               ShardedClusterConfig config)
+    : loop_(loop), rng_(std::move(rng)), config_(std::move(config)) {
+  DCG_CHECK(config_.shards >= 1);
+  const int nodes = config_.repl.secondaries + 1;
+  DCG_CHECK(static_cast<int>(config_.client_node_rtt.size()) >= nodes);
+  for (int s = 0; s < config_.shards; ++s) {
+    std::vector<net::HostId> hosts;
+    for (int i = 0; i < nodes; ++i) {
+      hosts.push_back(network->AddHost("shard" + std::to_string(s) + "-node" +
+                                       std::to_string(i)));
+      network->SetLink(client_host, hosts[i], config_.client_node_rtt[i],
+                       config_.rtt_jitter);
+    }
+    for (int i = 0; i < nodes; ++i) {
+      for (int j = i + 1; j < nodes; ++j) {
+        network->SetLink(hosts[i], hosts[j], config_.inter_node_rtt,
+                         config_.rtt_jitter);
+      }
+    }
+    shards_.push_back(std::make_unique<repl::ReplicaSet>(
+        loop_, rng_.Fork(), network, config_.repl, config_.server, hosts));
+    clients_.push_back(std::make_unique<driver::MongoClient>(
+        loop_, rng_.Fork(), network, shards_.back().get(), client_host,
+        config_.client_options));
+    states_.push_back(
+        std::make_unique<core::SharedState>(config_.balancer.low_bal));
+    if (config_.run_balancers) {
+      policies_.push_back(
+          std::make_unique<core::DecongestantPolicy>(states_.back().get()));
+      balancers_.push_back(std::make_unique<core::ReadBalancer>(
+          clients_.back().get(), states_.back().get(), config_.balancer,
+          rng_.Fork()));
+    } else {
+      policies_.push_back(
+          std::make_unique<core::FixedPolicy>(config_.fixed_pref));
+      balancers_.push_back(nullptr);
+    }
+  }
+}
+
+ShardedCluster::~ShardedCluster() = default;
+
+void ShardedCluster::Start() {
+  for (auto& shard : shards_) shard->Start();
+  for (auto& client : clients_) client->Start();
+  for (auto& balancer : balancers_) {
+    if (balancer != nullptr) balancer->Start();
+  }
+}
+
+int ShardedCluster::ShardFor(const doc::Value& id) const {
+  return static_cast<int>(HashId(id) % static_cast<uint64_t>(shard_count()));
+}
+
+void ShardedCluster::ReadDoc(
+    const std::string& collection, const doc::Value& id,
+    server::OpClass op_class, repl::ReplicaSet::ReadBody body,
+    std::function<void(const driver::MongoClient::ReadResult&)> done) {
+  (void)collection;  // the body addresses the collection itself
+  const int s = ShardFor(id);
+  const driver::ReadPreference pref = policies_[s]->ChooseReadPreference(&rng_);
+  clients_[s]->Read(
+      pref, op_class, std::move(body),
+      [this, s, pref, done = std::move(done)](
+          const driver::MongoClient::ReadResult& result) {
+        policies_[s]->OnReadCompleted(pref, result.latency);
+        if (done) done(result);
+      });
+}
+
+void ShardedCluster::InsertDoc(
+    const std::string& collection, doc::Value document,
+    std::function<void(const driver::MongoClient::WriteResult&)> done) {
+  const doc::Value* id = document.Find("_id");
+  DCG_CHECK(id != nullptr);
+  const int s = ShardFor(*id);
+  clients_[s]->Write(
+      server::OpClass::kInsert,
+      [collection, document = std::move(document)](repl::TxnContext* ctx) {
+        ctx->Insert(collection, document);
+      },
+      std::move(done));
+}
+
+void ShardedCluster::UpdateDoc(
+    const std::string& collection, const doc::Value& id,
+    const doc::UpdateSpec& spec,
+    std::function<void(const driver::MongoClient::WriteResult&)> done) {
+  const int s = ShardFor(id);
+  clients_[s]->Write(
+      server::OpClass::kUpdate,
+      [collection, id, spec](repl::TxnContext* ctx) {
+        const bool ok = ctx->Update(collection, id, spec);
+        DCG_CHECK_MSG(ok, "sharded update of missing document");
+      },
+      std::move(done));
+}
+
+void ShardedCluster::ScatterCount(
+    const std::string& collection, const doc::Filter& filter,
+    server::OpClass op_class,
+    std::function<void(size_t, sim::Duration)> done) {
+  struct Gather {
+    size_t total = 0;
+    sim::Duration slowest = 0;
+    int remaining = 0;
+  };
+  auto gather = std::make_shared<Gather>();
+  gather->remaining = shard_count();
+  for (int s = 0; s < shard_count(); ++s) {
+    const driver::ReadPreference pref =
+        policies_[s]->ChooseReadPreference(&rng_);
+    auto shard_count_value = std::make_shared<size_t>(0);
+    clients_[s]->Read(
+        pref, op_class,
+        [collection, filter, shard_count_value](const store::Database& db) {
+          const store::Collection* coll = db.Get(collection);
+          if (coll != nullptr) *shard_count_value = coll->Count(filter);
+        },
+        [this, s, pref, gather, shard_count_value, done](
+            const driver::MongoClient::ReadResult& result) {
+          policies_[s]->OnReadCompleted(pref, result.latency);
+          gather->total += *shard_count_value;
+          gather->slowest = std::max(gather->slowest, result.latency);
+          if (--gather->remaining == 0 && done) {
+            done(gather->total, gather->slowest);
+          }
+        });
+  }
+}
+
+}  // namespace dcg::shard

@@ -1,0 +1,106 @@
+#ifndef DCG_SHARD_SHARDED_CLUSTER_H_
+#define DCG_SHARD_SHARDED_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/read_balancer.h"
+#include "core/routing_policy.h"
+#include "core/shared_state.h"
+#include "driver/client.h"
+#include "net/network.h"
+#include "repl/replica_set.h"
+
+namespace dcg::shard {
+
+/// Configuration of a sharded deployment: N shards, each a replica set
+/// with the usual knobs, plus an optional per-shard Decongestant.
+struct ShardedClusterConfig {
+  int shards = 2;
+  repl::ReplicaSetParams repl;
+  server::ServerParams server;
+  driver::ClientOptions client_options;
+  core::BalancerConfig balancer;
+  /// When true, every shard gets its own Read Balancer and reads route
+  /// through its Decongestant policy; when false, reads use `fixed_pref`.
+  bool run_balancers = true;
+  driver::ReadPreference fixed_pref = driver::ReadPreference::kPrimary;
+  /// Client-to-node base RTTs within each shard (primary first).
+  std::vector<sim::Duration> client_node_rtt = {
+      sim::Millis(0.4), sim::Millis(1.2), sim::Millis(1.6)};
+  sim::Duration inter_node_rtt = sim::Millis(1.0);
+  sim::Duration rtt_jitter = sim::Micros(40);
+};
+
+/// A MongoDB-style sharded cluster (§2.1): documents hash-partition by
+/// _id across shards, each shard is an independent replica set, and the
+/// router (the mongos role, folded into this class) forwards each
+/// operation to the owning shard — where the Read Preference decision is
+/// made *per shard* by that shard's own Read Balancer. This is the
+/// "techniques apply to sharded clusters" claim of the paper, made
+/// concrete: congestion is detected and relieved shard by shard.
+class ShardedCluster {
+ public:
+  ShardedCluster(sim::EventLoop* loop, sim::Rng rng, net::Network* network,
+                 net::HostId client_host, ShardedClusterConfig config);
+  ~ShardedCluster();
+
+  ShardedCluster(const ShardedCluster&) = delete;
+  ShardedCluster& operator=(const ShardedCluster&) = delete;
+
+  /// Starts every shard's replication, drivers, and balancers.
+  void Start();
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+
+  /// The shard owning documents with this _id (hash sharding).
+  int ShardFor(const doc::Value& id) const;
+
+  repl::ReplicaSet& shard(int i) { return *shards_[i]; }
+  driver::MongoClient& client(int i) { return *clients_[i]; }
+  core::SharedState& shared_state(int i) { return *states_[i]; }
+  /// Null when run_balancers is false.
+  core::ReadBalancer* balancer(int i) { return balancers_[i].get(); }
+  core::RoutingPolicy& policy(int i) { return *policies_[i]; }
+
+  /// Routed point read: picks the owning shard, asks that shard's policy
+  /// for a Read Preference, and reports the latency back to it.
+  void ReadDoc(const std::string& collection, const doc::Value& id,
+               server::OpClass op_class, repl::ReplicaSet::ReadBody body,
+               std::function<void(const driver::MongoClient::ReadResult&)>
+                   done);
+
+  /// Routed insert (single-shard write transaction).
+  void InsertDoc(const std::string& collection, doc::Value document,
+                 std::function<void(const driver::MongoClient::WriteResult&)>
+                     done);
+
+  /// Routed update by _id.
+  void UpdateDoc(const std::string& collection, const doc::Value& id,
+                 const doc::UpdateSpec& spec,
+                 std::function<void(const driver::MongoClient::WriteResult&)>
+                     done);
+
+  /// Scatter-gather count: evaluates the filter on every shard (each via
+  /// its own policy-chosen node) and sums the results. `done(total,
+  /// latency)` fires when the slowest shard answers — mongos semantics.
+  void ScatterCount(const std::string& collection, const doc::Filter& filter,
+                    server::OpClass op_class,
+                    std::function<void(size_t total, sim::Duration latency)>
+                        done);
+
+ private:
+  sim::EventLoop* loop_;
+  sim::Rng rng_;
+  ShardedClusterConfig config_;
+  std::vector<std::unique_ptr<repl::ReplicaSet>> shards_;
+  std::vector<std::unique_ptr<driver::MongoClient>> clients_;
+  std::vector<std::unique_ptr<core::SharedState>> states_;
+  std::vector<std::unique_ptr<core::RoutingPolicy>> policies_;
+  std::vector<std::unique_ptr<core::ReadBalancer>> balancers_;
+};
+
+}  // namespace dcg::shard
+
+#endif  // DCG_SHARD_SHARDED_CLUSTER_H_

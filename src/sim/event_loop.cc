@@ -1,0 +1,60 @@
+#include "sim/event_loop.h"
+
+#include <utility>
+
+namespace dcg::sim {
+
+EventId EventLoop::ScheduleAt(Time at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  const EventId id = next_id_++;
+  queue_.push(Event{at, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId EventLoop::ScheduleAfter(Duration delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool EventLoop::Cancel(EventId id) { return callbacks_.erase(id) > 0; }
+
+bool EventLoop::SkipTombstones() {
+  while (!queue_.empty() &&
+         callbacks_.find(queue_.top().id) == callbacks_.end()) {
+    queue_.pop();
+  }
+  return !queue_.empty();
+}
+
+bool EventLoop::Step() {
+  if (!SkipTombstones()) return false;
+  const Event ev = queue_.top();
+  queue_.pop();
+  auto it = callbacks_.find(ev.id);
+  std::function<void()> fn = std::move(it->second);
+  callbacks_.erase(it);
+  now_ = ev.at;
+  fn();
+  return true;
+}
+
+uint64_t EventLoop::RunUntil(Time until) {
+  uint64_t executed = 0;
+  while (SkipTombstones() && queue_.top().at <= until) {
+    Step();
+    ++executed;
+  }
+  // Advance the clock to the horizon even if the queue drained early, so
+  // repeated RunUntil calls observe monotonically increasing time.
+  if (now_ < until) now_ = until;
+  return executed;
+}
+
+uint64_t EventLoop::RunAll() {
+  uint64_t executed = 0;
+  while (Step()) ++executed;
+  return executed;
+}
+
+}  // namespace dcg::sim

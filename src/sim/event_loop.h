@@ -1,0 +1,89 @@
+#ifndef DCG_SIM_EVENT_LOOP_H_
+#define DCG_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace dcg::sim {
+
+/// Identifies a scheduled event so it can be cancelled.
+using EventId = uint64_t;
+
+/// Single-threaded discrete-event scheduler.
+///
+/// Events are callbacks scheduled at absolute simulated times. `Run()` pops
+/// them in (time, insertion-order) order, advancing the logical clock to each
+/// event's timestamp before invoking it. Two events at the same timestamp
+/// fire in the order they were scheduled, which keeps runs deterministic.
+///
+/// The loop is the spine of the whole reproduction: servers, networks,
+/// clients, and the Read Balancer are all expressed as chains of events.
+class EventLoop {
+ public:
+  EventLoop() = default;
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Current simulated time. Starts at 0.
+  Time Now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at`. Scheduling in the past
+  /// (before `Now()`) clamps to `Now()`; the event still runs.
+  EventId ScheduleAt(Time at, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` from now. Negative delays clamp to 0.
+  EventId ScheduleAfter(Duration delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns true if the event existed and had not
+  /// yet fired. Cancelling an already-fired or unknown id is a no-op.
+  bool Cancel(EventId id);
+
+  /// Runs events until the queue is empty or the clock would pass `until`.
+  /// Events scheduled exactly at `until` do run. Returns the number of
+  /// events executed.
+  uint64_t RunUntil(Time until);
+
+  /// Runs until the queue is empty.
+  uint64_t RunAll();
+
+  /// Executes at most one pending event. Returns false if the queue is empty.
+  bool Step();
+
+  /// Number of live (non-cancelled) events waiting in the queue.
+  size_t PendingEvents() const { return callbacks_.size(); }
+
+ private:
+  struct Event {
+    Time at;
+    uint64_t seq;  // tie-breaker: insertion order
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Discards cancelled tombstones at the head of the queue. Returns false
+  // if the queue drained.
+  bool SkipTombstones();
+
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Callbacks for live events; erased on fire or cancel. Cancelled events
+  // leave a tombstone in queue_ that is skipped when popped.
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+};
+
+}  // namespace dcg::sim
+
+#endif  // DCG_SIM_EVENT_LOOP_H_

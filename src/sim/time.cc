@@ -1,0 +1,20 @@
+#include "sim/time.h"
+
+#include <cstdio>
+
+namespace dcg::sim {
+
+std::string FormatTime(Time t) {
+  const int64_t total_ms = t / kMillisecond;
+  const int64_t ms = total_ms % 1000;
+  const int64_t total_s = total_ms / 1000;
+  const int64_t s = total_s % 60;
+  const int64_t m = total_s / 60;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%02lld:%02lld.%03lld",
+                static_cast<long long>(m), static_cast<long long>(s),
+                static_cast<long long>(ms));
+  return buf;
+}
+
+}  // namespace dcg::sim

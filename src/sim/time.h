@@ -1,0 +1,50 @@
+#ifndef DCG_SIM_TIME_H_
+#define DCG_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dcg::sim {
+
+/// Simulated time, in nanoseconds since the start of the simulation.
+///
+/// All timing in the library is expressed in this unit. The discrete-event
+/// kernel advances a single logical clock; nothing in the library reads the
+/// wall clock, which keeps every run deterministic for a given seed.
+using Time = int64_t;
+
+/// A span of simulated time, also in nanoseconds.
+using Duration = int64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1000 * kNanosecond;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+constexpr Duration kMinute = 60 * kSecond;
+
+constexpr Duration Micros(double us) {
+  return static_cast<Duration>(us * static_cast<double>(kMicrosecond));
+}
+constexpr Duration Millis(double ms) {
+  return static_cast<Duration>(ms * static_cast<double>(kMillisecond));
+}
+constexpr Duration Seconds(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+
+/// Converts a duration to fractional milliseconds (for reporting).
+constexpr double ToMillis(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Converts a duration to fractional seconds (for reporting).
+constexpr double ToSeconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Renders a time as "mm:ss.mmm" for logs and experiment output.
+std::string FormatTime(Time t);
+
+}  // namespace dcg::sim
+
+#endif  // DCG_SIM_TIME_H_

@@ -1,0 +1,394 @@
+#include "store/btree.h"
+
+#include <algorithm>
+#include <iterator>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dcg::store {
+
+namespace {
+// Fanout tuned for Value keys: comparisons dominate, so moderate nodes.
+constexpr size_t kMaxLeafKeys = 16;
+constexpr size_t kMinLeafKeys = kMaxLeafKeys / 2;
+constexpr size_t kMaxChildren = 16;
+constexpr size_t kMinChildren = kMaxChildren / 2;
+}  // namespace
+
+struct BTree::Node {
+  explicit Node(bool is_leaf) : leaf(is_leaf) {}
+
+  bool leaf;
+  std::vector<Key> keys;
+  std::vector<Payload> vals;  // leaf only, parallel to keys
+  std::vector<std::unique_ptr<Node>> children;  // internal: keys.size() + 1
+  Node* next = nullptr;  // leaf chain
+  Node* prev = nullptr;
+};
+
+namespace {
+
+// Index of the first key >= `key` within a node's key vector.
+size_t KeyLowerBound(const std::vector<doc::Value>& keys,
+                     const doc::Value& key) {
+  size_t lo = 0, hi = keys.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (keys[mid] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t KeyUpperBound(const std::vector<doc::Value>& keys,
+                     const doc::Value& key) {
+  size_t lo = 0, hi = keys.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (key < keys[mid]) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+struct BTree::InsertResult {
+  enum class Outcome { kNew, kReplaced, kNoop };
+
+  explicit InsertResult(Outcome o) : outcome(o) {}
+
+  Outcome outcome;
+  bool split = false;
+  Key sep;                       // valid when split
+  std::unique_ptr<Node> right;   // valid when split
+};
+
+BTree::BTree() : root_(std::make_unique<Node>(/*is_leaf=*/true)) {}
+BTree::~BTree() = default;
+BTree::BTree(BTree&&) noexcept = default;
+BTree& BTree::operator=(BTree&&) noexcept = default;
+
+BTree::InsertResult BTree::InsertRec(Node* node, const Key& key,
+                                     Payload payload, bool allow_replace) {
+  if (node->leaf) {
+    const size_t pos = KeyLowerBound(node->keys, key);
+    if (pos < node->keys.size() && node->keys[pos] == key) {
+      if (!allow_replace) return InsertResult(InsertResult::Outcome::kNoop);
+      node->vals[pos] = std::move(payload);
+      return InsertResult(InsertResult::Outcome::kReplaced);
+    }
+    node->keys.insert(node->keys.begin() + pos, key);
+    node->vals.insert(node->vals.begin() + pos, std::move(payload));
+    InsertResult result{InsertResult::Outcome::kNew};
+    if (node->keys.size() > kMaxLeafKeys) {
+      auto right = std::make_unique<Node>(/*is_leaf=*/true);
+      const size_t mid = node->keys.size() / 2;
+      right->keys.assign(std::make_move_iterator(node->keys.begin() + mid),
+                         std::make_move_iterator(node->keys.end()));
+      right->vals.assign(std::make_move_iterator(node->vals.begin() + mid),
+                         std::make_move_iterator(node->vals.end()));
+      node->keys.resize(mid);
+      node->vals.resize(mid);
+      right->next = node->next;
+      right->prev = node;
+      if (node->next != nullptr) node->next->prev = right.get();
+      node->next = right.get();
+      result.split = true;
+      result.sep = right->keys.front();
+      result.right = std::move(right);
+    }
+    return result;
+  }
+
+  const size_t idx = KeyUpperBound(node->keys, key);
+  InsertResult child_result =
+      InsertRec(node->children[idx].get(), key, std::move(payload),
+                allow_replace);
+  InsertResult result{child_result.outcome};
+  if (child_result.split) {
+    node->keys.insert(node->keys.begin() + idx, std::move(child_result.sep));
+    node->children.insert(node->children.begin() + idx + 1,
+                          std::move(child_result.right));
+    if (node->children.size() > kMaxChildren) {
+      const size_t mid = node->keys.size() / 2;  // key promoted upward
+      auto right = std::make_unique<Node>(/*is_leaf=*/false);
+      result.sep = std::move(node->keys[mid]);
+      right->keys.assign(std::make_move_iterator(node->keys.begin() + mid + 1),
+                         std::make_move_iterator(node->keys.end()));
+      right->children.assign(
+          std::make_move_iterator(node->children.begin() + mid + 1),
+          std::make_move_iterator(node->children.end()));
+      node->keys.resize(mid);
+      node->children.resize(mid + 1);
+      result.split = true;
+      result.right = std::move(right);
+    }
+  }
+  return result;
+}
+
+bool BTree::Upsert(const Key& key, Payload payload) {
+  InsertResult r =
+      InsertRec(root_.get(), key, std::move(payload), /*allow_replace=*/true);
+  if (r.split) {
+    auto new_root = std::make_unique<Node>(/*is_leaf=*/false);
+    new_root->keys.push_back(std::move(r.sep));
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(r.right));
+    root_ = std::move(new_root);
+  }
+  if (r.outcome == InsertResult::Outcome::kNew) {
+    ++size_;
+    return true;
+  }
+  return false;
+}
+
+bool BTree::Insert(const Key& key, Payload payload) {
+  InsertResult r =
+      InsertRec(root_.get(), key, std::move(payload), /*allow_replace=*/false);
+  if (r.split) {
+    auto new_root = std::make_unique<Node>(/*is_leaf=*/false);
+    new_root->keys.push_back(std::move(r.sep));
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(r.right));
+    root_ = std::move(new_root);
+  }
+  if (r.outcome == InsertResult::Outcome::kNew) {
+    ++size_;
+    return true;
+  }
+  return false;
+}
+
+BTree::Payload BTree::Find(const Key& key) const {
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children[KeyUpperBound(node->keys, key)].get();
+  }
+  const size_t pos = KeyLowerBound(node->keys, key);
+  if (pos < node->keys.size() && node->keys[pos] == key) {
+    return node->vals[pos];
+  }
+  return nullptr;
+}
+
+void BTree::FixUnderflow(Node* parent, size_t child_idx) {
+  Node* child = parent->children[child_idx].get();
+  auto has_spare = [](const Node* n) {
+    return n->leaf ? n->keys.size() > kMinLeafKeys
+                   : n->children.size() > kMinChildren;
+  };
+
+  if (child_idx > 0) {
+    Node* left = parent->children[child_idx - 1].get();
+    if (has_spare(left)) {
+      if (child->leaf) {
+        child->keys.insert(child->keys.begin(), std::move(left->keys.back()));
+        child->vals.insert(child->vals.begin(), std::move(left->vals.back()));
+        left->keys.pop_back();
+        left->vals.pop_back();
+        parent->keys[child_idx - 1] = child->keys.front();
+      } else {
+        child->keys.insert(child->keys.begin(),
+                           std::move(parent->keys[child_idx - 1]));
+        parent->keys[child_idx - 1] = std::move(left->keys.back());
+        left->keys.pop_back();
+        child->children.insert(child->children.begin(),
+                               std::move(left->children.back()));
+        left->children.pop_back();
+      }
+      return;
+    }
+  }
+  if (child_idx + 1 < parent->children.size()) {
+    Node* right = parent->children[child_idx + 1].get();
+    if (has_spare(right)) {
+      if (child->leaf) {
+        child->keys.push_back(std::move(right->keys.front()));
+        child->vals.push_back(std::move(right->vals.front()));
+        right->keys.erase(right->keys.begin());
+        right->vals.erase(right->vals.begin());
+        parent->keys[child_idx] = right->keys.front();
+      } else {
+        child->keys.push_back(std::move(parent->keys[child_idx]));
+        parent->keys[child_idx] = std::move(right->keys.front());
+        right->keys.erase(right->keys.begin());
+        child->children.push_back(std::move(right->children.front()));
+        right->children.erase(right->children.begin());
+      }
+      return;
+    }
+  }
+
+  // Merge with a sibling. `li` is the left member of the merged pair.
+  const size_t li =
+      (child_idx + 1 < parent->children.size()) ? child_idx : child_idx - 1;
+  Node* l = parent->children[li].get();
+  Node* r = parent->children[li + 1].get();
+  if (l->leaf) {
+    l->keys.insert(l->keys.end(), std::make_move_iterator(r->keys.begin()),
+                   std::make_move_iterator(r->keys.end()));
+    l->vals.insert(l->vals.end(), std::make_move_iterator(r->vals.begin()),
+                   std::make_move_iterator(r->vals.end()));
+    l->next = r->next;
+    if (r->next != nullptr) r->next->prev = l;
+  } else {
+    l->keys.push_back(std::move(parent->keys[li]));
+    l->keys.insert(l->keys.end(), std::make_move_iterator(r->keys.begin()),
+                   std::make_move_iterator(r->keys.end()));
+    l->children.insert(l->children.end(),
+                       std::make_move_iterator(r->children.begin()),
+                       std::make_move_iterator(r->children.end()));
+  }
+  parent->keys.erase(parent->keys.begin() + li);
+  parent->children.erase(parent->children.begin() + li + 1);
+}
+
+bool BTree::EraseRec(Node* node, const Key& key) {
+  if (node->leaf) {
+    const size_t pos = KeyLowerBound(node->keys, key);
+    if (pos >= node->keys.size() || node->keys[pos] != key) return false;
+    node->keys.erase(node->keys.begin() + pos);
+    node->vals.erase(node->vals.begin() + pos);
+    return true;
+  }
+  const size_t idx = KeyUpperBound(node->keys, key);
+  Node* child = node->children[idx].get();
+  if (!EraseRec(child, key)) return false;
+  const bool underfull = child->leaf ? child->keys.size() < kMinLeafKeys
+                                     : child->children.size() < kMinChildren;
+  if (underfull) FixUnderflow(node, idx);
+  return true;
+}
+
+bool BTree::Erase(const Key& key) {
+  if (!EraseRec(root_.get(), key)) return false;
+  --size_;
+  if (!root_->leaf && root_->children.size() == 1) {
+    root_ = std::move(root_->children[0]);
+  }
+  return true;
+}
+
+const BTree::Key& BTree::Iterator::key() const {
+  return leaf_->keys[pos_];
+}
+
+const BTree::Payload& BTree::Iterator::payload() const {
+  return leaf_->vals[pos_];
+}
+
+void BTree::Iterator::Next() {
+  DCG_CHECK(Valid());
+  ++pos_;
+  while (leaf_ != nullptr && pos_ >= leaf_->keys.size()) {
+    leaf_ = leaf_->next;
+    pos_ = 0;
+  }
+}
+
+BTree::Iterator BTree::Begin() const {
+  const Node* node = root_.get();
+  while (!node->leaf) node = node->children.front().get();
+  // Leaves other than a root leaf are never empty (min occupancy), but an
+  // empty tree has an empty root leaf.
+  if (node->keys.empty()) return Iterator(nullptr, 0);
+  return Iterator(node, 0);
+}
+
+BTree::Iterator BTree::LowerBound(const Key& key) const {
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children[KeyUpperBound(node->keys, key)].get();
+  }
+  size_t pos = KeyLowerBound(node->keys, key);
+  Iterator it(node, pos);
+  if (pos >= node->keys.size()) {
+    it.leaf_ = node->next;
+    it.pos_ = 0;
+    while (it.leaf_ != nullptr && it.leaf_->keys.empty()) {
+      it.leaf_ = it.leaf_->next;
+    }
+  }
+  return it;
+}
+
+BTree::Iterator BTree::UpperBound(const Key& key) const {
+  Iterator it = LowerBound(key);
+  if (it.Valid() && it.key() == key) it.Next();
+  return it;
+}
+
+int BTree::Height() const {
+  int h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+struct BTree::CheckState {
+  size_t count = 0;
+  int leaf_depth = -1;
+  const Node* prev_leaf = nullptr;
+};
+
+// Recursive structural check. `lo`/`hi` bound the keys permitted in this
+// subtree; nullptr means unbounded.
+void BTree::CheckNode(const Node* node, const Key* lo, const Key* hi,
+                      int depth, bool is_root, CheckState* state) {
+  // Keys sorted strictly ascending and within bounds.
+  for (size_t i = 0; i < node->keys.size(); ++i) {
+    if (i > 0) DCG_CHECK(node->keys[i - 1] < node->keys[i]);
+    if (lo != nullptr) DCG_CHECK(*lo <= node->keys[i]);
+    if (hi != nullptr) DCG_CHECK(node->keys[i] < *hi);
+  }
+  if (node->leaf) {
+    DCG_CHECK(node->vals.size() == node->keys.size());
+    DCG_CHECK(node->children.empty());
+    if (!is_root) DCG_CHECK(node->keys.size() >= kMinLeafKeys);
+    DCG_CHECK(node->keys.size() <= kMaxLeafKeys);
+    if (state->leaf_depth < 0) {
+      state->leaf_depth = depth;
+    } else {
+      DCG_CHECK(state->leaf_depth == depth);
+    }
+    // Leaf chain stitches leaves left-to-right.
+    DCG_CHECK(node->prev == state->prev_leaf);
+    if (state->prev_leaf != nullptr) {
+      DCG_CHECK(state->prev_leaf->next == node);
+    }
+    state->prev_leaf = node;
+    state->count += node->keys.size();
+    return;
+  }
+  DCG_CHECK(node->children.size() == node->keys.size() + 1);
+  if (!is_root) DCG_CHECK(node->children.size() >= kMinChildren);
+  DCG_CHECK(node->children.size() <= kMaxChildren);
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    const doc::Value* child_lo = (i == 0) ? lo : &node->keys[i - 1];
+    const doc::Value* child_hi = (i == node->keys.size()) ? hi : &node->keys[i];
+    CheckNode(node->children[i].get(), child_lo, child_hi, depth + 1,
+              /*is_root=*/false, state);
+  }
+}
+
+void BTree::CheckInvariants() const {
+  CheckState state;
+  CheckNode(root_.get(), nullptr, nullptr, 0, /*is_root=*/true, &state);
+  DCG_CHECK(state.count == size_);
+  if (state.prev_leaf != nullptr) DCG_CHECK(state.prev_leaf->next == nullptr);
+}
+
+}  // namespace dcg::store

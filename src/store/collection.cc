@@ -1,0 +1,303 @@
+#include "store/collection.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dcg::store {
+namespace {
+
+const doc::Value& RequireId(const doc::Value& document) {
+  DCG_CHECK_MSG(document.is_object(), "documents must be objects");
+  const doc::Value* id = document.Find("_id");
+  DCG_CHECK_MSG(id != nullptr, "documents must carry an _id field");
+  return *id;
+}
+
+}  // namespace
+
+Collection::Collection(std::string name) : name_(std::move(name)) {}
+
+doc::Value Collection::IndexKey(const Index& index, const doc::Value& id,
+                                const doc::Value& document) {
+  doc::Array key;
+  key.reserve(index.paths.size() + 1);
+  for (const auto& path : index.paths) {
+    const doc::Value* v = document.FindPath(path);
+    key.push_back(v != nullptr ? *v : doc::Value());
+  }
+  key.push_back(id);
+  return doc::Value(std::move(key));
+}
+
+void Collection::IndexDocument(Index* index, const doc::Value& id,
+                               const DocPtr& d) {
+  const bool inserted = index->tree.Insert(IndexKey(*index, id, *d), d);
+  DCG_CHECK_MSG(inserted, "duplicate index entry in %s", index->name.c_str());
+}
+
+void Collection::UnindexDocument(Index* index, const doc::Value& id,
+                                 const doc::Value& document) {
+  const bool erased = index->tree.Erase(IndexKey(*index, id, document));
+  DCG_CHECK_MSG(erased, "missing index entry in %s", index->name.c_str());
+}
+
+bool Collection::Insert(doc::Value document) {
+  const doc::Value id = RequireId(document);
+  auto d = std::make_shared<const doc::Value>(std::move(document));
+  if (!primary_.Insert(id, d)) return false;
+  approx_bytes_ += d->ApproxSize();
+  for (auto& index : indexes_) IndexDocument(index.get(), id, d);
+  return true;
+}
+
+void Collection::Upsert(doc::Value document) {
+  const doc::Value id = RequireId(document);
+  DocPtr old = primary_.Find(id);
+  auto d = std::make_shared<const doc::Value>(std::move(document));
+  if (old != nullptr) {
+    approx_bytes_ -= old->ApproxSize();
+    for (auto& index : indexes_) UnindexDocument(index.get(), id, *old);
+  }
+  primary_.Upsert(id, d);
+  approx_bytes_ += d->ApproxSize();
+  for (auto& index : indexes_) IndexDocument(index.get(), id, d);
+}
+
+DocPtr Collection::FindById(const doc::Value& id) const {
+  return primary_.Find(id);
+}
+
+bool Collection::Update(const doc::Value& id, const doc::UpdateSpec& spec) {
+  DocPtr old = primary_.Find(id);
+  if (old == nullptr) return false;
+  doc::Value updated = *old;  // copy-on-write
+  const bool ok = spec.Apply(&updated);
+  DCG_CHECK_MSG(ok, "update spec failed on %s._id=%s", name_.c_str(),
+                id.ToJson().c_str());
+  DCG_CHECK_MSG(RequireId(updated) == id, "updates must not change _id");
+  auto d = std::make_shared<const doc::Value>(std::move(updated));
+  approx_bytes_ -= old->ApproxSize();
+  approx_bytes_ += d->ApproxSize();
+  for (auto& index : indexes_) {
+    // Re-index only when the indexed tuple changed.
+    doc::Value old_key = IndexKey(*index, id, *old);
+    doc::Value new_key = IndexKey(*index, id, *d);
+    if (old_key != new_key) {
+      const bool erased = index->tree.Erase(old_key);
+      DCG_CHECK(erased);
+      const bool inserted = index->tree.Insert(std::move(new_key), d);
+      DCG_CHECK(inserted);
+    } else {
+      index->tree.Upsert(std::move(new_key), d);
+    }
+  }
+  primary_.Upsert(id, std::move(d));
+  return true;
+}
+
+bool Collection::Remove(const doc::Value& id) {
+  DocPtr old = primary_.Find(id);
+  if (old == nullptr) return false;
+  approx_bytes_ -= old->ApproxSize();
+  for (auto& index : indexes_) UnindexDocument(index.get(), id, *old);
+  primary_.Erase(id);
+  return true;
+}
+
+void Collection::CreateIndex(std::string index_name,
+                             std::vector<std::string> paths) {
+  DCG_CHECK_MSG(!HasIndex(index_name), "index %s already exists",
+                index_name.c_str());
+  auto index = std::make_unique<Index>();
+  index->name = std::move(index_name);
+  index->paths = std::move(paths);
+  for (auto it = primary_.Begin(); it.Valid(); it.Next()) {
+    IndexDocument(index.get(), it.key(), it.payload());
+  }
+  indexes_.push_back(std::move(index));
+}
+
+std::vector<std::pair<std::string, std::vector<std::string>>>
+Collection::IndexSpecs() const {
+  std::vector<std::pair<std::string, std::vector<std::string>>> specs;
+  specs.reserve(indexes_.size());
+  for (const auto& index : indexes_) {
+    specs.emplace_back(index->name, index->paths);
+  }
+  return specs;
+}
+
+bool Collection::HasIndex(const std::string& index_name) const {
+  for (const auto& index : indexes_) {
+    if (index->name == index_name) return true;
+  }
+  return false;
+}
+
+std::vector<DocPtr> Collection::Find(const doc::Filter& filter,
+                                     size_t limit) const {
+  std::vector<DocPtr> out;
+  if (limit == 0) return out;
+
+  // Point lookup through the primary key.
+  if (const doc::Value* id = filter.EqualityValue("_id"); id != nullptr) {
+    DocPtr d = primary_.Find(*id);
+    if (d != nullptr && filter.Matches(*d)) out.push_back(std::move(d));
+    return out;
+  }
+
+  // Equality over a full secondary-index prefix.
+  for (const auto& index : indexes_) {
+    std::vector<doc::Value> prefix;
+    for (const auto& path : index->paths) {
+      const doc::Value* v = filter.EqualityValue(path);
+      if (v == nullptr) break;
+      prefix.push_back(*v);
+    }
+    if (prefix.size() == index->paths.size()) {
+      for (auto& d :
+           IndexScan(index->name, prefix, prefix, SIZE_MAX)) {
+        if (filter.Matches(*d)) {
+          out.push_back(std::move(d));
+          if (out.size() >= limit) return out;
+        }
+      }
+      return out;
+    }
+  }
+
+  // Full scan in _id order.
+  for (auto it = primary_.Begin(); it.Valid(); it.Next()) {
+    if (filter.Matches(*it.payload())) {
+      out.push_back(it.payload());
+      if (out.size() >= limit) break;
+    }
+  }
+  return out;
+}
+
+size_t Collection::Count(const doc::Filter& filter) const {
+  return Find(filter).size();
+}
+
+std::vector<doc::Value> Collection::FindWith(const doc::Filter& filter,
+                                             const FindOptions& options) const {
+  // Match (bounded early only when no sort reorders the results).
+  std::vector<DocPtr> matches =
+      Find(filter, options.sort_path.empty() ? options.limit : SIZE_MAX);
+
+  if (!options.sort_path.empty()) {
+    static const doc::Value kNull;
+    std::stable_sort(
+        matches.begin(), matches.end(),
+        [&options](const DocPtr& a, const DocPtr& b) {
+          const doc::Value* va = a->FindPath(options.sort_path);
+          const doc::Value* vb = b->FindPath(options.sort_path);
+          const int c = (va != nullptr ? *va : kNull)
+                            .Compare(vb != nullptr ? *vb : kNull);
+          return options.sort_descending ? c > 0 : c < 0;
+        });
+    if (matches.size() > options.limit) matches.resize(options.limit);
+  }
+
+  std::vector<doc::Value> out;
+  out.reserve(matches.size());
+  for (const DocPtr& d : matches) {
+    if (options.projection.empty()) {
+      out.push_back(*d);
+      continue;
+    }
+    doc::Value projected{doc::Object{}};
+    if (const doc::Value* id = d->Find("_id"); id != nullptr) {
+      projected.Set("_id", *id);
+    }
+    for (const std::string& field : options.projection) {
+      if (field == "_id") continue;
+      if (const doc::Value* v = d->Find(field); v != nullptr) {
+        projected.Set(field, *v);
+      }
+    }
+    out.push_back(std::move(projected));
+  }
+  return out;
+}
+
+std::vector<DocPtr> Collection::RangeById(const doc::Value& low,
+                                          const doc::Value& high,
+                                          size_t limit) const {
+  std::vector<DocPtr> out;
+  for (auto it = primary_.LowerBound(low); it.Valid() && out.size() < limit;
+       it.Next()) {
+    if (it.key() > high) break;
+    out.push_back(it.payload());
+  }
+  return out;
+}
+
+std::vector<DocPtr> Collection::IndexScan(
+    const std::string& index_name, const std::vector<doc::Value>& low_prefix,
+    const std::vector<doc::Value>& high_prefix, size_t limit) const {
+  const Index* index = nullptr;
+  for (const auto& candidate : indexes_) {
+    if (candidate->name == index_name) {
+      index = candidate.get();
+      break;
+    }
+  }
+  DCG_CHECK_MSG(index != nullptr, "no index named %s on %s",
+                index_name.c_str(), name_.c_str());
+  DCG_CHECK(low_prefix.size() <= index->paths.size());
+  DCG_CHECK(high_prefix.size() <= index->paths.size());
+
+  std::vector<DocPtr> out;
+  // An Array that is a strict prefix of another compares less, so the low
+  // prefix itself is a valid inclusive lower bound.
+  doc::Value low_key{doc::Array(low_prefix.begin(), low_prefix.end())};
+  for (auto it = index->tree.LowerBound(low_key);
+       it.Valid() && out.size() < limit; it.Next()) {
+    const doc::Array& key = it.key().as_array();
+    // Stop once the indexed tuple exceeds the high prefix.
+    bool past_end = false;
+    for (size_t i = 0; i < high_prefix.size(); ++i) {
+      const int c = key[i].Compare(high_prefix[i]);
+      if (c > 0) {
+        past_end = true;
+        break;
+      }
+      if (c < 0) break;  // strictly inside the range
+    }
+    if (past_end) break;
+    out.push_back(it.payload());
+  }
+  return out;
+}
+
+void Collection::ForEach(
+    const std::function<bool(const doc::Value&, const DocPtr&)>& fn) const {
+  for (auto it = primary_.Begin(); it.Valid(); it.Next()) {
+    if (!fn(it.key(), it.payload())) return;
+  }
+}
+
+void Collection::CheckInvariants() const {
+  primary_.CheckInvariants();
+  for (const auto& index : indexes_) {
+    index->tree.CheckInvariants();
+    DCG_CHECK_MSG(index->tree.size() == primary_.size(),
+                  "index %s size mismatch", index->name.c_str());
+    // Every index entry points at the live document and its key matches the
+    // document's current field values.
+    for (auto it = index->tree.Begin(); it.Valid(); it.Next()) {
+      const doc::Array& key = it.key().as_array();
+      const doc::Value& id = key.back();
+      DocPtr live = primary_.Find(id);
+      DCG_CHECK(live != nullptr);
+      DCG_CHECK(live.get() == it.payload().get());
+      DCG_CHECK(IndexKey(*index, id, *live) == it.key());
+    }
+  }
+}
+
+}  // namespace dcg::store

@@ -1,0 +1,139 @@
+#ifndef DCG_STORE_COLLECTION_H_
+#define DCG_STORE_COLLECTION_H_
+
+#include <functional>
+#include <utility>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "doc/filter.h"
+#include "doc/update.h"
+#include "doc/value.h"
+#include "store/btree.h"
+
+namespace dcg::store {
+
+/// A shared immutable document snapshot, as handed out by reads.
+using DocPtr = std::shared_ptr<const doc::Value>;
+
+/// Options for FindWith: ordering, limit, and field projection (the
+/// find() modifiers the TPC-C adaptation and ad-hoc queries use).
+struct FindOptions {
+  /// Dotted path to order results by (documents missing the path sort
+  /// first, as Null). Empty: _id order.
+  std::string sort_path;
+  bool sort_descending = false;
+  /// Applied after sorting.
+  size_t limit = SIZE_MAX;
+  /// Fields to keep in the returned copies ("_id" is always kept).
+  /// Empty: return whole documents.
+  std::vector<std::string> projection;
+};
+
+/// A named document collection: a primary B+-tree keyed by the required
+/// "_id" field, plus optional secondary indexes over dotted field paths.
+///
+/// Writes are copy-on-write: Update clones the stored document, applies the
+/// UpdateSpec, and swaps the pointer, so concurrent readers (in simulated
+/// time) keep consistent snapshots.
+class Collection {
+ public:
+  explicit Collection(std::string name);
+
+  Collection(const Collection&) = delete;
+  Collection& operator=(const Collection&) = delete;
+  Collection(Collection&&) noexcept = default;
+  Collection& operator=(Collection&&) noexcept = default;
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return primary_.size(); }
+
+  /// Inserts a document (must be an Object with an "_id" field).
+  /// Returns false when a document with the same _id already exists.
+  bool Insert(doc::Value document);
+
+  /// Inserts or fully replaces by _id.
+  void Upsert(doc::Value document);
+
+  /// Point lookup by _id. Returns nullptr when absent.
+  DocPtr FindById(const doc::Value& id) const;
+
+  /// Applies an update spec to the document with the given _id.
+  /// Returns false when the document does not exist.
+  bool Update(const doc::Value& id, const doc::UpdateSpec& spec);
+
+  /// Removes by _id. Returns true if it existed.
+  bool Remove(const doc::Value& id);
+
+  /// Declares a secondary index over the given dotted paths. Existing
+  /// documents are indexed immediately. Documents missing an indexed path
+  /// are indexed under Null for that component (MongoDB-like).
+  void CreateIndex(std::string index_name, std::vector<std::string> paths);
+
+  bool HasIndex(const std::string& index_name) const;
+
+  /// Names and paths of all secondary indexes (for resync/clone).
+  std::vector<std::pair<std::string, std::vector<std::string>>> IndexSpecs()
+      const;
+
+  /// Returns matching documents in _id order, up to `limit`.
+  /// Uses the primary key or a secondary index when the filter pins them
+  /// with equality; otherwise scans.
+  std::vector<DocPtr> Find(const doc::Filter& filter,
+                           size_t limit = SIZE_MAX) const;
+
+  /// Number of matching documents.
+  size_t Count(const doc::Filter& filter) const;
+
+  /// Find with sort/limit/projection. Returns document *copies* (projected
+  /// when requested), since projection materializes new values.
+  std::vector<doc::Value> FindWith(const doc::Filter& filter,
+                                   const FindOptions& options) const;
+
+  /// Range scan over the primary key: documents with low <= _id <= high,
+  /// in _id order, up to `limit`.
+  std::vector<DocPtr> RangeById(const doc::Value& low, const doc::Value& high,
+                                size_t limit = SIZE_MAX) const;
+
+  /// Range scan over a secondary index: documents whose indexed tuple is
+  /// lexicographically within [low_prefix, high_prefix] (inclusive, compared
+  /// over the length of each given prefix). Results are in index order.
+  std::vector<DocPtr> IndexScan(const std::string& index_name,
+                                const std::vector<doc::Value>& low_prefix,
+                                const std::vector<doc::Value>& high_prefix,
+                                size_t limit = SIZE_MAX) const;
+
+  /// Visits every document in _id order; stop early by returning false.
+  void ForEach(const std::function<bool(const doc::Value& id,
+                                        const DocPtr& document)>& fn) const;
+
+  /// Validates primary and secondary index invariants (every document
+  /// reachable through each index exactly once, and vice versa).
+  void CheckInvariants() const;
+
+  /// Approximate bytes of live documents (for the disk model).
+  size_t ApproxBytes() const { return approx_bytes_; }
+
+ private:
+  struct Index {
+    std::string name;
+    std::vector<std::string> paths;
+    BTree tree;  // key: Array[path values..., _id]; payload: document
+  };
+
+  static doc::Value IndexKey(const Index& index, const doc::Value& id,
+                             const doc::Value& document);
+  void IndexDocument(Index* index, const doc::Value& id, const DocPtr& d);
+  void UnindexDocument(Index* index, const doc::Value& id,
+                       const doc::Value& document);
+
+  std::string name_;
+  BTree primary_;
+  std::vector<std::unique_ptr<Index>> indexes_;
+  size_t approx_bytes_ = 0;
+};
+
+}  // namespace dcg::store
+
+#endif  // DCG_STORE_COLLECTION_H_

@@ -1,0 +1,32 @@
+#ifndef DCG_UTIL_CHECK_H_
+#define DCG_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// DCG_CHECK(cond): aborts with a source location when `cond` is false.
+/// Active in all build types — these guard internal invariants whose
+/// violation means the simulation's results cannot be trusted, so we never
+/// compile them out.
+#define DCG_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "DCG_CHECK failed: %s at %s:%d\n", #cond,      \
+                   __FILE__, __LINE__);                                   \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+/// DCG_CHECK_MSG(cond, fmt, ...): like DCG_CHECK with a printf-style note.
+#define DCG_CHECK_MSG(cond, ...)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "DCG_CHECK failed: %s at %s:%d: ", #cond,      \
+                   __FILE__, __LINE__);                                   \
+      std::fprintf(stderr, __VA_ARGS__);                                  \
+      std::fprintf(stderr, "\n");                                         \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#endif  // DCG_UTIL_CHECK_H_

@@ -1,0 +1,41 @@
+#ifndef DCG_WORKLOAD_WORKLOAD_H_
+#define DCG_WORKLOAD_WORKLOAD_H_
+
+#include <functional>
+#include <string_view>
+
+#include "sim/time.h"
+
+namespace dcg::workload {
+
+/// The result of one application operation/transaction, as the experiment
+/// recorder sees it.
+struct OpOutcome {
+  /// Stable label: "read", "update", "stock_level", "new_order", ...
+  std::string_view type;
+  /// True for read-only transactions — the ones Decongestant routes.
+  bool read_only = false;
+  /// True when the operation was served by a secondary node.
+  bool used_secondary = false;
+  /// False for programmed rollbacks (TPC-C New Order's 1 %).
+  bool committed = true;
+  /// End-to-end latency observed by the client.
+  sim::Duration latency = 0;
+};
+
+/// A closed-loop workload generator: `Issue` starts one operation for a
+/// client slot and reports its outcome when it completes. The ClientPool
+/// drives N concurrent slots against it.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  using Done = std::function<void(const OpOutcome&)>;
+  virtual void Issue(int client_idx, Done done) = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace dcg::workload
+
+#endif  // DCG_WORKLOAD_WORKLOAD_H_

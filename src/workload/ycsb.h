@@ -1,0 +1,77 @@
+#ifndef DCG_WORKLOAD_YCSB_H_
+#define DCG_WORKLOAD_YCSB_H_
+
+#include <string>
+
+#include "core/routing_policy.h"
+#include "driver/client.h"
+#include "store/database.h"
+#include "workload/key_chooser.h"
+#include "workload/workload.h"
+
+namespace dcg::workload {
+
+/// YCSB configuration. The paper uses YCSB-A (50 % reads / 50 % updates)
+/// and YCSB-B (95 % reads / 5 % updates), both with zipfian key choice.
+struct YcsbConfig {
+  int64_t record_count = 20'000;
+  int field_count = 5;
+  int field_length = 40;
+  double read_proportion = 0.5;  // A = 0.5, B = 0.95
+  double zipfian_theta = 0.99;
+  std::string table = "usertable";
+
+  static YcsbConfig WorkloadA() {
+    YcsbConfig c;
+    c.read_proportion = 0.5;
+    return c;
+  }
+  static YcsbConfig WorkloadB() {
+    YcsbConfig c;
+    c.read_proportion = 0.95;
+    return c;
+  }
+};
+
+/// YCSB over the replica set: point reads routed by the RoutingPolicy,
+/// single-field updates always to the primary.
+class YcsbWorkload : public Workload {
+ public:
+  YcsbWorkload(driver::MongoClient* client, core::RoutingPolicy* policy,
+               YcsbConfig config, sim::Rng rng);
+
+  /// Populates `db` with the record set. Call once per replica node before
+  /// the run — the experiment starts from an already-replicated snapshot,
+  /// like restoring all nodes from the same backup.
+  static void Load(const YcsbConfig& config, store::Database* db);
+
+  /// Switches the read/write mix mid-run (the Figure 2/3 phase changes).
+  void set_read_proportion(double p) { config_.read_proportion = p; }
+  double read_proportion() const { return config_.read_proportion; }
+
+  void Issue(int client_idx, Done done) override;
+  std::string_view name() const override { return "ycsb"; }
+
+  uint64_t reads_issued() const { return reads_issued_; }
+  uint64_t updates_issued() const { return updates_issued_; }
+  /// Reads that found no document (should stay 0 — asserts data integrity
+  /// across routing and replication).
+  uint64_t missing_reads() const { return missing_reads_; }
+
+ private:
+  void IssueRead(Done done);
+  void IssueUpdate(Done done);
+
+  driver::MongoClient* client_;
+  core::RoutingPolicy* policy_;
+  YcsbConfig config_;
+  sim::Rng rng_;
+  ScrambledZipfianGenerator key_chooser_;
+  uint64_t reads_issued_ = 0;
+  uint64_t updates_issued_ = 0;
+  uint64_t missing_reads_ = 0;
+};
+
+}  // namespace dcg::workload
+
+#endif  // DCG_WORKLOAD_YCSB_H_

@@ -1,0 +1,210 @@
+// Tests for the B+-tree, including randomized property tests against a
+// std::map oracle.
+
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+#include "store/btree.h"
+
+namespace dcg::store {
+namespace {
+
+BTree::Payload Doc(int64_t v) {
+  return std::make_shared<const doc::Value>(
+      doc::Value::Doc({{"_id", v}, {"v", v}}));
+}
+
+TEST(BTreeTest, EmptyTree) {
+  BTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.Find(doc::Value(1)), nullptr);
+  EXPECT_FALSE(tree.Begin().Valid());
+  EXPECT_FALSE(tree.Erase(doc::Value(1)));
+  tree.CheckInvariants();
+}
+
+TEST(BTreeTest, InsertAndFind) {
+  BTree tree;
+  EXPECT_TRUE(tree.Insert(doc::Value(1), Doc(1)));
+  EXPECT_TRUE(tree.Insert(doc::Value(2), Doc(2)));
+  EXPECT_FALSE(tree.Insert(doc::Value(1), Doc(99)));  // duplicate
+  EXPECT_EQ(tree.size(), 2u);
+  ASSERT_NE(tree.Find(doc::Value(1)), nullptr);
+  EXPECT_EQ(tree.Find(doc::Value(1))->Find("v")->as_int64(), 1);
+  EXPECT_EQ(tree.Find(doc::Value(3)), nullptr);
+}
+
+TEST(BTreeTest, UpsertReplaces) {
+  BTree tree;
+  EXPECT_TRUE(tree.Upsert(doc::Value(1), Doc(1)));
+  EXPECT_FALSE(tree.Upsert(doc::Value(1), Doc(42)));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.Find(doc::Value(1))->Find("v")->as_int64(), 42);
+}
+
+TEST(BTreeTest, SplitsGrowHeight) {
+  BTree tree;
+  for (int64_t i = 0; i < 1000; ++i) {
+    tree.Insert(doc::Value(i), Doc(i));
+  }
+  EXPECT_EQ(tree.size(), 1000u);
+  EXPECT_GE(tree.Height(), 3);
+  tree.CheckInvariants();
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_NE(tree.Find(doc::Value(i)), nullptr) << i;
+  }
+}
+
+TEST(BTreeTest, IterationIsSorted) {
+  BTree tree;
+  // Insert in scrambled order.
+  for (int64_t i = 0; i < 500; ++i) {
+    tree.Insert(doc::Value((i * 7919) % 500), Doc(i));
+  }
+  int64_t expected = 0;
+  for (auto it = tree.Begin(); it.Valid(); it.Next()) {
+    EXPECT_EQ(it.key().as_int64(), expected++);
+  }
+  EXPECT_EQ(expected, 500);
+}
+
+TEST(BTreeTest, LowerAndUpperBound) {
+  BTree tree;
+  for (int64_t i = 0; i < 100; i += 2) {  // even keys 0..98
+    tree.Insert(doc::Value(i), Doc(i));
+  }
+  EXPECT_EQ(tree.LowerBound(doc::Value(10)).key().as_int64(), 10);
+  EXPECT_EQ(tree.LowerBound(doc::Value(11)).key().as_int64(), 12);
+  EXPECT_EQ(tree.UpperBound(doc::Value(10)).key().as_int64(), 12);
+  EXPECT_EQ(tree.UpperBound(doc::Value(11)).key().as_int64(), 12);
+  EXPECT_EQ(tree.LowerBound(doc::Value(-5)).key().as_int64(), 0);
+  EXPECT_FALSE(tree.LowerBound(doc::Value(99)).Valid());
+  EXPECT_FALSE(tree.UpperBound(doc::Value(98)).Valid());
+}
+
+TEST(BTreeTest, EraseShrinksToEmpty) {
+  BTree tree;
+  for (int64_t i = 0; i < 300; ++i) tree.Insert(doc::Value(i), Doc(i));
+  for (int64_t i = 0; i < 300; ++i) {
+    EXPECT_TRUE(tree.Erase(doc::Value(i))) << i;
+    tree.CheckInvariants();
+  }
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.Height(), 1);
+}
+
+TEST(BTreeTest, EraseReverseOrder) {
+  BTree tree;
+  for (int64_t i = 0; i < 300; ++i) tree.Insert(doc::Value(i), Doc(i));
+  for (int64_t i = 299; i >= 0; --i) {
+    EXPECT_TRUE(tree.Erase(doc::Value(i)));
+  }
+  tree.CheckInvariants();
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(BTreeTest, MixedKeyTypes) {
+  BTree tree;
+  tree.Insert(doc::Value("alpha"), Doc(1));
+  tree.Insert(doc::Value(int64_t{5}), Doc(2));
+  tree.Insert(doc::Value::List({1, 2}), Doc(3));
+  tree.CheckInvariants();
+  // Canonical order: number < string < array.
+  auto it = tree.Begin();
+  EXPECT_TRUE(it.key().is_int64());
+  it.Next();
+  EXPECT_TRUE(it.key().is_string());
+  it.Next();
+  EXPECT_TRUE(it.key().is_array());
+}
+
+TEST(BTreeTest, MoveConstructible) {
+  BTree tree;
+  for (int64_t i = 0; i < 50; ++i) tree.Insert(doc::Value(i), Doc(i));
+  BTree moved = std::move(tree);
+  EXPECT_EQ(moved.size(), 50u);
+  moved.CheckInvariants();
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: random op sequences vs a std::map oracle.
+// Param: (seed, ops, key_space). Small key spaces force heavy
+// insert/erase churn; large ones exercise splits more than merges.
+// ---------------------------------------------------------------------------
+
+class BTreeOracleTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int, int64_t>> {};
+
+TEST_P(BTreeOracleTest, MatchesMapOracle) {
+  const auto [seed, ops, key_space] = GetParam();
+  sim::Rng rng(seed);
+  BTree tree;
+  std::map<int64_t, int64_t> oracle;
+
+  for (int i = 0; i < ops; ++i) {
+    const int64_t key = rng.UniformInt(0, key_space - 1);
+    const double action = rng.NextDouble();
+    if (action < 0.5) {
+      const bool inserted = tree.Insert(doc::Value(key), Doc(key * 10 + 1));
+      EXPECT_EQ(inserted, oracle.emplace(key, key * 10 + 1).second);
+    } else if (action < 0.65) {
+      tree.Upsert(doc::Value(key), Doc(key * 10 + 2));
+      oracle[key] = key * 10 + 2;
+    } else if (action < 0.95) {
+      EXPECT_EQ(tree.Erase(doc::Value(key)), oracle.erase(key) > 0);
+    } else {
+      // Point lookup.
+      auto it = oracle.find(key);
+      BTree::Payload p = tree.Find(doc::Value(key));
+      if (it == oracle.end()) {
+        EXPECT_EQ(p, nullptr);
+      } else {
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(p->Find("v")->as_int64(), it->second);
+      }
+    }
+    if (i % 256 == 0) tree.CheckInvariants();
+  }
+  tree.CheckInvariants();
+
+  // Full iteration equals oracle contents.
+  ASSERT_EQ(tree.size(), oracle.size());
+  auto it = tree.Begin();
+  for (const auto& [key, value] : oracle) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key().as_int64(), key);
+    EXPECT_EQ(it.payload()->Find("v")->as_int64(), value);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+
+  // LowerBound agrees with the oracle at random probes.
+  for (int i = 0; i < 200; ++i) {
+    const int64_t probe = rng.UniformInt(-5, key_space + 5);
+    auto tree_it = tree.LowerBound(doc::Value(probe));
+    auto oracle_it = oracle.lower_bound(probe);
+    if (oracle_it == oracle.end()) {
+      EXPECT_FALSE(tree_it.Valid());
+    } else {
+      ASSERT_TRUE(tree_it.Valid());
+      EXPECT_EQ(tree_it.key().as_int64(), oracle_it->first);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BTreeOracleTest,
+    ::testing::Values(std::make_tuple(1, 4000, 64),      // churny, tiny keys
+                      std::make_tuple(2, 4000, 256),
+                      std::make_tuple(3, 6000, 1024),
+                      std::make_tuple(4, 8000, 100'000),  // split-heavy
+                      std::make_tuple(5, 2000, 16),       // extreme churn
+                      std::make_tuple(6, 10'000, 4096)));
+
+}  // namespace
+}  // namespace dcg::store

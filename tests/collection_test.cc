@@ -1,0 +1,265 @@
+// Tests for Collection (primary + secondary indexes, queries) and Database.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+#include "store/collection.h"
+#include "store/database.h"
+
+namespace dcg::store {
+namespace {
+
+doc::Value User(int64_t id, std::string name, int64_t age) {
+  return doc::Value::Doc(
+      {{"_id", id}, {"name", std::move(name)}, {"age", age}});
+}
+
+TEST(CollectionTest, InsertAndFindById) {
+  Collection users("users");
+  EXPECT_TRUE(users.Insert(User(1, "alice", 30)));
+  EXPECT_TRUE(users.Insert(User(2, "bob", 25)));
+  EXPECT_FALSE(users.Insert(User(1, "dup", 99)));
+  EXPECT_EQ(users.size(), 2u);
+  DocPtr d = users.FindById(doc::Value(1));
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->Find("name")->as_string(), "alice");
+  EXPECT_EQ(users.FindById(doc::Value(3)), nullptr);
+}
+
+TEST(CollectionTest, UpsertReplacesDocument) {
+  Collection users("users");
+  users.Upsert(User(1, "alice", 30));
+  users.Upsert(User(1, "alicia", 31));
+  EXPECT_EQ(users.size(), 1u);
+  EXPECT_EQ(users.FindById(doc::Value(1))->Find("name")->as_string(),
+            "alicia");
+}
+
+TEST(CollectionTest, UpdateIsCopyOnWrite) {
+  Collection users("users");
+  users.Insert(User(1, "alice", 30));
+  DocPtr before = users.FindById(doc::Value(1));
+  doc::UpdateSpec spec;
+  spec.Inc("age", doc::Value(int64_t{1}));
+  ASSERT_TRUE(users.Update(doc::Value(1), spec));
+  // The old snapshot is untouched; the new one reflects the update.
+  EXPECT_EQ(before->Find("age")->as_int64(), 30);
+  EXPECT_EQ(users.FindById(doc::Value(1))->Find("age")->as_int64(), 31);
+  EXPECT_FALSE(users.Update(doc::Value(99), spec));
+}
+
+TEST(CollectionTest, Remove) {
+  Collection users("users");
+  users.Insert(User(1, "alice", 30));
+  EXPECT_TRUE(users.Remove(doc::Value(1)));
+  EXPECT_FALSE(users.Remove(doc::Value(1)));
+  EXPECT_EQ(users.size(), 0u);
+}
+
+TEST(CollectionTest, FindByIdEqualityUsesPrimaryIndex) {
+  Collection users("users");
+  for (int64_t i = 0; i < 100; ++i) users.Insert(User(i, "u", i));
+  auto results = users.Find(doc::Filter::Eq("_id", doc::Value(42)));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0]->Find("_id")->as_int64(), 42);
+}
+
+TEST(CollectionTest, FindFullScanWithPredicate) {
+  Collection users("users");
+  for (int64_t i = 0; i < 100; ++i) users.Insert(User(i, "u", i % 10));
+  auto results = users.Find(doc::Filter::Eq("age", doc::Value(3)));
+  EXPECT_EQ(results.size(), 10u);
+  EXPECT_EQ(users.Count(doc::Filter::Gte("age", doc::Value(5))), 50u);
+}
+
+TEST(CollectionTest, FindRespectsLimit) {
+  Collection users("users");
+  for (int64_t i = 0; i < 100; ++i) users.Insert(User(i, "u", 1));
+  EXPECT_EQ(users.Find(doc::Filter::True(), 7).size(), 7u);
+  EXPECT_EQ(users.Find(doc::Filter::True(), 0).size(), 0u);
+}
+
+TEST(CollectionTest, SecondaryIndexServesEqualityQueries) {
+  Collection users("users");
+  users.CreateIndex("by_age", {"age"});
+  for (int64_t i = 0; i < 100; ++i) users.Insert(User(i, "u", i % 10));
+  auto results = users.Find(doc::Filter::Eq("age", doc::Value(4)));
+  EXPECT_EQ(results.size(), 10u);
+  users.CheckInvariants();
+}
+
+TEST(CollectionTest, IndexCreatedAfterInsertIndexesExistingDocs) {
+  Collection users("users");
+  for (int64_t i = 0; i < 50; ++i) users.Insert(User(i, "u", i));
+  users.CreateIndex("by_age", {"age"});
+  users.CheckInvariants();
+  auto results = users.IndexScan("by_age", {doc::Value(10)},
+                                 {doc::Value(19)});
+  EXPECT_EQ(results.size(), 10u);
+}
+
+TEST(CollectionTest, IndexMaintainedAcrossUpdatesAndRemoves) {
+  Collection users("users");
+  users.CreateIndex("by_age", {"age"});
+  for (int64_t i = 0; i < 30; ++i) users.Insert(User(i, "u", 1));
+  doc::UpdateSpec to_two;
+  to_two.Set("age", doc::Value(int64_t{2}));
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(users.Update(doc::Value(i), to_two));
+  }
+  for (int64_t i = 20; i < 30; ++i) {
+    ASSERT_TRUE(users.Remove(doc::Value(i)));
+  }
+  users.CheckInvariants();
+  EXPECT_EQ(users.IndexScan("by_age", {doc::Value(1)}, {doc::Value(1)}).size(),
+            10u);
+  EXPECT_EQ(users.IndexScan("by_age", {doc::Value(2)}, {doc::Value(2)}).size(),
+            10u);
+}
+
+TEST(CollectionTest, CompoundIndexPrefixScan) {
+  Collection orders("orders");
+  orders.CreateIndex("by_wdc", {"w", "d", "c"});
+  int64_t id = 0;
+  for (int64_t w = 1; w <= 2; ++w) {
+    for (int64_t d = 1; d <= 3; ++d) {
+      for (int64_t c = 1; c <= 4; ++c) {
+        orders.Insert(doc::Value::Doc(
+            {{"_id", id++}, {"w", w}, {"d", d}, {"c", c}}));
+      }
+    }
+  }
+  // Full-prefix equality.
+  auto exact = orders.IndexScan(
+      "by_wdc", {doc::Value(1), doc::Value(2), doc::Value(3)},
+      {doc::Value(1), doc::Value(2), doc::Value(3)});
+  EXPECT_EQ(exact.size(), 1u);
+  // Shorter prefix covers all districts' customers.
+  auto district = orders.IndexScan("by_wdc", {doc::Value(2), doc::Value(1)},
+                                   {doc::Value(2), doc::Value(1)});
+  EXPECT_EQ(district.size(), 4u);
+  auto warehouse = orders.IndexScan("by_wdc", {doc::Value(2)},
+                                    {doc::Value(2)});
+  EXPECT_EQ(warehouse.size(), 12u);
+}
+
+TEST(CollectionTest, IndexesMissingPathAsNull) {
+  Collection c("c");
+  c.CreateIndex("by_x", {"x"});
+  c.Insert(doc::Value::Doc({{"_id", 1}}));  // no "x"
+  c.Insert(doc::Value::Doc({{"_id", 2}, {"x", 5}}));
+  c.CheckInvariants();
+  auto nulls = c.IndexScan("by_x", {doc::Value()}, {doc::Value()});
+  ASSERT_EQ(nulls.size(), 1u);
+  EXPECT_EQ(nulls[0]->Find("_id")->as_int64(), 1);
+}
+
+TEST(CollectionTest, RangeByIdInclusive) {
+  Collection c("c");
+  for (int64_t i = 0; i < 50; ++i) c.Insert(User(i, "u", i));
+  auto r = c.RangeById(doc::Value(10), doc::Value(19));
+  ASSERT_EQ(r.size(), 10u);
+  EXPECT_EQ(r.front()->Find("_id")->as_int64(), 10);
+  EXPECT_EQ(r.back()->Find("_id")->as_int64(), 19);
+  EXPECT_EQ(c.RangeById(doc::Value(100), doc::Value(200)).size(), 0u);
+  EXPECT_EQ(c.RangeById(doc::Value(45), doc::Value(500)).size(), 5u);
+  EXPECT_EQ(c.RangeById(doc::Value(7), doc::Value(7), 1).size(), 1u);
+}
+
+TEST(CollectionTest, RangeByIdWithArrayKeys) {
+  Collection c("c");
+  for (int64_t w = 1; w <= 2; ++w) {
+    for (int64_t o = 1; o <= 10; ++o) {
+      c.Insert(doc::Value::Doc(
+          {{"_id", doc::Value::List({w, o})}, {"w", w}, {"o", o}}));
+    }
+  }
+  auto r = c.RangeById(doc::Value::List({int64_t{1}, int64_t{3}}),
+                       doc::Value::List({int64_t{1}, int64_t{7}}));
+  ASSERT_EQ(r.size(), 5u);
+  EXPECT_EQ(r.front()->Find("o")->as_int64(), 3);
+  EXPECT_EQ(r.back()->Find("o")->as_int64(), 7);
+}
+
+TEST(CollectionTest, ApproxBytesTracksLiveData) {
+  Collection c("c");
+  EXPECT_EQ(c.ApproxBytes(), 0u);
+  c.Insert(User(1, std::string(500, 'x'), 1));
+  const size_t after_insert = c.ApproxBytes();
+  EXPECT_GT(after_insert, 500u);
+  c.Remove(doc::Value(1));
+  EXPECT_EQ(c.ApproxBytes(), 0u);
+}
+
+// Randomized churn keeps primary and secondary indexes consistent.
+class CollectionChurnTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CollectionChurnTest, IndexesStayConsistent) {
+  sim::Rng rng(GetParam());
+  Collection c("churn");
+  c.CreateIndex("by_a", {"a"});
+  c.CreateIndex("by_ab", {"a", "b"});
+  for (int i = 0; i < 3000; ++i) {
+    const int64_t id = rng.UniformInt(0, 199);
+    const double action = rng.NextDouble();
+    if (action < 0.5) {
+      c.Upsert(doc::Value::Doc({{"_id", id},
+                                {"a", rng.UniformInt(0, 9)},
+                                {"b", rng.UniformInt(0, 9)}}));
+    } else if (action < 0.8) {
+      doc::UpdateSpec spec;
+      spec.Set("a", doc::Value(rng.UniformInt(0, 9)));
+      c.Update(doc::Value(id), spec);
+    } else {
+      c.Remove(doc::Value(id));
+    }
+  }
+  c.CheckInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollectionChurnTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(DatabaseTest, GetOrCreateAndNames) {
+  Database db;
+  EXPECT_EQ(db.Get("users"), nullptr);
+  Collection& users = db.GetOrCreate("users");
+  EXPECT_EQ(&users, &db.GetOrCreate("users"));
+  db.GetOrCreate("orders");
+  EXPECT_EQ(db.CollectionNames(),
+            (std::vector<std::string>{"orders", "users"}));
+}
+
+TEST(DatabaseTest, FingerprintDetectsDivergence) {
+  Database a, b;
+  a.GetOrCreate("t").Insert(User(1, "alice", 30));
+  b.GetOrCreate("t").Insert(User(1, "alice", 30));
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+
+  doc::UpdateSpec spec;
+  spec.Set("age", doc::Value(int64_t{31}));
+  b.Get("t")->Update(doc::Value(1), spec);
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+
+  a.Get("t")->Update(doc::Value(1), spec);
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(DatabaseTest, FingerprintSensitiveToCollectionName) {
+  Database a, b;
+  a.GetOrCreate("x").Insert(User(1, "u", 1));
+  b.GetOrCreate("y").Insert(User(1, "u", 1));
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(DatabaseTest, ApproxBytesSumsCollections) {
+  Database db;
+  db.GetOrCreate("a").Insert(User(1, std::string(100, 'x'), 1));
+  db.GetOrCreate("b").Insert(User(1, std::string(200, 'y'), 1));
+  EXPECT_GT(db.ApproxBytes(), 300u);
+}
+
+}  // namespace
+}  // namespace dcg::store

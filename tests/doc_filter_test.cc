@@ -1,0 +1,122 @@
+// Tests for the query predicate language.
+
+#include <gtest/gtest.h>
+
+#include "doc/filter.h"
+
+namespace dcg::doc {
+namespace {
+
+Value Sample() {
+  return Value::Doc({{"_id", 7},
+                     {"name", "alice"},
+                     {"age", 30},
+                     {"score", 2.5},
+                     {"addr", Value::Doc({{"city", "sydney"}})},
+                     {"tags", Value::List({1, 2, 3})}});
+}
+
+TEST(FilterTest, TrueMatchesEverything) {
+  EXPECT_TRUE(Filter::True().Matches(Sample()));
+  EXPECT_TRUE(Filter::True().Matches(Value::Doc({})));
+}
+
+TEST(FilterTest, Eq) {
+  EXPECT_TRUE(Filter::Eq("name", Value("alice")).Matches(Sample()));
+  EXPECT_FALSE(Filter::Eq("name", Value("bob")).Matches(Sample()));
+  EXPECT_FALSE(Filter::Eq("missing", Value(1)).Matches(Sample()));
+}
+
+TEST(FilterTest, EqOnNestedPath) {
+  EXPECT_TRUE(Filter::Eq("addr.city", Value("sydney")).Matches(Sample()));
+  EXPECT_FALSE(Filter::Eq("addr.city", Value("tokyo")).Matches(Sample()));
+}
+
+TEST(FilterTest, NeRequiresPresence) {
+  EXPECT_TRUE(Filter::Ne("age", Value(31)).Matches(Sample()));
+  EXPECT_FALSE(Filter::Ne("age", Value(30)).Matches(Sample()));
+  // Missing fields never match comparisons, including Ne.
+  EXPECT_FALSE(Filter::Ne("missing", Value(1)).Matches(Sample()));
+}
+
+TEST(FilterTest, RangeComparisons) {
+  EXPECT_TRUE(Filter::Lt("age", Value(31)).Matches(Sample()));
+  EXPECT_FALSE(Filter::Lt("age", Value(30)).Matches(Sample()));
+  EXPECT_TRUE(Filter::Lte("age", Value(30)).Matches(Sample()));
+  EXPECT_TRUE(Filter::Gt("age", Value(29)).Matches(Sample()));
+  EXPECT_FALSE(Filter::Gt("age", Value(30)).Matches(Sample()));
+  EXPECT_TRUE(Filter::Gte("age", Value(30)).Matches(Sample()));
+  EXPECT_TRUE(Filter::Lt("score", Value(3.0)).Matches(Sample()));
+}
+
+TEST(FilterTest, In) {
+  EXPECT_TRUE(
+      Filter::In("age", {Value(29), Value(30)}).Matches(Sample()));
+  EXPECT_FALSE(
+      Filter::In("age", {Value(1), Value(2)}).Matches(Sample()));
+  EXPECT_FALSE(Filter::In("age", {}).Matches(Sample()));
+}
+
+TEST(FilterTest, Exists) {
+  EXPECT_TRUE(Filter::Exists("name", true).Matches(Sample()));
+  EXPECT_FALSE(Filter::Exists("name", false).Matches(Sample()));
+  EXPECT_TRUE(Filter::Exists("missing", false).Matches(Sample()));
+  EXPECT_TRUE(Filter::Exists("addr.city", true).Matches(Sample()));
+}
+
+TEST(FilterTest, AndOrNot) {
+  const Filter both = Filter::And(
+      {Filter::Eq("name", Value("alice")), Filter::Gt("age", Value(20))});
+  EXPECT_TRUE(both.Matches(Sample()));
+  const Filter contradiction = Filter::And(
+      {Filter::Eq("name", Value("alice")), Filter::Gt("age", Value(40))});
+  EXPECT_FALSE(contradiction.Matches(Sample()));
+
+  const Filter either = Filter::Or(
+      {Filter::Eq("name", Value("bob")), Filter::Eq("age", Value(30))});
+  EXPECT_TRUE(either.Matches(Sample()));
+  EXPECT_FALSE(Filter::Or({}).Matches(Sample()));
+  EXPECT_TRUE(Filter::And({}).Matches(Sample()));
+
+  EXPECT_FALSE(Filter::Not(both).Matches(Sample()));
+  EXPECT_TRUE(Filter::Not(contradiction).Matches(Sample()));
+}
+
+TEST(FilterTest, EqualityValueTopLevel) {
+  const Filter f = Filter::Eq("_id", Value(7));
+  const Value* v = f.EqualityValue("_id");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, Value(7));
+  EXPECT_EQ(f.EqualityValue("other"), nullptr);
+}
+
+TEST(FilterTest, EqualityValueInsideAnd) {
+  const Filter f = Filter::And(
+      {Filter::Gt("age", Value(10)), Filter::Eq("name", Value("alice"))});
+  const Value* v = f.EqualityValue("name");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, Value("alice"));
+}
+
+TEST(FilterTest, EqualityValueNotThroughOrNot) {
+  EXPECT_EQ(Filter::Or({Filter::Eq("a", Value(1))}).EqualityValue("a"),
+            nullptr);
+  EXPECT_EQ(Filter::Not(Filter::Eq("a", Value(1))).EqualityValue("a"),
+            nullptr);
+}
+
+TEST(FilterTest, ToStringIsReadable) {
+  const Filter f = Filter::And(
+      {Filter::Eq("a", Value(1)), Filter::Not(Filter::Exists("b", true))});
+  EXPECT_EQ(f.ToString(), "((a == 1) and not (b exists))");
+}
+
+TEST(FilterTest, FiltersAreShareableCopies) {
+  Filter f = Filter::Eq("a", Value(1));
+  Filter copy = f;  // shared immutable node
+  EXPECT_TRUE(copy.Matches(Value::Doc({{"a", 1}})));
+  EXPECT_TRUE(f.Matches(Value::Doc({{"a", 1}})));
+}
+
+}  // namespace
+}  // namespace dcg::doc

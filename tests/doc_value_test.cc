@@ -1,0 +1,161 @@
+// Tests for the document value model.
+
+#include <gtest/gtest.h>
+
+#include "doc/value.h"
+
+namespace dcg::doc {
+namespace {
+
+TEST(ValueTest, TypesAreRecognized) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(int64_t{7}).is_int64());
+  EXPECT_TRUE(Value(3.5).is_double());
+  EXPECT_TRUE(Value("hi").is_string());
+  EXPECT_TRUE(Value::Timestamp(9).is_timestamp());
+  EXPECT_TRUE(Value(Array{}).is_array());
+  EXPECT_TRUE(Value(Object{}).is_object());
+  EXPECT_TRUE(Value(int64_t{1}).is_number());
+  EXPECT_TRUE(Value(1.0).is_number());
+  EXPECT_FALSE(Value("1").is_number());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(true).as_bool(), true);
+  EXPECT_EQ(Value(int64_t{42}).as_int64(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.25).as_double(), 2.25);
+  EXPECT_EQ(Value("abc").as_string(), "abc");
+  EXPECT_EQ(Value::Timestamp(123).as_timestamp(), 123);
+  EXPECT_DOUBLE_EQ(Value(int64_t{3}).as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(0.5).as_number(), 0.5);
+}
+
+TEST(ValueTest, IntLiteralBecomesInt64) {
+  Value v(5);
+  EXPECT_TRUE(v.is_int64());
+  EXPECT_EQ(v.as_int64(), 5);
+}
+
+TEST(ValueTest, CanonicalTypeOrder) {
+  // Null < Bool < Number < String < Timestamp < Array < Object.
+  std::vector<Value> ascending = {
+      Value(), Value(false), Value(int64_t{5}), Value("a"),
+      Value::Timestamp(0), Value(Array{}), Value(Object{})};
+  for (size_t i = 0; i + 1 < ascending.size(); ++i) {
+    EXPECT_LT(ascending[i], ascending[i + 1]) << i;
+    EXPECT_GT(ascending[i + 1], ascending[i]) << i;
+  }
+}
+
+TEST(ValueTest, NumericComparisonMixesIntAndDouble) {
+  EXPECT_EQ(Value(int64_t{2}), Value(2.0));
+  EXPECT_LT(Value(int64_t{2}), Value(2.5));
+  EXPECT_GT(Value(3.5), Value(int64_t{3}));
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_LT(Value("ab"), Value("abc"));
+  EXPECT_EQ(Value("x"), Value("x"));
+}
+
+TEST(ValueTest, ArrayComparisonIsLexicographic) {
+  EXPECT_LT(Value::List({1, 2}), Value::List({1, 3}));
+  EXPECT_LT(Value::List({1, 2}), Value::List({1, 2, 0}));  // prefix < longer
+  EXPECT_EQ(Value::List({1, 2}), Value::List({1, 2}));
+  EXPECT_LT(Value::List({1, 99}), Value::List({2}));
+}
+
+TEST(ValueTest, ObjectComparisonByFieldThenValue) {
+  EXPECT_EQ(Value::Doc({{"a", 1}}), Value::Doc({{"a", 1}}));
+  EXPECT_LT(Value::Doc({{"a", 1}}), Value::Doc({{"a", 2}}));
+  EXPECT_LT(Value::Doc({{"a", 1}}), Value::Doc({{"b", 1}}));
+  EXPECT_LT(Value::Doc({{"a", 1}}), Value::Doc({{"a", 1}, {"b", 1}}));
+}
+
+TEST(ValueTest, FindAndSet) {
+  Value d = Value::Doc({{"a", 1}, {"b", "x"}});
+  ASSERT_NE(d.Find("a"), nullptr);
+  EXPECT_EQ(d.Find("a")->as_int64(), 1);
+  EXPECT_EQ(d.Find("missing"), nullptr);
+  d.Set("a", Value(int64_t{9}));
+  EXPECT_EQ(d.Find("a")->as_int64(), 9);
+  d.Set("c", Value(true));
+  EXPECT_EQ(d.Find("c")->as_bool(), true);
+  EXPECT_EQ(d.as_object().size(), 3u);  // a, b, c
+}
+
+TEST(ValueTest, FindOnNonObjectReturnsNull) {
+  EXPECT_EQ(Value(int64_t{5}).Find("a"), nullptr);
+}
+
+TEST(ValueTest, FindPathNested) {
+  Value d = Value::Doc(
+      {{"a", Value::Doc({{"b", Value::Doc({{"c", 42}})}})}});
+  ASSERT_NE(d.FindPath("a.b.c"), nullptr);
+  EXPECT_EQ(d.FindPath("a.b.c")->as_int64(), 42);
+  EXPECT_EQ(d.FindPath("a.b.missing"), nullptr);
+  EXPECT_EQ(d.FindPath("a.x.c"), nullptr);
+}
+
+TEST(ValueTest, FindPathIndexesArrays) {
+  Value d = Value::Doc({{"items", Value::List({Value::Doc({{"q", 3}}),
+                                               Value::Doc({{"q", 5}})})}});
+  ASSERT_NE(d.FindPath("items.1.q"), nullptr);
+  EXPECT_EQ(d.FindPath("items.1.q")->as_int64(), 5);
+  EXPECT_EQ(d.FindPath("items.2.q"), nullptr);   // out of range
+  EXPECT_EQ(d.FindPath("items.xx.q"), nullptr);  // non-numeric segment
+}
+
+TEST(ValueTest, SetPathCreatesIntermediates) {
+  Value d = Value::Doc({});
+  d.SetPath("a.b.c", Value(int64_t{1}));
+  ASSERT_NE(d.FindPath("a.b.c"), nullptr);
+  EXPECT_EQ(d.FindPath("a.b.c")->as_int64(), 1);
+  d.SetPath("a.b.c", Value(int64_t{2}));
+  EXPECT_EQ(d.FindPath("a.b.c")->as_int64(), 2);
+}
+
+TEST(ValueTest, Erase) {
+  Value d = Value::Doc({{"a", 1}, {"b", 2}});
+  EXPECT_TRUE(d.Erase("a"));
+  EXPECT_FALSE(d.Erase("a"));
+  EXPECT_EQ(d.Find("a"), nullptr);
+  EXPECT_NE(d.Find("b"), nullptr);
+}
+
+TEST(ValueTest, ToJson) {
+  Value d = Value::Doc({{"i", 3},
+                        {"s", "a\"b"},
+                        {"b", true},
+                        {"n", Value()},
+                        {"arr", Value::List({1, 2})},
+                        {"ts", Value::Timestamp(5)}});
+  EXPECT_EQ(d.ToJson(),
+            R"({"i":3,"s":"a\"b","b":true,"n":null,"arr":[1,2],)"
+            R"("ts":{"$ts":5}})");
+}
+
+TEST(ValueTest, ApproxSizeGrowsWithContent) {
+  const Value small = Value::Doc({{"a", 1}});
+  const Value big = Value::Doc({{"a", std::string(1000, 'x')}});
+  EXPECT_GT(big.ApproxSize(), small.ApproxSize() + 900);
+}
+
+TEST(ValueTest, FieldOrderIsPreservedAndSignificant) {
+  const Value ab = Value::Doc({{"a", 1}, {"b", 2}});
+  const Value ba = Value::Doc({{"b", 2}, {"a", 1}});
+  EXPECT_NE(ab, ba);  // BSON-like: field order matters
+  EXPECT_EQ(ab.as_object()[0].first, "a");
+  EXPECT_EQ(ba.as_object()[0].first, "b");
+}
+
+TEST(ValueTest, TypeNames) {
+  EXPECT_EQ(TypeName(Value::Type::kNull), "null");
+  EXPECT_EQ(TypeName(Value::Type::kObject), "object");
+  EXPECT_EQ(TypeName(Value::Type::kTimestamp), "timestamp");
+}
+
+}  // namespace
+}  // namespace dcg::doc

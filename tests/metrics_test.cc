@@ -1,0 +1,127 @@
+// Tests for the log-bucketed histogram, including a percentile property
+// check against a sorting oracle.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "metrics/histogram.h"
+#include "sim/random.h"
+
+namespace dcg::metrics {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Add(42.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 42.0);
+  EXPECT_DOUBLE_EQ(h.max(), 42.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+  // Any percentile of one sample is that sample (within bucket width).
+  EXPECT_NEAR(h.Percentile(0), 42.0, 42.0 * 0.06);
+  EXPECT_NEAR(h.Percentile(100), 42.0, 42.0 * 0.06);
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram h;
+  h.Add(-5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0.0);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Add(1.0);
+  a.Add(100.0);
+  b.Add(10.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 100.0);
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 3u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 3u);
+  EXPECT_DOUBLE_EQ(empty.max(), 100.0);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Add(5.0);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(99), 0.0);
+}
+
+TEST(HistogramTest, VeryLargeValuesLandInLastBucket) {
+  Histogram h;
+  h.Add(1e300);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.max(), 1e300);
+}
+
+// Percentiles stay within the bucket's relative error of the exact
+// (sorted-oracle) percentile, across distributions.
+class HistogramOracleTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(HistogramOracleTest, PercentileMatchesSortOracle) {
+  const auto [seed, kind] = GetParam();
+  sim::Rng rng(seed);
+  Histogram h;
+  std::vector<double> samples;
+  for (int i = 0; i < 20'000; ++i) {
+    double v = 0;
+    switch (kind) {
+      case 0:
+        v = rng.NextDouble() * 1e6;  // uniform
+        break;
+      case 1:
+        v = rng.Exponential(5e4);  // heavy tail
+        break;
+      case 2:
+        v = rng.LogNormal(2e5, 1.0);  // very heavy tail
+        break;
+    }
+    h.Add(v);
+    samples.push_back(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double p : {10.0, 50.0, 80.0, 95.0, 99.0}) {
+    const size_t idx = std::min(
+        samples.size() - 1,
+        static_cast<size_t>(p / 100.0 * static_cast<double>(samples.size())));
+    const double exact = samples[idx];
+    const double approx = h.Percentile(p);
+    // 6 % relative tolerance (bucket growth is 5 %) plus oracle-index slop.
+    EXPECT_NEAR(approx, exact, exact * 0.08 + 1.0)
+        << "p=" << p << " kind=" << kind;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HistogramOracleTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                       ::testing::Values(0, 1, 2)));
+
+}  // namespace
+}  // namespace dcg::metrics

@@ -1,0 +1,220 @@
+// Cross-cutting property tests: algebraic laws that must hold for any
+// input — the document value total order, index-accelerated queries vs
+// plain predicate evaluation, update-spec serialization, and histogram
+// merge semantics.
+
+#include <algorithm>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "doc/update.h"
+#include "metrics/histogram.h"
+#include "sim/random.h"
+#include "store/collection.h"
+
+namespace dcg {
+namespace {
+
+// Random value generator covering every type, with bounded nesting.
+doc::Value RandomValue(sim::Rng* rng, int depth = 0) {
+  const int64_t kind = rng->UniformInt(0, depth >= 2 ? 5 : 7);
+  switch (kind) {
+    case 0:
+      return doc::Value();
+    case 1:
+      return doc::Value(rng->Bernoulli(0.5));
+    case 2:
+      return doc::Value(rng->UniformInt(-100, 100));
+    case 3:
+      return doc::Value(static_cast<double>(rng->UniformInt(-1000, 1000)) /
+                        8.0);
+    case 4: {
+      std::string s;
+      const int64_t len = rng->UniformInt(0, 6);
+      for (int64_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>('a' + rng->UniformInt(0, 3)));
+      }
+      return doc::Value(std::move(s));
+    }
+    case 5:
+      return doc::Value::Timestamp(rng->UniformInt(0, 1000));
+    case 6: {
+      doc::Array a;
+      const int64_t len = rng->UniformInt(0, 3);
+      for (int64_t i = 0; i < len; ++i) {
+        a.push_back(RandomValue(rng, depth + 1));
+      }
+      return doc::Value(std::move(a));
+    }
+    default: {
+      doc::Object o;
+      const int64_t len = rng->UniformInt(0, 3);
+      for (int64_t i = 0; i < len; ++i) {
+        o.emplace_back(std::string(1, static_cast<char>('a' + i)),
+                       RandomValue(rng, depth + 1));
+      }
+      return doc::Value(std::move(o));
+    }
+  }
+}
+
+int Sign(int c) { return c < 0 ? -1 : (c > 0 ? 1 : 0); }
+
+class ValueOrderTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ValueOrderTest, CompareIsATotalOrder) {
+  sim::Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const doc::Value a = RandomValue(&rng);
+    const doc::Value b = RandomValue(&rng);
+    const doc::Value c = RandomValue(&rng);
+
+    // Reflexivity & antisymmetry.
+    EXPECT_EQ(a.Compare(a), 0);
+    EXPECT_EQ(Sign(a.Compare(b)), -Sign(b.Compare(a)));
+
+    // Consistency of operators with Compare.
+    EXPECT_EQ(a == b, a.Compare(b) == 0);
+    EXPECT_EQ(a < b, a.Compare(b) < 0);
+
+    // Transitivity: sort the triple via Compare; pairwise order must
+    // agree along the sorted sequence.
+    std::vector<const doc::Value*> sorted = {&a, &b, &c};
+    std::sort(sorted.begin(), sorted.end(),
+              [](const doc::Value* x, const doc::Value* y) {
+                return x->Compare(*y) < 0;
+              });
+    EXPECT_LE(sorted[0]->Compare(*sorted[1]), 0);
+    EXPECT_LE(sorted[1]->Compare(*sorted[2]), 0);
+    EXPECT_LE(sorted[0]->Compare(*sorted[2]), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValueOrderTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+class IndexEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IndexEquivalenceTest, IndexedFindEqualsPredicateScan) {
+  // The index fast path of Collection::Find must return exactly the
+  // documents a brute-force Matches() scan selects, for arbitrary data
+  // and random equality filters.
+  sim::Rng rng(GetParam());
+  store::Collection with_index("with_index");
+  store::Collection without_index("without_index");
+  with_index.CreateIndex("by_a", {"a"});
+  with_index.CreateIndex("by_ab", {"a", "b"});
+
+  for (int64_t id = 0; id < 500; ++id) {
+    doc::Value d = doc::Value::Doc({{"_id", id},
+                                    {"a", rng.UniformInt(0, 9)},
+                                    {"b", rng.UniformInt(0, 4)}});
+    if (rng.Bernoulli(0.1)) d.Erase("a");  // some docs miss the path
+    with_index.Insert(d);
+    without_index.Insert(d);
+  }
+
+  for (int trial = 0; trial < 50; ++trial) {
+    doc::Filter filter =
+        rng.Bernoulli(0.5)
+            ? doc::Filter::Eq("a", doc::Value(rng.UniformInt(0, 10)))
+            : doc::Filter::And(
+                  {doc::Filter::Eq("a", doc::Value(rng.UniformInt(0, 10))),
+                   doc::Filter::Eq("b", doc::Value(rng.UniformInt(0, 5)))});
+    auto fast = with_index.Find(filter);
+    auto slow = without_index.Find(filter);
+    ASSERT_EQ(fast.size(), slow.size()) << filter.ToString();
+    // Same document sets (order may differ: index order vs _id order).
+    auto key = [](const store::DocPtr& d) {
+      return d->Find("_id")->as_int64();
+    };
+    std::vector<int64_t> fast_ids, slow_ids;
+    for (const auto& d : fast) fast_ids.push_back(key(d));
+    for (const auto& d : slow) slow_ids.push_back(key(d));
+    std::sort(fast_ids.begin(), fast_ids.end());
+    std::sort(slow_ids.begin(), slow_ids.end());
+    EXPECT_EQ(fast_ids, slow_ids) << filter.ToString();
+  }
+  with_index.CheckInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexEquivalenceTest,
+                         ::testing::Values(10u, 20u, 30u));
+
+class UpdateRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UpdateRoundTripTest, SerializedSpecReplaysIdentically) {
+  // For random specs and random documents: Apply(doc) and
+  // FromValue(ToValue(spec)).Apply(copy) end in the same state — the
+  // property oplog shipping of operator updates depends on.
+  sim::Rng rng(GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    doc::UpdateSpec spec;
+    const int64_t ops = rng.UniformInt(1, 5);
+    for (int64_t i = 0; i < ops; ++i) {
+      const std::string path(1, static_cast<char>('a' + rng.UniformInt(0, 4)));
+      switch (rng.UniformInt(0, 3)) {
+        case 0:
+          spec.Set(path, doc::Value(rng.UniformInt(-10, 10)));
+          break;
+        case 1:
+          spec.Inc(path, doc::Value(rng.UniformInt(-3, 3)));
+          break;
+        case 2:
+          spec.Unset(path);
+          break;
+        default:
+          spec.Max(path, doc::Value(rng.UniformInt(-10, 10)));
+      }
+    }
+    doc::Value original = doc::Value::Doc({{"_id", 1}});
+    for (int f = 0; f < 3; ++f) {
+      original.Set(std::string(1, static_cast<char>('a' + f)),
+                   doc::Value(rng.UniformInt(-5, 5)));
+    }
+    doc::Value direct = original;
+    doc::Value replayed = original;
+    const bool ok_direct = spec.Apply(&direct);
+    const bool ok_replayed =
+        doc::UpdateSpec::FromValue(spec.ToValue()).Apply(&replayed);
+    EXPECT_EQ(ok_direct, ok_replayed);
+    if (ok_direct) EXPECT_EQ(direct, replayed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UpdateRoundTripTest,
+                         ::testing::Values(40u, 50u, 60u));
+
+TEST(HistogramLawsTest, MergeEqualsCombinedAdds) {
+  sim::Rng rng(70);
+  metrics::Histogram split_a, split_b, combined;
+  for (int i = 0; i < 20'000; ++i) {
+    const double v = rng.Exponential(1e5);
+    combined.Add(v);
+    (i % 2 == 0 ? split_a : split_b).Add(v);
+  }
+  split_a.Merge(split_b);
+  EXPECT_EQ(split_a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(split_a.sum(), combined.sum());
+  EXPECT_DOUBLE_EQ(split_a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(split_a.max(), combined.max());
+  for (double p : {25.0, 50.0, 80.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(split_a.Percentile(p), combined.Percentile(p)) << p;
+  }
+}
+
+TEST(HistogramLawsTest, PercentileIsMonotoneInP) {
+  sim::Rng rng(71);
+  metrics::Histogram h;
+  for (int i = 0; i < 5000; ++i) h.Add(rng.LogNormal(1e4, 1.2));
+  double prev = 0;
+  for (double p = 0; p <= 100.0; p += 2.5) {
+    const double v = h.Percentile(p);
+    EXPECT_GE(v, prev) << p;
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace dcg

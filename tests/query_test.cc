@@ -1,0 +1,151 @@
+// Tests for FindWith (sort/limit/projection) and the CSV exporters.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "exp/csv_export.h"
+#include "exp/experiment.h"
+#include "store/collection.h"
+
+namespace dcg {
+namespace {
+
+store::Collection MakePeople() {
+  store::Collection people("people");
+  people.Insert(doc::Value::Doc({{"_id", 1}, {"name", "carol"}, {"age", 41}}));
+  people.Insert(doc::Value::Doc({{"_id", 2}, {"name", "alice"}, {"age", 30}}));
+  people.Insert(doc::Value::Doc({{"_id", 3}, {"name", "bob"}, {"age", 30}}));
+  people.Insert(doc::Value::Doc({{"_id", 4}, {"name", "dave"}}));  // no age
+  people.Insert(doc::Value::Doc({{"_id", 5}, {"name", "erin"}, {"age", 22}}));
+  return people;
+}
+
+TEST(FindWithTest, DefaultsReturnWholeDocsInIdOrder) {
+  store::Collection people = MakePeople();
+  auto out = people.FindWith(doc::Filter::True(), {});
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0].Find("_id")->as_int64(), 1);
+  EXPECT_EQ(out[0].Find("name")->as_string(), "carol");
+}
+
+TEST(FindWithTest, SortAscendingMissingFirst) {
+  store::Collection people = MakePeople();
+  store::FindOptions options;
+  options.sort_path = "age";
+  auto out = people.FindWith(doc::Filter::True(), options);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0].Find("name")->as_string(), "dave");  // missing age
+  EXPECT_EQ(out[1].Find("name")->as_string(), "erin");  // 22
+  EXPECT_EQ(out.back().Find("name")->as_string(), "carol");  // 41
+}
+
+TEST(FindWithTest, SortDescendingWithStableTies) {
+  store::Collection people = MakePeople();
+  store::FindOptions options;
+  options.sort_path = "age";
+  options.sort_descending = true;
+  auto out = people.FindWith(doc::Filter::True(), options);
+  EXPECT_EQ(out[0].Find("name")->as_string(), "carol");
+  // Tied ages (alice, bob) keep _id order (stable sort).
+  EXPECT_EQ(out[1].Find("name")->as_string(), "alice");
+  EXPECT_EQ(out[2].Find("name")->as_string(), "bob");
+}
+
+TEST(FindWithTest, LimitAppliesAfterSort) {
+  store::Collection people = MakePeople();
+  store::FindOptions options;
+  options.sort_path = "age";
+  options.sort_descending = true;
+  options.limit = 2;
+  auto out = people.FindWith(doc::Filter::True(), options);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].Find("name")->as_string(), "carol");
+  EXPECT_EQ(out[1].Find("name")->as_string(), "alice");
+}
+
+TEST(FindWithTest, FilterPlusSort) {
+  store::Collection people = MakePeople();
+  store::FindOptions options;
+  options.sort_path = "name";
+  auto out =
+      people.FindWith(doc::Filter::Gte("age", doc::Value(30)), options);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].Find("name")->as_string(), "alice");
+  EXPECT_EQ(out[2].Find("name")->as_string(), "carol");
+}
+
+TEST(FindWithTest, ProjectionKeepsIdAndListedFields) {
+  store::Collection people = MakePeople();
+  store::FindOptions options;
+  options.projection = {"name"};
+  auto out = people.FindWith(doc::Filter::Eq("_id", doc::Value(2)), options);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NE(out[0].Find("_id"), nullptr);
+  EXPECT_NE(out[0].Find("name"), nullptr);
+  EXPECT_EQ(out[0].Find("age"), nullptr);  // projected away
+}
+
+TEST(FindWithTest, ProjectionOfMissingFieldOmitsIt) {
+  store::Collection people = MakePeople();
+  store::FindOptions options;
+  options.projection = {"age"};
+  auto out = people.FindWith(doc::Filter::Eq("_id", doc::Value(4)), options);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].Find("age"), nullptr);
+  EXPECT_NE(out[0].Find("_id"), nullptr);
+}
+
+int CountLines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return -1;
+  int lines = 0;
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  return lines;
+}
+
+TEST(CsvExportTest, WritesAllThreeFiles) {
+  exp::ExperimentConfig config;
+  config.seed = 3;
+  config.kind = exp::WorkloadKind::kYcsb;
+  config.phases = {{0, 10, 0.5}};
+  config.duration = sim::Seconds(60);
+  exp::Experiment experiment(config);
+  experiment.Run();
+
+  const std::string prefix = ::testing::TempDir() + "/dcg_csv";
+  ASSERT_TRUE(exp::WritePeriodsCsv(experiment, prefix + "_p.csv"));
+  ASSERT_TRUE(exp::WriteStalenessCsv(experiment, prefix + "_s.csv"));
+  ASSERT_TRUE(exp::WriteSamplesCsv(experiment, prefix + "_x.csv"));
+
+  // Header + one row per period (6 x 10 s).
+  EXPECT_EQ(CountLines(prefix + "_p.csv"), 7);
+  // Header + ~one row per second.
+  EXPECT_GE(CountLines(prefix + "_s.csv"), 55);
+  // Header + one row per probe (5/s).
+  EXPECT_GE(CountLines(prefix + "_x.csv"), 200);
+
+  // Header fields sanity.
+  std::ifstream in(prefix + "_p.csv");
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("read_throughput"), std::string::npos);
+  EXPECT_NE(header.find("balance_fraction"), std::string::npos);
+}
+
+TEST(CsvExportTest, FailsOnUnwritablePath) {
+  exp::ExperimentConfig config;
+  config.kind = exp::WorkloadKind::kYcsb;
+  config.phases = {{0, 2, 0.5}};
+  config.duration = sim::Seconds(10);
+  exp::Experiment experiment(config);
+  experiment.Run();
+  EXPECT_FALSE(
+      exp::WritePeriodsCsv(experiment, "/nonexistent-dir/out.csv"));
+}
+
+}  // namespace
+}  // namespace dcg

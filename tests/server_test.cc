@@ -1,0 +1,281 @@
+// Tests for the node resource models: CpuQueue, ServiceModel, ServerNode
+// (checkpoints, slowdowns, dirty-byte accounting) and the Network.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "server/cpu_queue.h"
+#include "server/server_node.h"
+#include "server/service_model.h"
+
+namespace dcg {
+namespace {
+
+using server::CpuQueue;
+using server::OpClass;
+using server::ServerNode;
+using server::ServerParams;
+using server::ServiceModel;
+
+TEST(CpuQueueTest, SingleJobTakesServiceTime) {
+  sim::EventLoop loop;
+  CpuQueue cpu(&loop, 1);
+  sim::Time done_at = -1;
+  cpu.Submit(sim::Millis(10), [&] { done_at = loop.Now(); });
+  loop.RunAll();
+  EXPECT_EQ(done_at, sim::Millis(10));
+}
+
+TEST(CpuQueueTest, ParallelJobsUseAllCores) {
+  sim::EventLoop loop;
+  CpuQueue cpu(&loop, 4);
+  std::vector<sim::Time> done;
+  for (int i = 0; i < 4; ++i) {
+    cpu.Submit(sim::Millis(10), [&] { done.push_back(loop.Now()); });
+  }
+  loop.RunAll();
+  ASSERT_EQ(done.size(), 4u);
+  for (sim::Time t : done) EXPECT_EQ(t, sim::Millis(10));
+}
+
+TEST(CpuQueueTest, ExcessJobsQueueFifo) {
+  sim::EventLoop loop;
+  CpuQueue cpu(&loop, 1);
+  std::vector<int> order;
+  std::vector<sim::Time> done;
+  for (int i = 0; i < 3; ++i) {
+    cpu.Submit(sim::Millis(10), [&, i] {
+      order.push_back(i);
+      done.push_back(loop.Now());
+    });
+  }
+  EXPECT_EQ(cpu.queue_length(), 2u);
+  loop.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(done[2], sim::Millis(30));  // serialized behind two 10 ms jobs
+}
+
+TEST(CpuQueueTest, QueueingDelayGrowsWithLoad) {
+  // The core congestion signal: with 2 cores and 10 queued jobs, the last
+  // job's sojourn time is ~5x a lone job's.
+  sim::EventLoop loop;
+  CpuQueue cpu(&loop, 2);
+  sim::Time last_done = 0;
+  for (int i = 0; i < 10; ++i) {
+    cpu.Submit(sim::Millis(10), [&] { last_done = loop.Now(); });
+  }
+  loop.RunAll();
+  EXPECT_EQ(last_done, sim::Millis(50));
+}
+
+TEST(CpuQueueTest, UtilizationWindow) {
+  sim::EventLoop loop;
+  CpuQueue cpu(&loop, 2);
+  cpu.ResetUtilizationWindow();
+  cpu.Submit(sim::Millis(10), [] {});
+  loop.RunUntil(sim::Millis(20));
+  // One core busy 10 ms of a 20 ms window over 2 cores = 25 %.
+  EXPECT_NEAR(cpu.WindowUtilization(), 0.25, 0.01);
+  cpu.ResetUtilizationWindow();
+  loop.RunUntil(sim::Millis(40));
+  EXPECT_NEAR(cpu.WindowUtilization(), 0.0, 0.01);
+}
+
+TEST(ServiceModelTest, MeansMatchConfiguration) {
+  ServiceModel model;
+  model.point_read = sim::Millis(2);
+  EXPECT_EQ(model.Mean(OpClass::kPointRead), sim::Millis(2));
+  EXPECT_EQ(model.Mean(OpClass::kTpccStockLevel), model.tpcc_stock_level);
+}
+
+TEST(ServiceModelTest, SampleIsDeterministicWithZeroSigma) {
+  ServiceModel model;
+  model.sigma = 0.0;
+  sim::Rng rng(1);
+  EXPECT_EQ(model.Sample(OpClass::kUpdate, &rng), model.update);
+}
+
+TEST(ServiceModelTest, SampleMeanApproximatesConfiguredMean) {
+  ServiceModel model;
+  sim::Rng rng(2);
+  double sum = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(model.Sample(OpClass::kPointRead, &rng));
+  }
+  EXPECT_NEAR(sum / n, static_cast<double>(model.point_read),
+              static_cast<double>(model.point_read) * 0.02);
+}
+
+TEST(ServiceModelTest, ReadOnlyClassification) {
+  EXPECT_TRUE(IsReadOnly(OpClass::kPointRead));
+  EXPECT_TRUE(IsReadOnly(OpClass::kTpccStockLevel));
+  EXPECT_TRUE(IsReadOnly(OpClass::kTpccOrderStatus));
+  EXPECT_FALSE(IsReadOnly(OpClass::kUpdate));
+  EXPECT_FALSE(IsReadOnly(OpClass::kTpccNewOrder));
+  EXPECT_FALSE(IsReadOnly(OpClass::kTpccDelivery));
+}
+
+ServerParams FastParams() {
+  ServerParams p;
+  p.service.sigma = 0.0;
+  return p;
+}
+
+TEST(ServerNodeTest, ExecuteCountsOps) {
+  sim::EventLoop loop;
+  ServerNode node(&loop, sim::Rng(1), FastParams(), 0, "n");
+  int completed = 0;
+  node.Execute(OpClass::kPointRead, [&] { ++completed; });
+  node.Execute(OpClass::kUpdate, [&] { ++completed; });
+  loop.RunAll();
+  EXPECT_EQ(completed, 2);
+  EXPECT_EQ(node.ops_executed(OpClass::kPointRead), 1u);
+  EXPECT_EQ(node.ops_executed(OpClass::kUpdate), 1u);
+}
+
+TEST(ServerNodeTest, ExecuteScaledStretchesService) {
+  sim::EventLoop loop;
+  ServerParams params = FastParams();
+  ServerNode node(&loop, sim::Rng(1), params, 0, "n");
+  sim::Time done_at = -1;
+  node.ExecuteScaled(OpClass::kUpdate, 3.0, [&] { done_at = loop.Now(); });
+  loop.RunAll();
+  EXPECT_EQ(done_at, 3 * params.service.update);
+}
+
+TEST(ServerNodeTest, DirtyBytesAmplified) {
+  sim::EventLoop loop;
+  ServerParams params = FastParams();
+  params.write_amplification = 4.0;
+  ServerNode node(&loop, sim::Rng(1), params, 0, "n");
+  node.AddDirtyBytes(100);
+  EXPECT_EQ(node.dirty_bytes(), 400u);
+}
+
+TEST(ServerNodeTest, CheckpointFlushesDirtyDataAndSlowsService) {
+  sim::EventLoop loop;
+  ServerParams params = FastParams();
+  params.checkpoint_interval = sim::Seconds(10);
+  params.checkpoint_disk_bw = 1e6;  // 1 MB/s
+  params.checkpoint_slowdown = 2.0;
+  params.write_amplification = 1.0;
+  ServerNode node(&loop, sim::Rng(1), params, 0, "n");
+  node.Start();
+  node.AddDirtyBytes(5'000'000);  // 5 MB -> 5 s checkpoint
+
+  loop.RunUntil(sim::Seconds(11));
+  EXPECT_TRUE(node.checkpointing());
+  EXPECT_EQ(node.dirty_bytes(), 0u);
+  EXPECT_EQ(node.checkpoint_duration(), sim::Seconds(5));
+
+  // Service during the checkpoint is stretched by the slowdown.
+  sim::Time start = loop.Now();
+  sim::Time done_at = -1;
+  node.Execute(OpClass::kPointRead, [&] { done_at = loop.Now(); });
+  loop.RunUntil(sim::Seconds(14));
+  EXPECT_EQ(done_at - start, 2 * params.service.point_read);
+
+  loop.RunUntil(sim::Seconds(16));
+  EXPECT_FALSE(node.checkpointing());
+  EXPECT_EQ(node.checkpoints_completed(), 1u);
+}
+
+TEST(ServerNodeTest, CheckpointDurationIsCapped) {
+  sim::EventLoop loop;
+  ServerParams params = FastParams();
+  params.checkpoint_interval = sim::Seconds(10);
+  params.checkpoint_disk_bw = 1.0;  // absurdly slow disk
+  params.checkpoint_max = sim::Seconds(30);
+  ServerNode node(&loop, sim::Rng(1), params, 0, "n");
+  node.Start();
+  node.AddDirtyBytes(1'000'000);
+  loop.RunUntil(sim::Seconds(10) + sim::Millis(1));
+  EXPECT_EQ(node.checkpoint_duration(), sim::Seconds(30));
+}
+
+TEST(ServerNodeTest, NoCheckpointWithoutDirtyData) {
+  sim::EventLoop loop;
+  ServerParams params = FastParams();
+  params.checkpoint_interval = sim::Seconds(10);
+  ServerNode node(&loop, sim::Rng(1), params, 0, "n");
+  node.Start();
+  loop.RunUntil(sim::Seconds(35));
+  EXPECT_EQ(node.checkpoints_completed(), 0u);
+  EXPECT_FALSE(node.checkpointing());
+}
+
+TEST(NetworkTest, HostRegistration) {
+  sim::EventLoop loop;
+  net::Network network(&loop, sim::Rng(1));
+  const net::HostId a = network.AddHost("a");
+  const net::HostId b = network.AddHost("b");
+  EXPECT_EQ(network.host_count(), 2);
+  EXPECT_EQ(network.HostName(a), "a");
+  EXPECT_EQ(network.HostName(b), "b");
+}
+
+TEST(NetworkTest, LinkRttIsSymmetricConfigured) {
+  sim::EventLoop loop;
+  net::Network network(&loop, sim::Rng(1));
+  const net::HostId a = network.AddHost("a");
+  const net::HostId b = network.AddHost("b");
+  network.SetLink(a, b, sim::Millis(2), 0);
+  EXPECT_EQ(network.BaseRtt(a, b), sim::Millis(2));
+  EXPECT_EQ(network.BaseRtt(b, a), sim::Millis(2));
+}
+
+TEST(NetworkTest, SendDeliversAfterOneWayDelay) {
+  sim::EventLoop loop;
+  net::Network network(&loop, sim::Rng(1));
+  const net::HostId a = network.AddHost("a");
+  const net::HostId b = network.AddHost("b");
+  network.SetLink(a, b, sim::Millis(2), 0);  // no jitter
+  sim::Time delivered = -1;
+  network.Send(a, b, [&] { delivered = loop.Now(); });
+  loop.RunAll();
+  EXPECT_EQ(delivered, sim::Millis(1));  // RTT/2
+}
+
+TEST(NetworkTest, LoopbackIsInstant) {
+  sim::EventLoop loop;
+  net::Network network(&loop, sim::Rng(1));
+  const net::HostId a = network.AddHost("a");
+  EXPECT_EQ(network.SampleOneWay(a, a), 0);
+}
+
+TEST(NetworkTest, PingMeasuresRoundTrip) {
+  sim::EventLoop loop;
+  net::Network network(&loop, sim::Rng(1));
+  const net::HostId a = network.AddHost("a");
+  const net::HostId b = network.AddHost("b");
+  network.SetLink(a, b, sim::Millis(3), 0);
+  sim::Duration rtt = -1;
+  network.Ping(a, b, [&](sim::Duration r) { rtt = r; });
+  loop.RunAll();
+  EXPECT_EQ(rtt, sim::Millis(3));
+  EXPECT_EQ(loop.Now(), sim::Millis(3));
+}
+
+TEST(NetworkTest, JitterAddsPositiveDelay) {
+  sim::EventLoop loop;
+  net::Network network(&loop, sim::Rng(1));
+  const net::HostId a = network.AddHost("a");
+  const net::HostId b = network.AddHost("b");
+  network.SetLink(a, b, sim::Millis(2), sim::Micros(100));
+  double total = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const sim::Duration d = network.SampleOneWay(a, b);
+    ASSERT_GE(d, sim::Millis(1));  // never below base/2
+    total += static_cast<double>(d);
+  }
+  // Mean one-way = base/2 + jitter_mean.
+  EXPECT_NEAR(total / n, static_cast<double>(sim::Millis(1.1)),
+              static_cast<double>(sim::Micros(10)));
+}
+
+}  // namespace
+}  // namespace dcg

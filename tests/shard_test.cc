@@ -1,0 +1,231 @@
+// Tests for the sharded-cluster substrate: hash routing, data placement,
+// scatter-gather, and per-shard Decongestant balancing.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "shard/sharded_cluster.h"
+
+namespace dcg::shard {
+namespace {
+
+class ShardTest : public ::testing::Test {
+ protected:
+  void Build(ShardedClusterConfig config = {}) {
+    network_ = std::make_unique<net::Network>(&loop_, sim::Rng(1));
+    client_host_ = network_->AddHost("client");
+    cluster_ = std::make_unique<ShardedCluster>(&loop_, sim::Rng(2),
+                                                network_.get(), client_host_,
+                                                config);
+  }
+
+  sim::EventLoop loop_;
+  std::unique_ptr<net::Network> network_;
+  net::HostId client_host_ = 0;
+  std::unique_ptr<ShardedCluster> cluster_;
+};
+
+TEST_F(ShardTest, ShardForIsDeterministicAndBalanced) {
+  Build();
+  int counts[2] = {0, 0};
+  for (int64_t id = 0; id < 10'000; ++id) {
+    const int s = cluster_->ShardFor(doc::Value(id));
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 2);
+    ASSERT_EQ(s, cluster_->ShardFor(doc::Value(id)));  // stable
+    ++counts[s];
+  }
+  EXPECT_NEAR(counts[0], 5000, 500);
+  EXPECT_NEAR(counts[1], 5000, 500);
+}
+
+TEST_F(ShardTest, InsertsLandOnOwningShardOnly) {
+  Build();
+  cluster_->Start();
+  for (int64_t id = 0; id < 100; ++id) {
+    cluster_->InsertDoc("t", doc::Value::Doc({{"_id", id}, {"v", id}}),
+                        nullptr);
+  }
+  loop_.RunUntil(sim::Seconds(3));
+  size_t total = 0;
+  for (int s = 0; s < 2; ++s) {
+    const store::Collection* t = cluster_->shard(s).primary().db().Get("t");
+    ASSERT_NE(t, nullptr);
+    total += t->size();
+    // Every document on this shard is actually owned by it.
+    t->ForEach([&](const doc::Value& id, const store::DocPtr&) {
+      EXPECT_EQ(cluster_->ShardFor(id), s);
+      return true;
+    });
+    EXPECT_GT(t->size(), 20u);  // roughly balanced
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST_F(ShardTest, RoutedReadFindsDocumentWherever) {
+  Build();
+  cluster_->Start();
+  for (int64_t id = 0; id < 50; ++id) {
+    cluster_->InsertDoc("t", doc::Value::Doc({{"_id", id}, {"v", id * 2}}),
+                        nullptr);
+  }
+  loop_.RunUntil(sim::Seconds(3));  // fully replicated
+
+  int found = 0, completed = 0;
+  for (int64_t id = 0; id < 50; ++id) {
+    auto hit = std::make_shared<bool>(false);
+    cluster_->ReadDoc(
+        "t", doc::Value(id), server::OpClass::kPointRead,
+        [id, hit](const store::Database& db) {
+          const store::Collection* t = db.Get("t");
+          *hit = t != nullptr && t->FindById(doc::Value(id)) != nullptr;
+        },
+        [&, hit](const driver::MongoClient::ReadResult&) {
+          ++completed;
+          if (*hit) ++found;
+        });
+  }
+  loop_.RunUntil(sim::Seconds(4));
+  EXPECT_EQ(completed, 50);
+  EXPECT_EQ(found, 50);
+}
+
+TEST_F(ShardTest, UpdatesRouteAndReplicate) {
+  Build();
+  cluster_->Start();
+  cluster_->InsertDoc("t", doc::Value::Doc({{"_id", 42}, {"v", 0}}), nullptr);
+  loop_.RunUntil(sim::Seconds(1));
+  doc::UpdateSpec spec;
+  spec.Inc("v", doc::Value(int64_t{7}));
+  bool committed = false;
+  cluster_->UpdateDoc("t", doc::Value(42), spec,
+                      [&](const driver::MongoClient::WriteResult& r) {
+                        committed = r.committed;
+                      });
+  loop_.RunUntil(sim::Seconds(3));
+  EXPECT_TRUE(committed);
+  const int s = cluster_->ShardFor(doc::Value(42));
+  // Replicated to the owning shard's secondaries too.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(cluster_->shard(s)
+                  .node(i)
+                  .db()
+                  .Get("t")
+                  ->FindById(doc::Value(42))
+                  ->Find("v")
+                  ->as_int64(),
+              7);
+  }
+}
+
+TEST_F(ShardTest, ScatterCountSumsAcrossShards) {
+  Build();
+  cluster_->Start();
+  for (int64_t id = 0; id < 200; ++id) {
+    cluster_->InsertDoc(
+        "t", doc::Value::Doc({{"_id", id}, {"even", id % 2 == 0}}), nullptr);
+  }
+  loop_.RunUntil(sim::Seconds(3));
+
+  size_t total = 0;
+  sim::Duration latency = 0;
+  cluster_->ScatterCount("t", doc::Filter::Eq("even", doc::Value(true)),
+                         server::OpClass::kPointRead,
+                         [&](size_t t, sim::Duration l) {
+                           total = t;
+                           latency = l;
+                         });
+  loop_.RunUntil(sim::Seconds(4));
+  EXPECT_EQ(total, 100u);
+  EXPECT_GT(latency, 0);
+}
+
+TEST_F(ShardTest, PerShardBalancersActIndependently) {
+  // Congest only shard 0: its balancer ramps toward the cap while shard
+  // 1's stays at the floor — the fine-grained, per-shard routing that a
+  // single cluster-wide Read Preference cannot express.
+  ShardedClusterConfig config;
+  Build(config);
+  cluster_->Start();
+
+  // Keys owned by each shard, discovered via the router's own hash.
+  std::vector<int64_t> shard0_keys, shard1_keys;
+  for (int64_t id = 0; id < 2000 &&
+                       (shard0_keys.size() < 400 || shard1_keys.size() < 10);
+       ++id) {
+    if (cluster_->ShardFor(doc::Value(id)) == 0) {
+      if (shard0_keys.size() < 400) shard0_keys.push_back(id);
+    } else if (shard1_keys.size() < 10) {
+      shard1_keys.push_back(id);
+    }
+  }
+  for (int s = 0; s < 2; ++s) {
+    for (int i = 0; i < 3; ++i) {
+      store::Collection& t = cluster_->shard(s).node(i).db().GetOrCreate("t");
+      for (int64_t id : shard0_keys) {
+        if (cluster_->ShardFor(doc::Value(id)) == s) {
+          t.Insert(doc::Value::Doc({{"_id", id}}));
+        }
+      }
+      for (int64_t id : shard1_keys) {
+        if (cluster_->ShardFor(doc::Value(id)) == s) {
+          t.Insert(doc::Value::Doc({{"_id", id}}));
+        }
+      }
+    }
+  }
+
+  // 40 closed-loop readers hammer shard-0 keys; a single occasional
+  // reader touches shard 1.
+  auto rng = std::make_shared<sim::Rng>(7);
+  std::function<void(int)> hot_reader = [&, rng](int worker) {
+    const int64_t key = shard0_keys[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(shard0_keys.size()) - 1))];
+    cluster_->ReadDoc("t", doc::Value(key), server::OpClass::kPointRead,
+                      [](const store::Database&) {},
+                      [&, worker](const driver::MongoClient::ReadResult&) {
+                        hot_reader(worker);
+                      });
+  };
+  std::function<void()> cold_reader = [&, rng] {
+    const int64_t key = shard1_keys[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(shard1_keys.size()) - 1))];
+    cluster_->ReadDoc("t", doc::Value(key), server::OpClass::kPointRead,
+                      [](const store::Database&) {},
+                      [&](const driver::MongoClient::ReadResult&) {
+                        loop_.ScheduleAfter(sim::Millis(100),
+                                            [&] { cold_reader(); });
+                      });
+  };
+  for (int w = 0; w < 40; ++w) hot_reader(w);
+  cold_reader();
+
+  loop_.RunUntil(sim::Seconds(150));
+  EXPECT_GE(cluster_->shared_state(0).balance_fraction(), 0.5)
+      << "congested shard should shift reads to its secondaries";
+  EXPECT_LE(cluster_->shared_state(1).balance_fraction(), 0.2)
+      << "idle shard should stay near the fresh primary";
+}
+
+TEST_F(ShardTest, FixedPreferenceModeUsesNoBalancers) {
+  ShardedClusterConfig config;
+  config.run_balancers = false;
+  config.fixed_pref = driver::ReadPreference::kSecondary;
+  Build(config);
+  cluster_->Start();
+  EXPECT_EQ(cluster_->balancer(0), nullptr);
+  cluster_->InsertDoc("t", doc::Value::Doc({{"_id", 1}}), nullptr);
+  loop_.RunUntil(sim::Seconds(2));
+  bool used_secondary = false;
+  cluster_->ReadDoc("t", doc::Value(1), server::OpClass::kPointRead,
+                    [](const store::Database&) {},
+                    [&](const driver::MongoClient::ReadResult& r) {
+                      used_secondary = r.used_secondary;
+                    });
+  loop_.RunUntil(sim::Seconds(3));
+  EXPECT_TRUE(used_secondary);
+}
+
+}  // namespace
+}  // namespace dcg::shard
