@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_controller.dir/bench_abl_controller.cc.o"
+  "CMakeFiles/bench_abl_controller.dir/bench_abl_controller.cc.o.d"
+  "bench_abl_controller"
+  "bench_abl_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_deadband.dir/bench_abl_deadband.cc.o"
+  "CMakeFiles/bench_abl_deadband.dir/bench_abl_deadband.cc.o.d"
+  "bench_abl_deadband"
+  "bench_abl_deadband.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_deadband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_downward_probe.dir/bench_abl_downward_probe.cc.o"
+  "CMakeFiles/bench_abl_downward_probe.dir/bench_abl_downward_probe.cc.o.d"
+  "bench_abl_downward_probe"
+  "bench_abl_downward_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_downward_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

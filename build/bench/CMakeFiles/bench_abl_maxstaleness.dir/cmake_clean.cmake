@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_maxstaleness.dir/bench_abl_maxstaleness.cc.o"
+  "CMakeFiles/bench_abl_maxstaleness.dir/bench_abl_maxstaleness.cc.o.d"
+  "bench_abl_maxstaleness"
+  "bench_abl_maxstaleness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_maxstaleness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

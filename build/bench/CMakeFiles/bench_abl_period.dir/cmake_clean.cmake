@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_period.dir/bench_abl_period.cc.o"
+  "CMakeFiles/bench_abl_period.dir/bench_abl_period.cc.o.d"
+  "bench_abl_period"
+  "bench_abl_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

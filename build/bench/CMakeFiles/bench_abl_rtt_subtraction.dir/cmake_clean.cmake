@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_rtt_subtraction.dir/bench_abl_rtt_subtraction.cc.o"
+  "CMakeFiles/bench_abl_rtt_subtraction.dir/bench_abl_rtt_subtraction.cc.o.d"
+  "bench_abl_rtt_subtraction"
+  "bench_abl_rtt_subtraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_rtt_subtraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_failover_drill.dir/bench_ext_failover_drill.cc.o"
+  "CMakeFiles/bench_ext_failover_drill.dir/bench_ext_failover_drill.cc.o.d"
+  "bench_ext_failover_drill"
+  "bench_ext_failover_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_failover_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

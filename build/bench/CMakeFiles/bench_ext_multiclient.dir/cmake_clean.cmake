@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multiclient.dir/bench_ext_multiclient.cc.o"
+  "CMakeFiles/bench_ext_multiclient.dir/bench_ext_multiclient.cc.o.d"
+  "bench_ext_multiclient"
+  "bench_ext_multiclient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multiclient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

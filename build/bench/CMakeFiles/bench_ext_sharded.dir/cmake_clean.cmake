@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_sharded.dir/bench_ext_sharded.cc.o"
+  "CMakeFiles/bench_ext_sharded.dir/bench_ext_sharded.cc.o.d"
+  "bench_ext_sharded"
+  "bench_ext_sharded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_sharded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_bound3s.dir/bench_fig10_bound3s.cc.o"
+  "CMakeFiles/bench_fig10_bound3s.dir/bench_fig10_bound3s.cc.o.d"
+  "bench_fig10_bound3s"
+  "bench_fig10_bound3s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_bound3s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_load_drop.dir/bench_fig3_load_drop.cc.o"
+  "CMakeFiles/bench_fig3_load_drop.dir/bench_fig3_load_drop.cc.o.d"
+  "bench_fig3_load_drop"
+  "bench_fig3_load_drop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_load_drop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

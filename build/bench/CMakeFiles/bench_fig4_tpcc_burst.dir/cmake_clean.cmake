@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_tpcc_burst.dir/bench_fig4_tpcc_burst.cc.o"
+  "CMakeFiles/bench_fig4_tpcc_burst.dir/bench_fig4_tpcc_burst.cc.o.d"
+  "bench_fig4_tpcc_burst"
+  "bench_fig4_tpcc_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_tpcc_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_tradeoff_ycsb.dir/bench_fig6_tradeoff_ycsb.cc.o"
+  "CMakeFiles/bench_fig6_tradeoff_ycsb.dir/bench_fig6_tradeoff_ycsb.cc.o.d"
+  "bench_fig6_tradeoff_ycsb"
+  "bench_fig6_tradeoff_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_tradeoff_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_staleness_estimate.dir/bench_fig8_staleness_estimate.cc.o"
+  "CMakeFiles/bench_fig8_staleness_estimate.dir/bench_fig8_staleness_estimate.cc.o.d"
+  "bench_fig8_staleness_estimate"
+  "bench_fig8_staleness_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_staleness_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

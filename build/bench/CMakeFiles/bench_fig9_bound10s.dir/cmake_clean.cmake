@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_bound10s.dir/bench_fig9_bound10s.cc.o"
+  "CMakeFiles/bench_fig9_bound10s.dir/bench_fig9_bound10s.cc.o.d"
+  "bench_fig9_bound10s"
+  "bench_fig9_bound10s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_bound10s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_mix.dir/bench_table1_mix.cc.o"
+  "CMakeFiles/bench_table1_mix.dir/bench_table1_mix.cc.o.d"
+  "bench_table1_mix"
+  "bench_table1_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

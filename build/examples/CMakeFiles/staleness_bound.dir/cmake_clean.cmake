@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staleness_bound.dir/staleness_bound.cpp.o"
+  "CMakeFiles/staleness_bound.dir/staleness_bound.cpp.o.d"
+  "staleness_bound"
+  "staleness_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staleness_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/controller.cc" "src/CMakeFiles/decongestant.dir/core/controller.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/core/controller.cc.o.d"
+  "/root/repo/src/core/read_balancer.cc" "src/CMakeFiles/decongestant.dir/core/read_balancer.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/core/read_balancer.cc.o.d"
+  "/root/repo/src/core/shared_state.cc" "src/CMakeFiles/decongestant.dir/core/shared_state.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/core/shared_state.cc.o.d"
+  "/root/repo/src/doc/filter.cc" "src/CMakeFiles/decongestant.dir/doc/filter.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/doc/filter.cc.o.d"
+  "/root/repo/src/doc/update.cc" "src/CMakeFiles/decongestant.dir/doc/update.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/doc/update.cc.o.d"
+  "/root/repo/src/doc/value.cc" "src/CMakeFiles/decongestant.dir/doc/value.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/doc/value.cc.o.d"
+  "/root/repo/src/driver/client.cc" "src/CMakeFiles/decongestant.dir/driver/client.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/driver/client.cc.o.d"
+  "/root/repo/src/driver/read_preference.cc" "src/CMakeFiles/decongestant.dir/driver/read_preference.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/driver/read_preference.cc.o.d"
+  "/root/repo/src/driver/session.cc" "src/CMakeFiles/decongestant.dir/driver/session.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/driver/session.cc.o.d"
+  "/root/repo/src/exp/client_pool.cc" "src/CMakeFiles/decongestant.dir/exp/client_pool.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/exp/client_pool.cc.o.d"
+  "/root/repo/src/exp/client_system.cc" "src/CMakeFiles/decongestant.dir/exp/client_system.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/exp/client_system.cc.o.d"
+  "/root/repo/src/exp/csv_export.cc" "src/CMakeFiles/decongestant.dir/exp/csv_export.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/exp/csv_export.cc.o.d"
+  "/root/repo/src/exp/experiment.cc" "src/CMakeFiles/decongestant.dir/exp/experiment.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/exp/experiment.cc.o.d"
+  "/root/repo/src/metrics/histogram.cc" "src/CMakeFiles/decongestant.dir/metrics/histogram.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/metrics/histogram.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/decongestant.dir/net/network.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/net/network.cc.o.d"
+  "/root/repo/src/repl/oplog.cc" "src/CMakeFiles/decongestant.dir/repl/oplog.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/repl/oplog.cc.o.d"
+  "/root/repo/src/repl/replica_node.cc" "src/CMakeFiles/decongestant.dir/repl/replica_node.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/repl/replica_node.cc.o.d"
+  "/root/repo/src/repl/replica_set.cc" "src/CMakeFiles/decongestant.dir/repl/replica_set.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/repl/replica_set.cc.o.d"
+  "/root/repo/src/repl/txn.cc" "src/CMakeFiles/decongestant.dir/repl/txn.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/repl/txn.cc.o.d"
+  "/root/repo/src/server/cpu_queue.cc" "src/CMakeFiles/decongestant.dir/server/cpu_queue.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/server/cpu_queue.cc.o.d"
+  "/root/repo/src/server/server_node.cc" "src/CMakeFiles/decongestant.dir/server/server_node.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/server/server_node.cc.o.d"
+  "/root/repo/src/server/service_model.cc" "src/CMakeFiles/decongestant.dir/server/service_model.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/server/service_model.cc.o.d"
+  "/root/repo/src/shard/sharded_cluster.cc" "src/CMakeFiles/decongestant.dir/shard/sharded_cluster.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/shard/sharded_cluster.cc.o.d"
+  "/root/repo/src/sim/event_loop.cc" "src/CMakeFiles/decongestant.dir/sim/event_loop.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/sim/event_loop.cc.o.d"
+  "/root/repo/src/sim/random.cc" "src/CMakeFiles/decongestant.dir/sim/random.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/sim/random.cc.o.d"
+  "/root/repo/src/sim/time.cc" "src/CMakeFiles/decongestant.dir/sim/time.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/sim/time.cc.o.d"
+  "/root/repo/src/store/btree.cc" "src/CMakeFiles/decongestant.dir/store/btree.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/store/btree.cc.o.d"
+  "/root/repo/src/store/collection.cc" "src/CMakeFiles/decongestant.dir/store/collection.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/store/collection.cc.o.d"
+  "/root/repo/src/store/database.cc" "src/CMakeFiles/decongestant.dir/store/database.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/store/database.cc.o.d"
+  "/root/repo/src/workload/key_chooser.cc" "src/CMakeFiles/decongestant.dir/workload/key_chooser.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/workload/key_chooser.cc.o.d"
+  "/root/repo/src/workload/s_workload.cc" "src/CMakeFiles/decongestant.dir/workload/s_workload.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/workload/s_workload.cc.o.d"
+  "/root/repo/src/workload/tpcc.cc" "src/CMakeFiles/decongestant.dir/workload/tpcc.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/workload/tpcc.cc.o.d"
+  "/root/repo/src/workload/ycsb.cc" "src/CMakeFiles/decongestant.dir/workload/ycsb.cc.o" "gcc" "src/CMakeFiles/decongestant.dir/workload/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doc_filter_test.dir/doc_filter_test.cc.o"
+  "CMakeFiles/doc_filter_test.dir/doc_filter_test.cc.o.d"
+  "doc_filter_test"
+  "doc_filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doc_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

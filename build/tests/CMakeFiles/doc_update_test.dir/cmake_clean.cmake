@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doc_update_test.dir/doc_update_test.cc.o"
+  "CMakeFiles/doc_update_test.dir/doc_update_test.cc.o.d"
+  "doc_update_test"
+  "doc_update_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doc_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiclient_test.dir/multiclient_test.cc.o"
+  "CMakeFiles/multiclient_test.dir/multiclient_test.cc.o.d"
+  "multiclient_test"
+  "multiclient_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiclient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
