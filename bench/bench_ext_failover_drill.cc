@@ -23,12 +23,22 @@ int main() {
   config.warmup = sim::Seconds(100);
   config.run_s_workload = false;  // the S probe pair is not failover-aware
 
+  // The drill as a scripted fault timeline — the same schedule is
+  // expressible on the CLI as --faults="crash@200:node=0;restart@400:node=0".
+  {
+    fault::FaultEvent crash;
+    crash.type = fault::FaultType::kCrash;
+    crash.start = sim::Seconds(200);
+    crash.nodes = {0};
+    fault::FaultEvent restart;
+    restart.type = fault::FaultType::kRestart;
+    restart.start = sim::Seconds(400);
+    restart.nodes = {0};
+    config.faults.Add(crash).Add(restart);
+  }
+
   exp::Experiment experiment(config);
   auto& rs = experiment.replica_set();
-  experiment.loop().ScheduleAt(sim::Seconds(200), [&rs] { rs.KillNode(0); });
-  experiment.loop().ScheduleAt(sim::Seconds(400), [&rs] {
-    rs.RestartNode(0);
-  });
   experiment.Run();
   // Quiesce: stop the clients and let replication drain before comparing
   // replica contents.

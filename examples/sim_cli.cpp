@@ -7,12 +7,21 @@
 //           primary|secondary] [--clients=N] [--duration=SECONDS]
 //           [--warmup=SECONDS] [--seed=N] [--stale-bound=SECONDS]
 //           [--controller=step|proportional] [--no-s-workload]
-//           [--kill-primary-at=SECONDS] [--csv-prefix=PATH] [--quiet]
+//           [--kill-primary-at=SECONDS] [--faults=SPEC] [--chaos-seed=N]
+//           [--csv-prefix=PATH] [--quiet]
+//
+// --faults takes a semicolon-separated fault timeline (times in seconds):
+//   type@start[-end][:key=value]*   with type one of latency | loss |
+//   partition | crash | restart | throttle | skew | slowdown, and keys
+//   nodes=1+2, x=FLOAT, p=FLOAT, ms=FLOAT, in=1 (see fault_injector.h).
+// --chaos-seed generates a random fault timeline over the run instead.
 //
 // Examples:
 //   sim_cli --workload=ycsb-b --clients=45 --duration=300
 //   sim_cli --workload=tpcc --system=secondary --stale-bound=3
 //   sim_cli --workload=ycsb-b --kill-primary-at=150 --csv-prefix=/tmp/run
+//   sim_cli --faults="partition@120-180:nodes=1+2;throttle@220-260:node=2:x=25"
+//   sim_cli --workload=ycsb-b --chaos-seed=7
 
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +31,7 @@
 
 #include "exp/csv_export.h"
 #include "exp/experiment.h"
+#include "fault/fault_injector.h"
 
 namespace {
 
@@ -52,7 +62,10 @@ int main(int argc, char** argv) {
   std::string system = "decongestant";
   std::string controller = "step";
   std::string csv_prefix;
+  std::string fault_spec;
   double kill_primary_at = -1;
+  uint64_t chaos_seed = 0;
+  bool chaos = false;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -77,6 +90,11 @@ int main(int argc, char** argv) {
       csv_prefix = value;
     } else if (ParseFlag(argv[i], "kill-primary-at", &value)) {
       kill_primary_at = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "faults", &value)) {
+      fault_spec = value;
+    } else if (ParseFlag(argv[i], "chaos-seed", &value)) {
+      chaos_seed = std::strtoull(value.c_str(), nullptr, 10);
+      chaos = true;
     } else if (std::strcmp(argv[i], "--no-s-workload") == 0) {
       config.run_s_workload = false;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
@@ -107,6 +125,25 @@ int main(int argc, char** argv) {
     config.system = exp::SystemType::kSecondary;
   } else {
     Usage("unknown --system");
+  }
+
+  if (!fault_spec.empty()) {
+    std::string error;
+    if (!fault::ParseFaultSpec(fault_spec, &config.faults, &error)) {
+      Usage(error.c_str());
+    }
+    for (const auto& event : config.faults.events) {
+      for (int node : event.nodes) {
+        if (node < 0 || node > config.repl.secondaries) {
+          Usage("--faults node index out of range for this cluster");
+        }
+      }
+    }
+  }
+  if (chaos) {
+    const int nodes = config.repl.secondaries + 1;
+    config.faults = fault::MakeRandomSchedule(chaos_seed, config.duration,
+                                              nodes);
   }
 
   exp::Experiment experiment(config);
@@ -145,6 +182,17 @@ int main(int argc, char** argv) {
                   row.P80ReadLatencyMs(), row.SecondaryPercent(),
                   row.balance_fraction,
                   static_cast<long long>(row.est_staleness_max_s));
+    }
+  }
+
+  if (!config.faults.empty() && !quiet) {
+    std::printf("\nfault log (%llu applied, %llu healed):\n",
+                static_cast<unsigned long long>(
+                    experiment.fault_injector().events_applied()),
+                static_cast<unsigned long long>(
+                    experiment.fault_injector().events_healed()));
+    for (const std::string& line : experiment.fault_injector().log()) {
+      std::printf("  %s\n", line.c_str());
     }
   }
 

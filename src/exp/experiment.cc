@@ -113,6 +113,9 @@ Experiment::Experiment(ExperimentConfig config)
     workload_ = std::move(tpcc);
   }
 
+  injector_ = std::make_unique<fault::FaultInjector>(&loop_, network_.get(),
+                                                     rs_.get(), client_host);
+
   pool_ = std::make_unique<ClientPool>(
       &loop_, workload_.get(),
       [this](const workload::OpOutcome& o) { OnOp(o); });
@@ -156,6 +159,7 @@ void Experiment::OnOp(const workload::OpOutcome& outcome) {
   } else {
     ++current_.writes;
   }
+  if (op_observer_) op_observer_(outcome);
 }
 
 void Experiment::SampleStaleness() {
@@ -187,6 +191,7 @@ void Experiment::Run() {
   client_->Start();
   if (balancer_ != nullptr) balancer_->Start();
   if (s_workload_ != nullptr) s_workload_->Start();
+  if (!config_.faults.empty()) injector_->Arm(config_.faults);
 
   // Phase schedule.
   pool_->SetTarget(config_.phases.front().clients);

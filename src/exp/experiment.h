@@ -10,6 +10,7 @@
 #include "core/shared_state.h"
 #include "driver/client.h"
 #include "exp/client_pool.h"
+#include "fault/fault_injector.h"
 #include "metrics/histogram.h"
 #include "net/network.h"
 #include "repl/replica_set.h"
@@ -64,6 +65,11 @@ struct ExperimentConfig {
 
   bool run_s_workload = true;
   workload::SWorkloadConfig s_config;
+
+  /// Fault timeline injected into the run (empty = healthy run). Events
+  /// target replica-set node indexes; see fault::ParseFaultSpec for the
+  /// sim_cli string form.
+  fault::FaultSchedule faults;
 
   /// Client-to-node base RTTs (availability-zone layout: the client host
   /// shares AZ-a with node 0).
@@ -140,8 +146,16 @@ class Experiment {
 
   Summary Summarize() const;
 
+  /// Registers an extra per-operation observer, called (after internal
+  /// accounting) for every completed workload op. The chaos harness uses
+  /// this to check per-read freshness invariants in-line.
+  void SetOpObserver(std::function<void(const workload::OpOutcome&)> observer) {
+    op_observer_ = std::move(observer);
+  }
+
   // Introspection for tests and benches.
   sim::EventLoop& loop() { return loop_; }
+  net::Network& network() { return *network_; }
   repl::ReplicaSet& replica_set() { return *rs_; }
   driver::MongoClient& client() { return *client_; }
   core::ReadBalancer* balancer() { return balancer_.get(); }
@@ -149,6 +163,7 @@ class Experiment {
   workload::YcsbWorkload* ycsb() { return ycsb_; }
   workload::TpccWorkload* tpcc() { return tpcc_; }
   workload::SWorkload* s_workload() { return s_workload_.get(); }
+  fault::FaultInjector& fault_injector() { return *injector_; }
   ClientPool& pool() { return *pool_; }
   const ExperimentConfig& config() const { return config_; }
 
@@ -170,7 +185,9 @@ class Experiment {
   workload::YcsbWorkload* ycsb_ = nullptr;
   workload::TpccWorkload* tpcc_ = nullptr;
   std::unique_ptr<workload::SWorkload> s_workload_;
+  std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<ClientPool> pool_;
+  std::function<void(const workload::OpOutcome&)> op_observer_;
 
   std::vector<PeriodRow> rows_;
   PeriodRow current_;

@@ -1,0 +1,439 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dcg::fault {
+
+std::string_view ToString(FaultType type) {
+  switch (type) {
+    case FaultType::kLatencySpike:
+      return "latency";
+    case FaultType::kPacketLoss:
+      return "loss";
+    case FaultType::kPartition:
+      return "partition";
+    case FaultType::kCrash:
+      return "crash";
+    case FaultType::kRestart:
+      return "restart";
+    case FaultType::kApplyThrottle:
+      return "throttle";
+    case FaultType::kClockSkew:
+      return "skew";
+    case FaultType::kCpuSlowdown:
+      return "slowdown";
+  }
+  return "unknown";
+}
+
+sim::Time FaultSchedule::LastActivity() const {
+  sim::Time last = 0;
+  for (const FaultEvent& e : events) {
+    last = std::max(last, std::max(e.start, e.end));
+  }
+  return last;
+}
+
+// --- spec parsing ---
+
+namespace {
+
+bool ParseType(const std::string& token, FaultType* type) {
+  for (FaultType t :
+       {FaultType::kLatencySpike, FaultType::kPacketLoss,
+        FaultType::kPartition, FaultType::kCrash, FaultType::kRestart,
+        FaultType::kApplyThrottle, FaultType::kClockSkew,
+        FaultType::kCpuSlowdown}) {
+    if (token == ToString(t)) {
+      *type = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> SplitOn(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  size_t begin = 0;
+  while (begin <= s.size()) {
+    const size_t end = s.find(sep, begin);
+    if (end == std::string::npos) {
+      parts.push_back(s.substr(begin));
+      break;
+    }
+    parts.push_back(s.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return parts;
+}
+
+bool ParseOneEvent(const std::string& token, FaultEvent* event,
+                   std::string* error) {
+  const size_t at = token.find('@');
+  if (at == std::string::npos) {
+    *error = "missing '@' in \"" + token + "\"";
+    return false;
+  }
+  if (!ParseType(token.substr(0, at), &event->type)) {
+    *error = "unknown fault type in \"" + token + "\"";
+    return false;
+  }
+  std::vector<std::string> fields = SplitOn(token.substr(at + 1), ':');
+  // fields[0] = "start" or "start-end" (seconds). '-' can also begin a
+  // negative number only in key values, never in the time field.
+  {
+    const std::string& window = fields[0];
+    char* rest = nullptr;
+    const double start_s = std::strtod(window.c_str(), &rest);
+    event->start = sim::Seconds(start_s);
+    if (*rest == '-') {
+      event->end = sim::Seconds(std::strtod(rest + 1, &rest));
+      if (event->end <= event->start) {
+        *error = "heal time not after start in \"" + token + "\"";
+        return false;
+      }
+    }
+    if (*rest != '\0') {
+      *error = "bad time window in \"" + token + "\"";
+      return false;
+    }
+  }
+  for (size_t i = 1; i < fields.size(); ++i) {
+    const size_t eq = fields[i].find('=');
+    if (eq == std::string::npos) {
+      *error = "expected key=value, got \"" + fields[i] + "\"";
+      return false;
+    }
+    const std::string key = fields[i].substr(0, eq);
+    const std::string value = fields[i].substr(eq + 1);
+    if (key == "nodes" || key == "node") {
+      for (const std::string& n : SplitOn(value, '+')) {
+        event->nodes.push_back(std::atoi(n.c_str()));
+      }
+    } else if (key == "x" || key == "p") {
+      event->value = std::atof(value.c_str());
+    } else if (key == "ms") {
+      event->delay = sim::Millis(std::atof(value.c_str()));
+    } else if (key == "in") {
+      event->inbound_only = std::atoi(value.c_str()) != 0;
+    } else {
+      *error = "unknown key \"" + key + "\" in \"" + token + "\"";
+      return false;
+    }
+  }
+  if (event->nodes.empty()) {
+    *error = "no target nodes in \"" + token + "\"";
+    return false;
+  }
+  // Per-type validation and defaults.
+  switch (event->type) {
+    case FaultType::kLatencySpike:
+      if (event->value <= 0.0) event->value = 1.0;  // pure added delay
+      if (event->delay == 0 && event->value == 1.0) {
+        *error = "latency fault needs ms= and/or x= in \"" + token + "\"";
+        return false;
+      }
+      break;
+    case FaultType::kPacketLoss:
+      if (event->value <= 0.0 || event->value > 1.0) {
+        *error = "loss fault needs p= in (0, 1] in \"" + token + "\"";
+        return false;
+      }
+      break;
+    case FaultType::kApplyThrottle:
+    case FaultType::kCpuSlowdown:
+      if (event->value <= 0.0) {
+        *error = std::string(ToString(event->type)) +
+                 " fault needs x= > 0 in \"" + token + "\"";
+        return false;
+      }
+      break;
+    case FaultType::kClockSkew:
+      if (event->delay == 0) {
+        *error = "skew fault needs ms= in \"" + token + "\"";
+        return false;
+      }
+      break;
+    case FaultType::kPartition:
+    case FaultType::kCrash:
+    case FaultType::kRestart:
+      break;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ParseFaultSpec(const std::string& spec, FaultSchedule* out,
+                    std::string* error) {
+  for (const std::string& token : SplitOn(spec, ';')) {
+    if (token.empty()) continue;
+    FaultEvent event;
+    if (!ParseOneEvent(token, &event, error)) return false;
+    out->Add(std::move(event));
+  }
+  return true;
+}
+
+// --- random schedules ---
+
+FaultSchedule MakeRandomSchedule(uint64_t seed, sim::Time horizon,
+                                 int node_count) {
+  DCG_CHECK(node_count >= 2);
+  sim::Rng rng(seed);
+  FaultSchedule schedule;
+  // Degradations start after a warm-up tenth and heal before the last
+  // fifth, so every run ends on a healthy cluster whose recovery the
+  // invariant checkers can assert.
+  const sim::Time lo = horizon / 10;
+  const sim::Time hi = horizon - horizon / 5;
+  std::vector<sim::Time> busy_until(static_cast<size_t>(node_count), 0);
+
+  const int degradations = static_cast<int>(rng.UniformInt(3, 5));
+  for (int i = 0; i < degradations; ++i) {
+    FaultEvent event;
+    const int node = static_cast<int>(rng.UniformInt(0, node_count - 1));
+    const sim::Time earliest = std::max(lo, busy_until[node]);
+    if (earliest >= hi - sim::Seconds(10)) continue;  // node fully booked
+    event.start = earliest + rng.UniformInt(0, (hi - sim::Seconds(10) -
+                                                earliest) /
+                                                   sim::kSecond) *
+                                 sim::kSecond;
+    event.end = std::min<sim::Time>(
+        hi, event.start + sim::Seconds(rng.UniformInt(8, 30)));
+    event.nodes = {node};
+    busy_until[node] = event.end + sim::Seconds(5);
+    switch (rng.UniformInt(0, 5)) {
+      case 0:
+        event.type = FaultType::kLatencySpike;
+        event.delay = sim::Millis(rng.UniformInt(2, 20));
+        event.value = 1.0 + rng.NextDouble() * 2.0;
+        break;
+      case 1:
+        event.type = FaultType::kPacketLoss;
+        event.value = 0.05 + rng.NextDouble() * 0.35;
+        event.inbound_only = rng.Bernoulli(0.5);
+        break;
+      case 2: {
+        event.type = FaultType::kPartition;
+        // Sometimes partition every secondary at once — the headline
+        // StaleBound scenario.
+        if (rng.Bernoulli(0.3)) {
+          event.nodes.clear();
+          for (int n = 1; n < node_count; ++n) event.nodes.push_back(n);
+        }
+        break;
+      }
+      case 3:
+        event.type = FaultType::kApplyThrottle;
+        event.value = 5.0 + rng.NextDouble() * 35.0;
+        break;
+      case 4:
+        event.type = FaultType::kClockSkew;
+        // Backwards only: the conservative direction, which can never
+        // let a stale read slip past the bound.
+        event.delay = -sim::Millis(rng.UniformInt(500, 3000));
+        break;
+      default:
+        event.type = FaultType::kCpuSlowdown;
+        event.value = 2.0 + rng.NextDouble() * 4.0;
+        break;
+    }
+    schedule.Add(std::move(event));
+  }
+
+  // At most one crash/restart cycle, on a random node.
+  if (rng.Bernoulli(0.7)) {
+    const int victim = static_cast<int>(rng.UniformInt(0, node_count - 1));
+    FaultEvent crash;
+    crash.type = FaultType::kCrash;
+    crash.start = lo + rng.UniformInt(0, (hi - lo) / (2 * sim::kSecond)) *
+                           sim::kSecond;
+    crash.nodes = {victim};
+    FaultEvent restart;
+    restart.type = FaultType::kRestart;
+    restart.start = crash.start + sim::Seconds(rng.UniformInt(15, 40));
+    restart.nodes = {victim};
+    schedule.Add(std::move(crash)).Add(std::move(restart));
+  }
+
+  std::sort(schedule.events.begin(), schedule.events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return a.start < b.start;
+            });
+  return schedule;
+}
+
+// --- the injector ---
+
+FaultInjector::FaultInjector(sim::EventLoop* loop, net::Network* network,
+                             repl::ReplicaSet* rs, net::HostId client_host)
+    : loop_(loop), network_(network), rs_(rs), client_host_(client_host) {}
+
+void FaultInjector::Arm(const FaultSchedule& schedule) {
+  for (const FaultEvent& event : schedule.events) {
+    DCG_CHECK_MSG(!event.nodes.empty(), "fault event with no targets");
+    for (int node : event.nodes) {
+      DCG_CHECK(node >= 0 && node < rs_->node_count());
+    }
+    loop_->ScheduleAt(event.start, [this, event] { Apply(event); });
+    const bool instantaneous = event.type == FaultType::kCrash ||
+                               event.type == FaultType::kRestart;
+    if (event.end >= 0 && !instantaneous) {
+      loop_->ScheduleAt(event.end, [this, event] { Heal(event); });
+    }
+  }
+}
+
+std::vector<net::HostId> FaultInjector::PeerHosts(
+    const FaultEvent& event) const {
+  std::vector<net::HostId> peers;
+  for (int i = 0; i < rs_->node_count(); ++i) {
+    if (std::find(event.nodes.begin(), event.nodes.end(), i) ==
+        event.nodes.end()) {
+      peers.push_back(rs_->node(i).host());
+    }
+  }
+  return peers;
+}
+
+void FaultInjector::LogEvent(const char* action, const FaultEvent& event) {
+  std::string targets;
+  for (int node : event.nodes) {
+    if (!targets.empty()) targets += '+';
+    targets += std::to_string(node);
+  }
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "t=%.3fs %s %s nodes=%s value=%.3f delay_ms=%.3f%s",
+                sim::ToSeconds(loop_->Now()), action,
+                std::string(ToString(event.type)).c_str(), targets.c_str(),
+                event.value, sim::ToMillis(event.delay),
+                event.inbound_only ? " inbound" : "");
+  log_.push_back(line);
+}
+
+void FaultInjector::Apply(const FaultEvent& event) {
+  switch (event.type) {
+    case FaultType::kLatencySpike: {
+      net::Network::LinkFault fault;
+      fault.extra_delay = event.delay;
+      fault.delay_multiplier = event.value > 0 ? event.value : 1.0;
+      for (int node : event.nodes) {
+        const net::HostId host = rs_->node(node).host();
+        for (net::HostId peer : PeerHosts(event)) {
+          network_->SetLinkFault(host, peer, fault);
+          network_->SetLinkFault(peer, host, fault);
+        }
+        if (client_host_ >= 0) {
+          network_->SetLinkFault(host, client_host_, fault);
+          network_->SetLinkFault(client_host_, host, fault);
+        }
+      }
+      break;
+    }
+    case FaultType::kPacketLoss: {
+      net::Network::LinkFault fault;
+      fault.drop_probability = event.value;
+      for (int node : event.nodes) {
+        const net::HostId host = rs_->node(node).host();
+        for (net::HostId peer : PeerHosts(event)) {
+          network_->SetLinkFault(peer, host, fault);
+          if (!event.inbound_only) network_->SetLinkFault(host, peer, fault);
+        }
+      }
+      break;
+    }
+    case FaultType::kPartition:
+      for (int node : event.nodes) {
+        const net::HostId host = rs_->node(node).host();
+        for (net::HostId peer : PeerHosts(event)) {
+          network_->BlockPair(host, peer);
+        }
+      }
+      break;
+    case FaultType::kCrash:
+      for (int node : event.nodes) rs_->KillNode(node);
+      break;
+    case FaultType::kRestart:
+      for (int node : event.nodes) {
+        if (rs_->IsAlive(node) || !rs_->IsAlive(rs_->primary_index())) {
+          LogEvent("skip", event);
+          return;
+        }
+        rs_->RestartNode(node);
+      }
+      break;
+    case FaultType::kApplyThrottle:
+      for (int node : event.nodes) rs_->SetApplyThrottle(node, event.value);
+      break;
+    case FaultType::kClockSkew:
+      for (int node : event.nodes) rs_->SetReportSkew(node, event.delay);
+      break;
+    case FaultType::kCpuSlowdown:
+      for (int node : event.nodes) {
+        rs_->node(node).server().set_fault_slowdown(event.value);
+      }
+      break;
+  }
+  ++events_applied_;
+  LogEvent("apply", event);
+}
+
+void FaultInjector::Heal(const FaultEvent& event) {
+  switch (event.type) {
+    case FaultType::kLatencySpike:
+      for (int node : event.nodes) {
+        const net::HostId host = rs_->node(node).host();
+        for (net::HostId peer : PeerHosts(event)) {
+          network_->ClearLinkFault(host, peer);
+          network_->ClearLinkFault(peer, host);
+        }
+        if (client_host_ >= 0) {
+          network_->ClearLinkFault(host, client_host_);
+          network_->ClearLinkFault(client_host_, host);
+        }
+      }
+      break;
+    case FaultType::kPacketLoss:
+      for (int node : event.nodes) {
+        const net::HostId host = rs_->node(node).host();
+        for (net::HostId peer : PeerHosts(event)) {
+          network_->ClearLinkFault(peer, host);
+          if (!event.inbound_only) network_->ClearLinkFault(host, peer);
+        }
+      }
+      break;
+    case FaultType::kPartition:
+      for (int node : event.nodes) {
+        const net::HostId host = rs_->node(node).host();
+        for (net::HostId peer : PeerHosts(event)) {
+          network_->UnblockPair(host, peer);
+        }
+      }
+      break;
+    case FaultType::kApplyThrottle:
+      for (int node : event.nodes) rs_->SetApplyThrottle(node, 1.0);
+      break;
+    case FaultType::kClockSkew:
+      for (int node : event.nodes) rs_->SetReportSkew(node, 0);
+      break;
+    case FaultType::kCpuSlowdown:
+      for (int node : event.nodes) {
+        rs_->node(node).server().set_fault_slowdown(1.0);
+      }
+      break;
+    case FaultType::kCrash:
+    case FaultType::kRestart:
+      return;  // instantaneous; never scheduled for heal
+  }
+  ++events_healed_;
+  LogEvent("heal", event);
+}
+
+}  // namespace dcg::fault

@@ -1,0 +1,158 @@
+#ifndef DCG_FAULT_FAULT_INJECTOR_H_
+#define DCG_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "repl/replica_set.h"
+#include "sim/event_loop.h"
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace dcg::fault {
+
+/// The fault vocabulary: everything the paper's dynamics sections (§4.4-4.6)
+/// and the chaos harness need to degrade a run mid-flight.
+enum class FaultType {
+  /// Links touching the target nodes get slower: each one-way delay is
+  /// multiplied by `value` (when > 0) and `delay` is added on top. Affects
+  /// client links too — the balancer's RTT subtraction must cope.
+  kLatencySpike,
+  /// Messages on links between the target nodes and the other DB nodes
+  /// are dropped with probability `value`. With `inbound_only`, only
+  /// traffic *into* the targets drops (asymmetric loss). Client links are
+  /// never subjected to loss (the driver has no operation timeout).
+  kPacketLoss,
+  /// Replication-level partition: all traffic between the target nodes
+  /// and the other DB nodes is blackholed until heal. Targets can still
+  /// talk to each other (they are one side of the split). Client links
+  /// stay up, as when a replication mesh loses a switch but the frontend
+  /// VLAN survives.
+  kPartition,
+  /// Crashes the target nodes at `start` (ReplicaSet::KillNode semantics:
+  /// elections, rollback). Never auto-heals; pair with kRestart.
+  kCrash,
+  /// Restarts previously crashed targets at `start` (initial sync from
+  /// the primary). Skipped with a log entry if the node is already alive
+  /// or no primary exists to sync from.
+  kRestart,
+  /// Oplog application on the targets costs `value`× as much (an
+  /// IO-starved or throttled apply thread): secondaries lag while the
+  /// network stays perfect.
+  kApplyThrottle,
+  /// The targets report lastAppliedOpTime with wall clocks shifted by
+  /// `delay` (negative = staler-looking, the conservative direction;
+  /// positive = fresher-looking, the dangerous one).
+  kClockSkew,
+  /// Every service time on the targets is multiplied by `value` (degraded
+  /// machine / noisy neighbour).
+  kCpuSlowdown,
+};
+
+std::string_view ToString(FaultType type);
+
+/// One scheduled fault: applied at `start`, healed at `end` (when `end` is
+/// set and the type has heal semantics).
+struct FaultEvent {
+  FaultType type = FaultType::kLatencySpike;
+  sim::Time start = 0;
+  /// Heal time; < 0 means the fault persists to the end of the run.
+  /// Ignored by kCrash / kRestart, which are instantaneous.
+  sim::Time end = -1;
+  /// Replica-set node indexes the fault targets.
+  std::vector<int> nodes;
+  /// Type-dependent magnitude: delay multiplier (kLatencySpike,
+  /// kApplyThrottle, kCpuSlowdown) or drop probability (kPacketLoss).
+  double value = 0.0;
+  /// Type-dependent duration: added one-way delay (kLatencySpike) or the
+  /// reported-clock shift (kClockSkew).
+  sim::Duration delay = 0;
+  /// kPacketLoss only: drop only messages flowing *into* the targets.
+  bool inbound_only = false;
+};
+
+/// A time-ordered list of fault events — the full chaos timeline of a run.
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  FaultSchedule& Add(FaultEvent event) {
+    events.push_back(std::move(event));
+    return *this;
+  }
+  bool empty() const { return events.empty(); }
+
+  /// Time of the last heal (or instantaneous event) in the schedule; 0
+  /// when empty. Runs should extend past this to observe recovery.
+  sim::Time LastActivity() const;
+};
+
+/// Parses a semicolon-separated fault-spec string into a schedule (the
+/// sim_cli `--faults=` format). Grammar, times in seconds:
+///
+///   event  := type '@' start [ '-' end ] ( ':' key '=' value )*
+///   type   := latency | loss | partition | crash | restart | throttle |
+///             skew | slowdown
+///   keys   := nodes=1+2  (or node=1) — target replica-node indexes
+///             x=FLOAT    — multiplier / factor (latency, throttle, slowdown)
+///             p=FLOAT    — drop probability (loss)
+///             ms=FLOAT   — added delay or clock shift, milliseconds
+///             in=1       — asymmetric: inbound-only loss
+///
+/// Example: "partition@120-180:nodes=1+2;crash@200:node=0;restart@300:node=0"
+/// Returns false and sets `error` on malformed input.
+bool ParseFaultSpec(const std::string& spec, FaultSchedule* out,
+                    std::string* error);
+
+/// Generates a seeded random chaos timeline for a cluster of `node_count`
+/// replica nodes over [0, horizon): a handful of non-overlapping (per
+/// node) degradations plus at most one crash/restart cycle. Clock-skew
+/// events only skew backwards (the conservative direction), so the chaos
+/// harness freshness invariant stays sound. Identical seeds produce
+/// identical schedules.
+FaultSchedule MakeRandomSchedule(uint64_t seed, sim::Time horizon,
+                                 int node_count);
+
+/// Applies a FaultSchedule to a live cluster: translates each event into
+/// the hooks on net::Network, repl::ReplicaSet, and server::ServerNode,
+/// scheduling the apply/heal callbacks on the event loop. Keeps a
+/// human-readable log that doubles as a determinism trace.
+class FaultInjector {
+ public:
+  /// `client_host` is only used by kLatencySpike (the one fault type that
+  /// touches client links); pass -1 when there is no client host.
+  FaultInjector(sim::EventLoop* loop, net::Network* network,
+                repl::ReplicaSet* rs, net::HostId client_host = -1);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedules every event in `schedule`. May be called once per run.
+  void Arm(const FaultSchedule& schedule);
+
+  uint64_t events_applied() const { return events_applied_; }
+  uint64_t events_healed() const { return events_healed_; }
+
+  /// One line per applied/healed/skipped event, in simulation order.
+  const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  void Apply(const FaultEvent& event);
+  void Heal(const FaultEvent& event);
+  /// Hosts of all replica nodes NOT listed in `event.nodes`.
+  std::vector<net::HostId> PeerHosts(const FaultEvent& event) const;
+  void LogEvent(const char* action, const FaultEvent& event);
+
+  sim::EventLoop* loop_;
+  net::Network* network_;
+  repl::ReplicaSet* rs_;
+  net::HostId client_host_;
+  uint64_t events_applied_ = 0;
+  uint64_t events_healed_ = 0;
+  std::vector<std::string> log_;
+};
+
+}  // namespace dcg::fault
+
+#endif  // DCG_FAULT_FAULT_INJECTOR_H_

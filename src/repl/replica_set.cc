@@ -31,6 +31,30 @@ ReplicaSet::ReplicaSet(sim::EventLoop* loop, sim::Rng rng,
   alive_.assign(nodes_.size(), true);
   pulling_.assign(nodes_.size(), false);
   heartbeating_.assign(nodes_.size(), false);
+  pull_epoch_.assign(nodes_.size(), 0);
+  pull_deadline_.assign(nodes_.size(), 0);
+  apply_throttle_.assign(nodes_.size(), 1.0);
+  report_skew_.assign(nodes_.size(), 0);
+}
+
+void ReplicaSet::SetApplyThrottle(int idx, double factor) {
+  DCG_CHECK(idx >= 0 && idx < node_count());
+  DCG_CHECK(factor > 0.0);
+  apply_throttle_[idx] = factor;
+}
+
+void ReplicaSet::SetReportSkew(int idx, sim::Duration skew) {
+  DCG_CHECK(idx >= 0 && idx < node_count());
+  report_skew_[idx] = skew;
+}
+
+void ReplicaSet::ArmPullDeadline(int idx, sim::Duration extra) {
+  pull_deadline_[idx] = loop_->Now() + extra + params_.pull_retry_timeout;
+}
+
+void ReplicaSet::RetirePull(int idx) {
+  ++pull_epoch_[idx];
+  pulling_[idx] = false;
 }
 
 void ReplicaSet::Start() {
@@ -43,7 +67,8 @@ void ReplicaSet::Start() {
 void ReplicaSet::StartSecondaryLoops(int idx) {
   if (!pulling_[idx]) {
     pulling_[idx] = true;
-    SendGetMore(idx);
+    ArmPullDeadline(idx);
+    SendGetMore(idx, pull_epoch_[idx]);
   }
   if (!heartbeating_[idx]) {
     heartbeating_[idx] = true;
@@ -55,6 +80,7 @@ void ReplicaSet::KillNode(int idx) {
   DCG_CHECK(idx >= 0 && idx < node_count());
   if (!alive_[idx]) return;
   alive_[idx] = false;
+  RetirePull(idx);
   if (idx == primary_index_) {
     // Acknowledgements in flight are lost with the primary; their outcome
     // is uncertain to the client.
@@ -78,6 +104,9 @@ void ReplicaSet::ElectPrimary() {
   // rolled back: the replicated history ends at the winner's optime.
   oplog_.TruncateAfter(node(winner).last_applied().seq);
   next_seq_ = node(winner).last_applied().seq + 1;
+  // The winner stops pulling; any continuation of its secondary-era chain
+  // still in flight must not run once it is primary.
+  RetirePull(winner);
   primary_index_ = winner;
   ++term_;
   ++elections_;
@@ -238,18 +267,29 @@ int ReplicaSet::KnownReplicationCount(uint64_t seq) const {
   return count;
 }
 
-void ReplicaSet::SendGetMore(int secondary_idx) {
+namespace {
+// Extra pull-deadline slack while a getMore sits in the primary's CPU
+// queue: a congested primary legitimately delays the batch for many
+// seconds (the paper's Figure 9 mechanism), which must not look like a
+// lost message to the watchdog.
+constexpr sim::Duration kPullQueueGrace = sim::Seconds(30);
+}  // namespace
+
+void ReplicaSet::SendGetMore(int secondary_idx, uint64_t epoch) {
+  if (epoch != pull_epoch_[secondary_idx]) return;  // superseded chain
   if (!IsActiveSecondary(secondary_idx)) {
     pulling_[secondary_idx] = false;  // loop retires
     return;
   }
+  ArmPullDeadline(secondary_idx);  // covers the request's network hop
   network_->Send(node(secondary_idx).host(), primary().host(),
-                 [this, secondary_idx] {
-                   HandleGetMoreAtPrimary(secondary_idx);
+                 [this, secondary_idx, epoch] {
+                   HandleGetMoreAtPrimary(secondary_idx, epoch);
                  });
 }
 
-void ReplicaSet::HandleGetMoreAtPrimary(int secondary_idx) {
+void ReplicaSet::HandleGetMoreAtPrimary(int secondary_idx, uint64_t epoch) {
+  if (epoch != pull_epoch_[secondary_idx]) return;
   if (!IsActiveSecondary(secondary_idx)) {
     pulling_[secondary_idx] = false;
     return;
@@ -257,9 +297,11 @@ void ReplicaSet::HandleGetMoreAtPrimary(int secondary_idx) {
   if (!alive_[primary_index_]) {
     // No primary to pull from: retry after the idle interval; the
     // election will install a new sync source.
-    loop_->ScheduleAfter(params_.getmore_idle_poll, [this, secondary_idx] {
-      SendGetMore(secondary_idx);
-    });
+    ArmPullDeadline(secondary_idx, params_.getmore_idle_poll);
+    loop_->ScheduleAfter(params_.getmore_idle_poll,
+                         [this, secondary_idx, epoch] {
+                           SendGetMore(secondary_idx, epoch);
+                         });
     return;
   }
   server::ServerNode& p = primary().server();
@@ -269,9 +311,10 @@ void ReplicaSet::HandleGetMoreAtPrimary(int secondary_idx) {
   if (p.checkpointing()) {
     if (p.checkpoint_duration() > params_.getmore_block_threshold) {
       ++getmore_stalls_;
+      ArmPullDeadline(secondary_idx, p.checkpoint_end() - loop_->Now());
       loop_->ScheduleAt(p.checkpoint_end() + sim::Millis(1),
-                        [this, secondary_idx] {
-                          HandleGetMoreAtPrimary(secondary_idx);
+                        [this, secondary_idx, epoch] {
+                          HandleGetMoreAtPrimary(secondary_idx, epoch);
                         });
       return;
     }
@@ -280,63 +323,84 @@ void ReplicaSet::HandleGetMoreAtPrimary(int secondary_idx) {
       // reads are slow but not stopped. Defer once, then serve.
       const sim::Duration defer = std::min(
           params_.getmore_soft_delay, p.checkpoint_end() - loop_->Now());
-      loop_->ScheduleAfter(defer, [this, secondary_idx] {
-        ServeGetMore(secondary_idx);
+      ArmPullDeadline(secondary_idx, defer);
+      loop_->ScheduleAfter(defer, [this, secondary_idx, epoch] {
+        ServeGetMore(secondary_idx, epoch);
       });
       return;
     }
   }
-  ServeGetMore(secondary_idx);
+  ServeGetMore(secondary_idx, epoch);
 }
 
-void ReplicaSet::ServeGetMore(int secondary_idx) {
+void ReplicaSet::ServeGetMore(int secondary_idx, uint64_t epoch) {
+  if (epoch != pull_epoch_[secondary_idx]) return;
   if (!IsActiveSecondary(secondary_idx)) {
     pulling_[secondary_idx] = false;
     return;
   }
   if (!alive_[primary_index_]) {
-    loop_->ScheduleAfter(params_.getmore_idle_poll, [this, secondary_idx] {
-      SendGetMore(secondary_idx);
-    });
+    ArmPullDeadline(secondary_idx, params_.getmore_idle_poll);
+    loop_->ScheduleAfter(params_.getmore_idle_poll,
+                         [this, secondary_idx, epoch] {
+                           SendGetMore(secondary_idx, epoch);
+                         });
     return;
   }
-  primary().server().Execute(server::OpClass::kGetMore, [this, secondary_idx] {
-    std::vector<OplogEntry> batch =
-        oplog_.ReadAfter(node(secondary_idx).last_applied().seq,
-                         params_.getmore_max_batch);
-    network_->Send(primary().host(), node(secondary_idx).host(),
-                   [this, secondary_idx, batch = std::move(batch)]() mutable {
-                     HandleBatchAtSecondary(secondary_idx, std::move(batch));
-                   });
-  });
+  ArmPullDeadline(secondary_idx, kPullQueueGrace);
+  primary().server().Execute(
+      server::OpClass::kGetMore, [this, secondary_idx, epoch] {
+        if (epoch != pull_epoch_[secondary_idx]) return;
+        std::vector<OplogEntry> batch =
+            oplog_.ReadAfter(node(secondary_idx).last_applied().seq,
+                             params_.getmore_max_batch);
+        // The request survived; only the reply hop remains at risk.
+        ArmPullDeadline(secondary_idx);
+        network_->Send(
+            primary().host(), node(secondary_idx).host(),
+            [this, secondary_idx, epoch, batch = std::move(batch)]() mutable {
+              HandleBatchAtSecondary(secondary_idx, std::move(batch), epoch);
+            });
+      });
 }
 
 void ReplicaSet::HandleBatchAtSecondary(int secondary_idx,
-                                        std::vector<OplogEntry> batch) {
+                                        std::vector<OplogEntry> batch,
+                                        uint64_t epoch) {
+  if (epoch != pull_epoch_[secondary_idx]) return;
   if (!IsActiveSecondary(secondary_idx)) {
     pulling_[secondary_idx] = false;
     return;
   }
   if (batch.empty()) {
-    loop_->ScheduleAfter(params_.getmore_idle_poll, [this, secondary_idx] {
-      SendGetMore(secondary_idx);
-    });
+    ArmPullDeadline(secondary_idx, params_.getmore_idle_poll);
+    loop_->ScheduleAfter(params_.getmore_idle_poll,
+                         [this, secondary_idx, epoch] {
+                           SendGetMore(secondary_idx, epoch);
+                         });
     return;
   }
   ReplicaNode& sec = node(secondary_idx);
   // Application cost scales with batch size; one lognormal factor models
-  // run-to-run variance without sampling per entry.
+  // run-to-run variance without sampling per entry. The apply-throttle
+  // fault stretches it further.
   const sim::Duration per_entry =
       sec.server().SampleService(server::OpClass::kOplogApply);
-  const auto cost =
-      static_cast<sim::Duration>(static_cast<double>(per_entry) *
-                                 static_cast<double>(batch.size()));
+  const auto cost = static_cast<sim::Duration>(
+      static_cast<double>(per_entry) * static_cast<double>(batch.size()) *
+      apply_throttle_[secondary_idx]);
+  ArmPullDeadline(secondary_idx, cost + kPullQueueGrace);
   sec.server().ExecuteWithCost(
-      cost, [this, secondary_idx, batch = std::move(batch)] {
+      cost, [this, secondary_idx, epoch, batch = std::move(batch)] {
+        if (epoch != pull_epoch_[secondary_idx]) return;
+        if (!IsActiveSecondary(secondary_idx)) {
+          pulling_[secondary_idx] = false;
+          return;
+        }
         ReplicaNode& s = node(secondary_idx);
         for (const OplogEntry& entry : batch) s.ApplyEntry(entry);
         // More data may already be waiting: pull again immediately.
-        SendGetMore(secondary_idx);
+        SendGetMore(secondary_idx, epoch);
       });
 }
 
@@ -365,7 +429,21 @@ void ReplicaSet::HeartbeatLoop(int secondary_idx) {
     heartbeating_[secondary_idx] = false;  // loop retires
     return;
   }
-  const OpTime progress = node(secondary_idx).last_applied();
+  // The heartbeat doubles as the pull watchdog: a chain whose deadline
+  // has passed lost a message on the network — restart it under a new
+  // epoch so stragglers of the old chain retire harmlessly.
+  if (pulling_[secondary_idx] &&
+      loop_->Now() > pull_deadline_[secondary_idx]) {
+    ++pull_restarts_;
+    ++pull_epoch_[secondary_idx];
+    SendGetMore(secondary_idx, pull_epoch_[secondary_idx]);
+  }
+  OpTime progress = node(secondary_idx).last_applied();
+  if (const sim::Duration skew = report_skew_[secondary_idx]; skew != 0) {
+    // A skewed clock distorts the wall component of the *report* only;
+    // sequence numbers (and hence replication correctness) are immune.
+    progress.wall = std::max<sim::Time>(0, progress.wall + skew);
+  }
   network_->Send(node(secondary_idx).host(), primary().host(),
                  [this, secondary_idx, progress] {
                    OpTime& known = known_last_applied_[secondary_idx];

@@ -54,6 +54,13 @@ struct ReplicaSetParams {
   /// How long after a primary failure the surviving members elect a new
   /// primary (election timeout + vote rounds, collapsed into one delay).
   sim::Duration election_timeout = sim::Seconds(5);
+
+  /// Pull-chain watchdog: when a getMore request or its reply batch is
+  /// lost on the network (packet loss, partition), the secondary notices
+  /// no pull progress for this long past the expected next step and
+  /// restarts the chain — the sync-source retry real MongoDB drives off
+  /// its heartbeats. Without faults the deadline never expires.
+  sim::Duration pull_retry_timeout = sim::Seconds(2);
 };
 
 /// Durability requirement for a write (MongoDB write concern).
@@ -114,6 +121,23 @@ class ReplicaSet {
   /// Election epoch (increments on every successful election).
   uint64_t term() const { return term_; }
   uint64_t elections() const { return elections_; }
+
+  /// Multiplies the cost of applying oplog batches on node `idx` — the
+  /// replication-apply throttle fault (a slow apply thread / IO-starved
+  /// secondary). 1.0 restores healthy speed.
+  void SetApplyThrottle(int idx, double factor);
+  double apply_throttle(int idx) const { return apply_throttle_[idx]; }
+
+  /// Skews the lastAppliedOpTime wall clock node `idx` *reports* in
+  /// heartbeats; local replication state is untouched. Negative skew makes
+  /// the node look staler to the primary (a conservative error); positive
+  /// skew makes it look fresher than it is — exactly the distortion a
+  /// skewed server clock inflicts on the §2.3 staleness estimate.
+  void SetReportSkew(int idx, sim::Duration skew);
+  sim::Duration report_skew(int idx) const { return report_skew_[idx]; }
+
+  /// Times the pull watchdog restarted a secondary's oplog pull chain.
+  uint64_t pull_restarts() const { return pull_restarts_; }
 
   /// Runs `body` against node `idx`'s data once that node's CPU finishes a
   /// service of class `c` (i.e., at the read's server-side completion).
@@ -187,12 +211,20 @@ class ReplicaSet {
     return alive_[idx] && idx != primary_index_;
   }
   void StartSecondaryLoops(int idx);
-  void SendGetMore(int secondary_idx);
-  void HandleGetMoreAtPrimary(int secondary_idx);
-  void ServeGetMore(int secondary_idx);
-  void HandleBatchAtSecondary(int secondary_idx,
-                              std::vector<OplogEntry> batch);
+  // Pull-chain steps carry the epoch they were started under; a step whose
+  // epoch no longer matches pull_epoch_[idx] belongs to a superseded chain
+  // (watchdog restart, node kill) and retires without acting.
+  void SendGetMore(int secondary_idx, uint64_t epoch);
+  void HandleGetMoreAtPrimary(int secondary_idx, uint64_t epoch);
+  void ServeGetMore(int secondary_idx, uint64_t epoch);
+  void HandleBatchAtSecondary(int secondary_idx, std::vector<OplogEntry> batch,
+                              uint64_t epoch);
   void HeartbeatLoop(int secondary_idx);
+  /// Declares the pull chain healthy until now + extra + pull_retry_timeout.
+  void ArmPullDeadline(int idx, sim::Duration extra = 0);
+  /// Kills node `idx`'s pull chain outright (all in-flight continuations
+  /// retire via the epoch bump).
+  void RetirePull(int idx);
 
   sim::EventLoop* loop_;
   sim::Rng rng_;
@@ -210,6 +242,14 @@ class ReplicaSet {
   // elections from spawning duplicates.
   std::vector<bool> pulling_;
   std::vector<bool> heartbeating_;
+  // Watchdog state: the live chain's epoch, and the deadline by which it
+  // must have made another step before the heartbeat loop restarts it.
+  std::vector<uint64_t> pull_epoch_;
+  std::vector<sim::Time> pull_deadline_;
+  // Fault-injection knobs (see SetApplyThrottle / SetReportSkew).
+  std::vector<double> apply_throttle_;
+  std::vector<sim::Duration> report_skew_;
+  uint64_t pull_restarts_ = 0;
   int primary_index_ = 0;
   uint64_t term_ = 1;
   uint64_t elections_ = 0;

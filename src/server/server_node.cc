@@ -48,6 +48,10 @@ void ServerNode::ExecuteWithCost(sim::Duration base_service,
     service = static_cast<sim::Duration>(static_cast<double>(service) *
                                          params_.checkpoint_slowdown);
   }
+  if (fault_slowdown_ != 1.0) {
+    service = static_cast<sim::Duration>(static_cast<double>(service) *
+                                         fault_slowdown_);
+  }
   cpu_.Submit(service, std::move(done));
 }
 

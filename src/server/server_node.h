@@ -75,6 +75,12 @@ class ServerNode {
   /// next checkpoint.
   void AddDirtyBytes(uint64_t logical_bytes);
 
+  /// Fault hook: multiplies every service time on this node (a degraded
+  /// machine — noisy neighbour, thermal throttling, GC pauses). 1.0 is
+  /// healthy. Composes with the checkpoint slowdown.
+  void set_fault_slowdown(double factor) { fault_slowdown_ = factor; }
+  double fault_slowdown() const { return fault_slowdown_; }
+
   bool checkpointing() const;
   /// End time of the in-progress checkpoint (valid while checkpointing()).
   sim::Time checkpoint_end() const { return checkpoint_end_; }
@@ -98,6 +104,7 @@ class ServerNode {
   store::Database db_;
   CpuQueue cpu_;
 
+  double fault_slowdown_ = 1.0;
   uint64_t dirty_bytes_ = 0;
   sim::Time checkpoint_end_ = -1;
   sim::Duration checkpoint_duration_ = 0;

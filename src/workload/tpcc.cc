@@ -247,6 +247,8 @@ void TpccWorkload::DoStockLevel(Done done) {
         outcome.read_only = true;
         outcome.used_secondary = r.used_secondary;
         outcome.latency = r.latency;
+        outcome.node = r.node;
+        outcome.operation_time = r.operation_time;
         done(outcome);
       });
 }
@@ -406,6 +408,8 @@ void TpccWorkload::DoOrderStatus(Done done) {
         outcome.read_only = true;
         outcome.used_secondary = r.used_secondary;
         outcome.latency = r.latency;
+        outcome.node = r.node;
+        outcome.operation_time = r.operation_time;
         done(outcome);
       });
 }

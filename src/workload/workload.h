@@ -4,6 +4,7 @@
 #include <functional>
 #include <string_view>
 
+#include "repl/oplog.h"
 #include "sim/time.h"
 
 namespace dcg::workload {
@@ -21,6 +22,12 @@ struct OpOutcome {
   bool committed = true;
   /// End-to-end latency observed by the client.
   sim::Duration latency = 0;
+  /// Replica-set node index that served the operation; -1 when unknown
+  /// (e.g. multi-node transactions).
+  int node = -1;
+  /// lastAppliedOpTime of the serving node when the read executed — the
+  /// data's ground-truth freshness (chaos-harness invariant input).
+  repl::OpTime operation_time;
 };
 
 /// A closed-loop workload generator: `Issue` starts one operation for a

@@ -77,6 +77,8 @@ void YcsbWorkload::IssueRead(Done done) {
         outcome.read_only = true;
         outcome.used_secondary = r.used_secondary;
         outcome.latency = r.latency;
+        outcome.node = r.node;
+        outcome.operation_time = r.operation_time;
         done(outcome);
       });
 }

@@ -1,0 +1,248 @@
+#ifndef DCG_TESTS_CHAOS_HARNESS_H_
+#define DCG_TESTS_CHAOS_HARNESS_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.h"
+#include "fault/fault_injector.h"
+
+namespace dcg::chaos {
+
+/// One chaos run: a YCSB-B Decongestant experiment with a fault schedule
+/// applied, plus in-line invariant checkers.
+struct ChaosOptions {
+  uint64_t seed = 42;
+  fault::FaultSchedule schedule;
+  sim::Duration duration = sim::Seconds(240);
+  int clients = 12;
+  double read_proportion = 0.95;
+  int64_t stale_bound_seconds = 10;
+
+  /// Slack added to StaleBound for the per-read freshness invariant. The
+  /// estimate pipeline lags truth by up to one serverStatus poll (1 s) +
+  /// one heartbeat (0.5 s) + the whole-second flooring (1 s) + in-flight
+  /// reads; 3 s covers the sum.
+  sim::Duration freshness_grace = sim::Seconds(3);
+
+  /// When true, the run must end with the Balance Fraction back above zero
+  /// (cluster healed and rebalanced). Disable for schedules that end in a
+  /// degraded state.
+  bool expect_recovery = true;
+
+  /// When true, assert that the fraction reaches 0 within one control
+  /// period of ground-truth staleness first exceeding StaleBound. Enable
+  /// for schedules that provably stall every secondary (full partition).
+  bool expect_zero_within_period = false;
+};
+
+struct ChaosReport {
+  std::vector<std::string> violations;
+  /// Deterministic run fingerprint: period rows + fault log + counters.
+  /// Identical seeds/schedules must produce identical traces.
+  std::string trace;
+
+  uint64_t secondary_reads = 0;
+  uint64_t total_reads = 0;
+  sim::Duration worst_secondary_staleness = 0;
+  double final_fraction = 0.0;
+  uint64_t pull_restarts = 0;
+  uint64_t elections = 0;
+
+  bool ok() const { return violations.empty(); }
+  std::string ViolationText() const {
+    std::string all;
+    for (const std::string& v : violations) all += v + "\n";
+    return all;
+  }
+};
+
+/// Runs one chaos experiment and checks the invariants:
+///   1. Freshness: no secondary-served read returns data staler than
+///      StaleBound + grace (measured against the primary's lastApplied at
+///      read completion — simulator ground truth, not the estimate).
+///   2. Safety valve: whenever the balancer's own staleness estimate
+///      exceeds StaleBound, the published Balance Fraction is exactly 0
+///      (PublishFraction is synchronous with the serverStatus reply).
+///   3. Reaction time (opt-in): fraction hits 0 within one control period
+///      of ground truth first exceeding StaleBound.
+///   4. Recovery (opt-in): fraction is back above 0 by the end of the run,
+///      after every fault healed.
+///   5. Drain: after stopping the clients, every in-flight operation
+///      completes and (with all nodes alive) replicas converge to
+///      identical fingerprints — no stuck callbacks anywhere.
+inline ChaosReport RunChaos(const ChaosOptions& options) {
+  ChaosReport report;
+  auto violation = [&report](const std::string& v) {
+    report.violations.push_back(v);
+  };
+
+  exp::ExperimentConfig config;
+  config.seed = options.seed;
+  config.system = exp::SystemType::kDecongestant;
+  config.kind = exp::WorkloadKind::kYcsb;
+  config.phases = {{0, options.clients, options.read_proportion}};
+  config.duration = options.duration;
+  config.warmup = sim::Seconds(20);
+  config.run_s_workload = false;  // the probe pair is not failover-aware
+  config.balancer.stale_bound_seconds = options.stale_bound_seconds;
+  config.faults = options.schedule;
+
+  exp::Experiment experiment(config);
+  auto& rs = experiment.replica_set();
+  auto& loop = experiment.loop();
+
+  const sim::Duration bound = sim::Seconds(
+      static_cast<double>(options.stale_bound_seconds));
+  const sim::Duration freshness_limit = bound + options.freshness_grace;
+
+  // --- Invariant 1: per-read ground-truth freshness. ---
+  uint64_t freshness_violations = 0;
+  experiment.SetOpObserver([&](const workload::OpOutcome& outcome) {
+    if (!outcome.read_only || !outcome.used_secondary) return;
+    ++report.secondary_reads;
+    const repl::OpTime primary_applied = rs.primary().last_applied();
+    const sim::Duration staleness =
+        std::max<sim::Duration>(0,
+                                primary_applied.wall -
+                                    outcome.operation_time.wall);
+    report.worst_secondary_staleness =
+        std::max(report.worst_secondary_staleness, staleness);
+    if (staleness > freshness_limit && freshness_violations++ == 0) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "freshness: read at t=%.3fs served %.3fs-stale data "
+                    "(limit %.3fs)",
+                    sim::ToSeconds(loop.Now()), sim::ToSeconds(staleness),
+                    sim::ToSeconds(freshness_limit));
+      violation(buf);
+    }
+  });
+
+  // --- Invariants 2 & 3: sampled estimate/fraction coupling. ---
+  sim::Time truth_over_bound_at = -1;
+  sim::Time fraction_zero_at = -1;
+  uint64_t estimate_gate_violations = 0;
+  std::function<void()> sample = [&] {
+    const double fraction = experiment.shared_state().balance_fraction();
+    const int64_t estimate =
+        experiment.balancer()->staleness_estimate_seconds();
+    if (estimate > options.stale_bound_seconds && fraction != 0.0 &&
+        estimate_gate_violations++ == 0) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "gate: estimate %llds > bound %llds but fraction %.2f "
+                    "at t=%.3fs",
+                    static_cast<long long>(estimate),
+                    static_cast<long long>(options.stale_bound_seconds),
+                    fraction, sim::ToSeconds(loop.Now()));
+      violation(buf);
+    }
+    if (truth_over_bound_at < 0 && rs.MaxTrueStaleness() > bound) {
+      truth_over_bound_at = loop.Now();
+    }
+    if (truth_over_bound_at >= 0 && fraction_zero_at < 0 && fraction == 0.0) {
+      fraction_zero_at = loop.Now();
+    }
+    loop.ScheduleAfter(sim::Millis(250), sample);
+  };
+  loop.ScheduleAfter(sim::Millis(250), sample);
+
+  experiment.Run();
+
+  // --- Invariant 3: reaction within one control period. ---
+  if (options.expect_zero_within_period) {
+    if (truth_over_bound_at < 0) {
+      violation("reaction: schedule never drove true staleness over "
+                "StaleBound (test schedule too weak)");
+    } else if (fraction_zero_at < 0) {
+      violation("reaction: fraction never reached 0 after staleness "
+                "exceeded StaleBound");
+    } else if (fraction_zero_at - truth_over_bound_at >
+               config.balancer.period) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "reaction: fraction took %.3fs to reach 0 (> one "
+                    "%.0fs control period)",
+                    sim::ToSeconds(fraction_zero_at - truth_over_bound_at),
+                    sim::ToSeconds(config.balancer.period));
+      violation(buf);
+    }
+  }
+
+  // --- Invariant 4: recovery after heal. ---
+  report.final_fraction = experiment.shared_state().balance_fraction();
+  if (options.expect_recovery && report.final_fraction <= 0.0) {
+    violation("recovery: balance fraction still 0 at end of run");
+  }
+
+  // --- Invariant 5: quiesce and drain. ---
+  experiment.pool().SetTarget(0);
+  loop.RunUntil(options.duration + sim::Seconds(30));
+  if (experiment.pool().running() != 0) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "drain: %d client slots still in flight after quiesce",
+                  experiment.pool().running());
+    violation(buf);
+  }
+  bool all_alive = true;
+  for (int i = 0; i < rs.node_count(); ++i) all_alive &= rs.IsAlive(i);
+  if (all_alive) {
+    const uint64_t primary_fp = rs.primary().db().Fingerprint();
+    for (int i = 0; i < rs.node_count(); ++i) {
+      if (rs.node(i).db().Fingerprint() != primary_fp) {
+        violation("drain: node " + std::to_string(i) +
+                  " diverged from the primary after quiesce");
+      }
+    }
+  }
+
+  // --- Deterministic trace. ---
+  std::string trace;
+  char line[256];
+  for (const auto& row : experiment.rows()) {
+    std::snprintf(line, sizeof(line),
+                  "t=%.0f reads=%llu sec=%llu writes=%llu frac=%.4f "
+                  "est=%lld\n",
+                  sim::ToSeconds(row.start),
+                  static_cast<unsigned long long>(row.reads),
+                  static_cast<unsigned long long>(row.reads_secondary),
+                  static_cast<unsigned long long>(row.writes),
+                  row.balance_fraction,
+                  static_cast<long long>(row.est_staleness_max_s));
+    trace += line;
+    report.total_reads += row.reads;
+  }
+  for (const std::string& entry : experiment.fault_injector().log()) {
+    trace += entry + "\n";
+  }
+  std::snprintf(line, sizeof(line),
+                "commits=%llu elections=%llu pull_restarts=%llu "
+                "delivered=%llu dropped=%llu\n",
+                static_cast<unsigned long long>(rs.committed_writes()),
+                static_cast<unsigned long long>(rs.elections()),
+                static_cast<unsigned long long>(rs.pull_restarts()),
+                static_cast<unsigned long long>(
+                    experiment.network().messages_delivered()),
+                static_cast<unsigned long long>(
+                    experiment.network().messages_dropped()));
+  trace += line;
+  for (int i = 0; i < rs.node_count(); ++i) {
+    std::snprintf(line, sizeof(line), "node%d fp=%llx alive=%d\n", i,
+                  static_cast<unsigned long long>(
+                      rs.node(i).db().Fingerprint()),
+                  rs.IsAlive(i) ? 1 : 0);
+    trace += line;
+  }
+  report.trace = std::move(trace);
+  report.pull_restarts = rs.pull_restarts();
+  report.elections = rs.elections();
+  return report;
+}
+
+}  // namespace dcg::chaos
+
+#endif  // DCG_TESTS_CHAOS_HARNESS_H_

@@ -1,0 +1,157 @@
+// Deterministic chaos tests: scripted and seeded-random fault schedules
+// run against the full Decongestant stack, with the freshness / reaction /
+// recovery / drain invariants checked by tests/chaos_harness.h.
+
+#include <gtest/gtest.h>
+
+#include "chaos_harness.h"
+
+namespace dcg {
+namespace {
+
+using chaos::ChaosOptions;
+using chaos::ChaosReport;
+using chaos::RunChaos;
+using fault::FaultEvent;
+using fault::FaultSchedule;
+using fault::FaultType;
+
+FaultEvent Event(FaultType type, double start_s, double end_s,
+                 std::vector<int> nodes) {
+  FaultEvent event;
+  event.type = type;
+  event.start = sim::Seconds(start_s);
+  event.end = end_s < 0 ? -1 : sim::Seconds(end_s);
+  event.nodes = std::move(nodes);
+  return event;
+}
+
+// Schedule 1 — the headline scenario: both secondaries partitioned away
+// from the primary for 60 s. Their data freezes while the primary keeps
+// committing, so true staleness climbs 1 s/s past StaleBound; the
+// balancer must zero the fraction within one control period, never serve
+// a read staler than bound + grace, and rebalance after the heal.
+TEST(ChaosTest, FullSecondaryPartitionForcesFractionToZero) {
+  ChaosOptions options;
+  options.seed = 1001;
+  options.schedule.Add(
+      Event(FaultType::kPartition, 80, 140, {1, 2}));
+  options.expect_zero_within_period = true;
+  const ChaosReport report = RunChaos(options);
+  EXPECT_TRUE(report.ok()) << report.ViolationText();
+  EXPECT_GT(report.secondary_reads, 0u);
+  // The partition really happened: the watchdog restarted pull chains.
+  EXPECT_GT(report.pull_restarts, 0u);
+}
+
+// Schedule 2 — crash the primary mid-run, let the survivors elect, then
+// restart the old primary (it rejoins via initial sync). Reads must keep
+// flowing and the cluster must fully converge after the drill.
+TEST(ChaosTest, PrimaryCrashElectionAndRejoin) {
+  ChaosOptions options;
+  options.seed = 1002;
+  options.schedule.Add(Event(FaultType::kCrash, 80, -1, {0}))
+      .Add(Event(FaultType::kRestart, 140, -1, {0}));
+  const ChaosReport report = RunChaos(options);
+  EXPECT_TRUE(report.ok()) << report.ViolationText();
+  EXPECT_EQ(report.elections, 1u);
+  EXPECT_GT(report.secondary_reads, 0u);
+}
+
+// Schedule 3 — replication-apply throttle: the network is perfect but one
+// secondary's apply thread runs 40x slow, so it lags past StaleBound.
+// The estimate (max over secondaries) must gate the fraction to 0, and
+// the node must catch back up after the heal.
+TEST(ChaosTest, ApplyThrottleLagGatesAndRecovers) {
+  ChaosOptions options;
+  options.seed = 1003;
+  {
+    FaultEvent event = Event(FaultType::kApplyThrottle, 80, 150, {1, 2});
+    event.value = 40.0;
+    options.schedule.Add(event);
+  }
+  const ChaosReport report = RunChaos(options);
+  EXPECT_TRUE(report.ok()) << report.ViolationText();
+  EXPECT_GT(report.worst_secondary_staleness, 0);
+}
+
+// Schedule 4 — latency spike on every link of the primary (client links
+// included): replication and routing slow down but nothing is lost. The
+// balancer's RTT handling must cope; all invariants hold.
+TEST(ChaosTest, PrimaryLatencySpike) {
+  ChaosOptions options;
+  options.seed = 1004;
+  {
+    FaultEvent event = Event(FaultType::kLatencySpike, 80, 150, {0});
+    event.value = 3.0;
+    event.delay = sim::Millis(10);
+    options.schedule.Add(event);
+  }
+  const ChaosReport report = RunChaos(options);
+  EXPECT_TRUE(report.ok()) << report.ViolationText();
+  EXPECT_GT(report.secondary_reads, 0u);
+}
+
+// Schedule 5 — asymmetric packet loss into one secondary: getMore
+// batches and heartbeats are dropped at 30%, exercising the pull-chain
+// watchdog. Freshness must hold (lost heartbeats only make the estimate
+// more conservative).
+TEST(ChaosTest, AsymmetricPacketLossExercisesWatchdog) {
+  ChaosOptions options;
+  options.seed = 1005;
+  {
+    FaultEvent event = Event(FaultType::kPacketLoss, 80, 150, {1});
+    event.value = 0.30;
+    event.inbound_only = true;
+    options.schedule.Add(event);
+  }
+  const ChaosReport report = RunChaos(options);
+  EXPECT_TRUE(report.ok()) << report.ViolationText();
+  EXPECT_GT(report.pull_restarts, 0u);
+}
+
+// Schedule 6 — combined seeded-random timelines: a handful of mixed
+// faults (latency, loss, partition, throttle, negative skew, slowdown,
+// plus a crash/restart cycle) per seed. Every invariant must hold for
+// every seed.
+class RandomChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomChaosTest, InvariantsHoldUnderRandomSchedule) {
+  ChaosOptions options;
+  options.seed = GetParam();
+  options.schedule =
+      fault::MakeRandomSchedule(GetParam(), options.duration, 3);
+  ASSERT_FALSE(options.schedule.empty());
+  const ChaosReport report = RunChaos(options);
+  EXPECT_TRUE(report.ok()) << report.ViolationText();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomChaosTest,
+                         ::testing::Values(7u, 21u, 99u));
+
+// Determinism: the same seed and schedule must produce a bit-identical
+// trace — period rows, fault log, message counters, and database
+// fingerprints all included.
+TEST(ChaosTest, IdenticalSeedsProduceIdenticalTraces) {
+  ChaosOptions options;
+  options.seed = 77;
+  options.schedule = fault::MakeRandomSchedule(77, options.duration, 3);
+  const ChaosReport first = RunChaos(options);
+  const ChaosReport second = RunChaos(options);
+  EXPECT_TRUE(first.ok()) << first.ViolationText();
+  ASSERT_FALSE(first.trace.empty());
+  EXPECT_EQ(first.trace, second.trace);
+}
+
+// Different seeds must not produce the same trace (the trace actually
+// carries run-specific content).
+TEST(ChaosTest, DifferentSeedsDiverge) {
+  ChaosOptions a;
+  a.seed = 5;
+  ChaosOptions b;
+  b.seed = 6;
+  EXPECT_NE(RunChaos(a).trace, RunChaos(b).trace);
+}
+
+}  // namespace
+}  // namespace dcg

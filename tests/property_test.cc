@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/controller.h"
 #include "doc/update.h"
 #include "metrics/histogram.h"
 #include "sim/random.h"
@@ -203,6 +204,117 @@ TEST(HistogramLawsTest, MergeEqualsCombinedAdds) {
     EXPECT_DOUBLE_EQ(split_a.Percentile(p), combined.Percentile(p)) << p;
   }
 }
+
+// --- Balance Fraction controller laws (Algorithm 1 and its proportional
+// variant). The Read Balancer guarantees latest_fraction lies within
+// [low_bal, high_bal] on entry; the controllers must keep it there. ---
+
+core::ControlInputs RandomInputs(sim::Rng* rng,
+                                 const core::BalancerConfig& config) {
+  core::ControlInputs inputs;
+  inputs.latest_fraction =
+      config.low_bal +
+      rng->NextDouble() * (config.high_bal - config.low_bal);
+  inputs.ratio = rng->NextDouble() * 4.0;  // spans well past the dead band
+  inputs.ratio_valid = rng->Bernoulli(0.8);
+  inputs.history_flat = rng->Bernoulli(0.3);
+  return inputs;
+}
+
+class ControllerLawsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ControllerLawsTest, OutputStaysWithinBounds) {
+  sim::Rng rng(GetParam());
+  core::BalancerConfig config;
+  core::StepController step;
+  core::ProportionalController proportional;
+  for (int i = 0; i < 5000; ++i) {
+    const core::ControlInputs inputs = RandomInputs(&rng, config);
+    for (core::FractionController* controller :
+         {static_cast<core::FractionController*>(&step),
+          static_cast<core::FractionController*>(&proportional)}) {
+      const double next = controller->NextFraction(inputs, config);
+      EXPECT_GE(next, config.low_bal) << controller->name();
+      EXPECT_LE(next, config.high_bal) << controller->name();
+    }
+  }
+}
+
+TEST_P(ControllerLawsTest, InvalidRatioAlwaysHolds) {
+  // An empty latency list gives no evidence; the fraction must not move.
+  sim::Rng rng(GetParam());
+  core::BalancerConfig config;
+  core::StepController step;
+  core::ProportionalController proportional;
+  for (int i = 0; i < 2000; ++i) {
+    core::ControlInputs inputs = RandomInputs(&rng, config);
+    inputs.ratio_valid = false;
+    EXPECT_EQ(step.NextFraction(inputs, config), inputs.latest_fraction);
+    EXPECT_EQ(proportional.NextFraction(inputs, config),
+              inputs.latest_fraction);
+  }
+}
+
+TEST_P(ControllerLawsTest, StepHoldsInsideDeadBandUnlessProbing) {
+  sim::Rng rng(GetParam());
+  core::BalancerConfig config;
+  core::StepController step;
+  for (int i = 0; i < 2000; ++i) {
+    core::ControlInputs inputs = RandomInputs(&rng, config);
+    inputs.ratio_valid = true;
+    inputs.ratio = config.low_ratio +
+                   rng.NextDouble() * (config.high_ratio - config.low_ratio);
+    // Not flat: hold exactly.
+    inputs.history_flat = false;
+    EXPECT_EQ(step.NextFraction(inputs, config), inputs.latest_fraction);
+    // Flat but probing disabled (the A2 ablation): still hold.
+    inputs.history_flat = true;
+    auto no_probe = config;
+    no_probe.downward_probe = false;
+    EXPECT_EQ(step.NextFraction(inputs, no_probe), inputs.latest_fraction);
+  }
+}
+
+TEST_P(ControllerLawsTest, StepProbesDownOnlyWhenHistoryFlat) {
+  sim::Rng rng(GetParam());
+  core::BalancerConfig config;
+  core::StepController step;
+  for (int i = 0; i < 2000; ++i) {
+    core::ControlInputs inputs = RandomInputs(&rng, config);
+    inputs.ratio_valid = true;
+    inputs.ratio = config.low_ratio +
+                   rng.NextDouble() * (config.high_ratio - config.low_ratio);
+    inputs.history_flat = true;
+    const double next = step.NextFraction(inputs, config);
+    EXPECT_DOUBLE_EQ(
+        next, std::max(inputs.latest_fraction - config.delta, config.low_bal));
+    if (inputs.latest_fraction > config.low_bal) {
+      EXPECT_LT(next, inputs.latest_fraction);
+    }
+  }
+}
+
+TEST(ControllerLawsTest, StepMovesByExactlyDeltaOutsideDeadBand) {
+  core::BalancerConfig config;
+  core::StepController step;
+  core::ControlInputs inputs;
+  inputs.ratio_valid = true;
+  inputs.latest_fraction = 0.50;
+  inputs.ratio = config.high_ratio + 0.5;  // primary congested
+  EXPECT_DOUBLE_EQ(step.NextFraction(inputs, config), 0.50 + config.delta);
+  inputs.ratio = config.low_ratio - 0.5;  // secondaries congested
+  EXPECT_DOUBLE_EQ(step.NextFraction(inputs, config), 0.50 - config.delta);
+  // Saturation at the rails.
+  inputs.latest_fraction = config.high_bal;
+  inputs.ratio = config.high_ratio + 1.0;
+  EXPECT_DOUBLE_EQ(step.NextFraction(inputs, config), config.high_bal);
+  inputs.latest_fraction = config.low_bal;
+  inputs.ratio = config.low_ratio - 0.5;
+  EXPECT_DOUBLE_EQ(step.NextFraction(inputs, config), config.low_bal);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ControllerLawsTest,
+                         ::testing::Values(80u, 81u, 82u));
 
 TEST(HistogramLawsTest, PercentileIsMonotoneInP) {
   sim::Rng rng(71);
