@@ -1,0 +1,402 @@
+// Perf-baseline runner for the simulation substrate.
+//
+// Runs a fixed set of deterministic workloads over the hot components
+// (event loop, B+-tree, filter matcher, update applier, collection query
+// paths, and one full simulated second of a loaded cluster) and reports
+// items/sec for each. Two modes:
+//
+//   bench_baseline --out BENCH_core.json        # record a baseline
+//   bench_baseline --compare BENCH_core.json    # re-run and fail (exit 1)
+//                                               # on regression beyond the
+//                                               # noise threshold
+//
+// The committed BENCH_core.json is the repo's perf trajectory: CI re-runs
+// this binary and compares against it, so a change that slows the
+// substrate down beyond --threshold (a *ratio*, e.g. 0.5 = "half as fast")
+// fails the build. Thresholds are deliberately loose because absolute
+// numbers move between machines; the gate catches collapses, not noise.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "doc/filter.h"
+#include "doc/update.h"
+#include "doc/value.h"
+#include "exp/experiment.h"
+#include "sim/event_loop.h"
+#include "sim/random.h"
+#include "store/btree.h"
+#include "store/collection.h"
+
+namespace dcg {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct BenchResult {
+  std::string name;
+  double items_per_sec = 0;
+  uint64_t items = 0;
+  double seconds = 0;
+};
+
+// Runs `body` (which returns the number of items it processed) repeatedly
+// until at least `min_time` seconds of measured work have accumulated.
+// One untimed call warms caches first.
+template <typename Body>
+BenchResult Measure(const std::string& name, double min_time, Body&& body) {
+  body();  // warmup
+  BenchResult r;
+  r.name = name;
+  const double start = NowSeconds();
+  double elapsed = 0;
+  do {
+    r.items += body();
+    elapsed = NowSeconds() - start;
+  } while (elapsed < min_time);
+  r.seconds = elapsed;
+  r.items_per_sec = static_cast<double>(r.items) / elapsed;
+  return r;
+}
+
+// --- Workload setup helpers -------------------------------------------------
+
+store::BTree::Payload MakeDoc(int64_t i) {
+  return std::make_shared<const doc::Value>(
+      doc::Value::Doc({{"_id", i}, {"v", i * 3}, {"s", "payload"}}));
+}
+
+std::unique_ptr<store::Collection> MakeScoredCollection(int n) {
+  auto coll = std::make_unique<store::Collection>("bench");
+  sim::Rng rng(7);
+  for (int i = 0; i < n; ++i) {
+    coll->Insert(doc::Value::Doc({{"_id", i},
+                                  {"age", rng.UniformInt(0, 99)},
+                                  {"score", rng.UniformInt(0, 999999)},
+                                  {"w", i % 10},
+                                  {"d", (i / 10) % 10}}));
+  }
+  return coll;
+}
+
+// --- Benchmarks -------------------------------------------------------------
+
+uint64_t EventLoopScheduleRun() {
+  sim::EventLoop loop;
+  uint64_t fired = 0;
+  for (int i = 0; i < 10000; ++i) {
+    loop.ScheduleAt(sim::Micros(i * 37 % 1000), [&fired] { ++fired; });
+  }
+  loop.RunAll();
+  return fired;
+}
+
+uint64_t EventLoopChurn() {
+  // Timer-heavy pattern: a window of pending timeouts that are constantly
+  // cancelled and rescheduled (what heartbeats, retries and watchdogs do).
+  constexpr int kWindow = 1024;
+  constexpr int kCycles = 65536;
+  sim::EventLoop loop;
+  uint64_t fired = 0;
+  std::vector<sim::EventId> ids(kWindow);
+  for (int i = 0; i < kWindow; ++i) {
+    ids[i] = loop.ScheduleAt(sim::Seconds(1000) + i, [&fired] { ++fired; });
+  }
+  for (int i = 0; i < kCycles; ++i) {
+    const int slot = i % kWindow;
+    loop.Cancel(ids[slot]);
+    ids[slot] =
+        loop.ScheduleAt(sim::Seconds(1000) + kWindow + i, [&fired] { ++fired; });
+  }
+  loop.RunAll();
+  if (fired != kWindow) std::abort();  // accounting must survive the churn
+  return kCycles;
+}
+
+uint64_t BTreeInsert10k() {
+  constexpr int64_t n = 10000;
+  store::BTree tree;
+  for (int64_t i = 0; i < n; ++i) {
+    tree.Insert(doc::Value((i * 7919) % n), MakeDoc(i));
+  }
+  return tree.size();
+}
+
+uint64_t BTreePointLookup(const store::BTree& tree, sim::Rng& rng, int64_t n) {
+  uint64_t found = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (tree.Find(doc::Value(rng.UniformInt(0, n - 1))) != nullptr) ++found;
+  }
+  if (found != 1000) std::abort();
+  return 1000;
+}
+
+uint64_t FilterMatchNested(const doc::Filter& filter, const doc::Value& d) {
+  uint64_t matched = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (filter.Matches(d)) ++matched;
+  }
+  if (matched != 10000) std::abort();
+  return matched;
+}
+
+uint64_t UpdateApplyDotted(const doc::UpdateSpec& spec, doc::Value* target) {
+  for (int i = 0; i < 1000; ++i) {
+    if (!spec.Apply(target)) std::abort();
+  }
+  return 1000;
+}
+
+}  // namespace
+
+int BenchMain(int argc, char** argv) {
+  std::string out_path;
+  std::string compare_path;
+  double threshold = 0.85;
+  double min_time = 1.0;
+  bool allow_debug = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--compare") {
+      compare_path = next();
+    } else if (arg == "--threshold") {
+      threshold = std::stod(next());
+    } else if (arg == "--min-time") {
+      min_time = std::stod(next());
+    } else if (arg == "--allow-debug") {
+      allow_debug = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_baseline [--out FILE] [--compare FILE]\n"
+                   "                      [--threshold R] [--min-time S]\n"
+                   "                      [--allow-debug]\n");
+      return 2;
+    }
+  }
+
+#ifndef NDEBUG
+  if (!allow_debug) {
+    std::fprintf(stderr,
+                 "bench_baseline: refusing to record/compare numbers from a "
+                 "non-optimized build (pass --allow-debug to override)\n");
+    return 2;
+  }
+#endif
+
+  // --- Run every benchmark --------------------------------------------------
+  std::vector<BenchResult> results;
+  auto run = [&](const std::string& name, auto&& body) {
+    BenchResult r = Measure(name, min_time, body);
+    std::printf("%-28s %14.0f items/s   (%llu items in %.2fs)\n", name.c_str(),
+                r.items_per_sec, static_cast<unsigned long long>(r.items),
+                r.seconds);
+    std::fflush(stdout);
+    results.push_back(std::move(r));
+  };
+
+  run("event_loop_schedule_run", [] { return EventLoopScheduleRun(); });
+  run("event_loop_churn", [] { return EventLoopChurn(); });
+  run("btree_insert_10k", [] { return BTreeInsert10k(); });
+
+  {
+    constexpr int64_t n = 100000;
+    auto tree = std::make_shared<store::BTree>();
+    for (int64_t i = 0; i < n; ++i) tree->Insert(doc::Value(i), MakeDoc(i));
+    auto rng = std::make_shared<sim::Rng>(1);
+    run("btree_point_lookup",
+        [tree, rng] { return BTreePointLookup(*tree, *rng, n); });
+  }
+
+  {
+    const doc::Filter filter = doc::Filter::And(
+        {doc::Filter::Gte("age", doc::Value(18)),
+         doc::Filter::Eq("addr.city", doc::Value("sydney"))});
+    const doc::Value d = doc::Value::Doc(
+        {{"_id", 1},
+         {"age", 30},
+         {"addr", doc::Value::Doc({{"city", "sydney"}})}});
+    run("filter_match_nested",
+        [&filter, &d] { return FilterMatchNested(filter, d); });
+  }
+
+  {
+    auto spec = std::make_shared<doc::UpdateSpec>();
+    spec->Inc("a.b.c", doc::Value(1)).Set("top", doc::Value("x"));
+    auto target = std::make_shared<doc::Value>(doc::Value::Doc(
+        {{"_id", 1},
+         {"top", "y"},
+         {"a", doc::Value::Doc({{"b", doc::Value::Doc({{"c", 0}})}})}}));
+    run("update_apply_dotted",
+        [spec, target] { return UpdateApplyDotted(*spec, target.get()); });
+  }
+
+  {
+    std::shared_ptr<store::Collection> coll = MakeScoredCollection(10000);
+    run("collection_count", [coll] {
+      const size_t c = coll->Count(doc::Filter::Gte("age", doc::Value(50)));
+      if (c == 0) std::abort();
+      return 10000;  // documents scanned
+    });
+    run("find_with_topk", [coll] {
+      store::FindOptions options;
+      options.sort_path = "score";
+      options.sort_descending = true;
+      options.limit = 10;
+      auto out = coll->FindWith(doc::Filter::True(), options);
+      if (out.size() != 10) std::abort();
+      return 10000;  // documents considered
+    });
+    coll->CreateIndex("by_wd", {"w", "d"});
+    run("index_equality_find", [coll] {
+      uint64_t docs = 0;
+      for (int i = 0; i < 100; ++i) {
+        auto out = coll->Find(doc::Filter::And(
+            {doc::Filter::Eq("w", doc::Value(i % 10)),
+             doc::Filter::Eq("d", doc::Value((i / 10) % 10))}));
+        docs += out.size();
+      }
+      if (docs != 10000) std::abort();
+      return docs;
+    });
+  }
+
+  {
+    // One simulated second of a loaded 3-node cluster under Decongestant —
+    // the end-to-end cost that bounds how fast every paper figure runs.
+    // items = simulator events executed.
+    exp::ExperimentConfig config;
+    config.seed = 99;
+    config.kind = exp::WorkloadKind::kYcsb;
+    config.phases = {{0, 40, 0.95}};
+    config.duration = sim::Seconds(1);
+    auto experiment = std::make_shared<exp::Experiment>(config);
+    experiment->Run();  // prime: loads data, starts client loops
+    auto horizon = std::make_shared<sim::Time>(sim::Seconds(1));
+    run("sim_second_ycsb", [experiment, horizon] {
+      *horizon += sim::Seconds(1);
+      return experiment->loop().RunUntil(*horizon);
+    });
+  }
+
+  // --- Write the baseline file ---------------------------------------------
+  if (!out_path.empty()) {
+    std::ostringstream json;
+    char datebuf[64] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_utc{};
+    if (gmtime_r(&now, &tm_utc) != nullptr) {
+      std::strftime(datebuf, sizeof(datebuf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    }
+    json << "{\n";
+    json << "  \"schema\": 1,\n";
+    json << "  \"date_utc\": \"" << datebuf << "\",\n";
+#ifdef DCG_BUILD_TYPE
+    json << "  \"build_type\": \"" << DCG_BUILD_TYPE << "\",\n";
+#endif
+    json << "  \"compiler\": \"" << __VERSION__ << "\",\n";
+    json << "  \"min_time_s\": " << min_time << ",\n";
+    json << "  \"benchmarks\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+      const BenchResult& r = results[i];
+      json << "    {\"name\": \"" << r.name << "\", \"items_per_sec\": "
+           << static_cast<uint64_t>(r.items_per_sec) << "}"
+           << (i + 1 < results.size() ? ",\n" : "\n");
+    }
+    json << "  ]\n}\n";
+    std::ofstream f(out_path);
+    f << json.str();
+    if (!f) {
+      std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+
+  // --- Compare against a committed baseline --------------------------------
+  if (!compare_path.empty()) {
+    std::ifstream f(compare_path);
+    if (!f) {
+      std::fprintf(stderr, "cannot open baseline %s\n", compare_path.c_str());
+      return 1;
+    }
+    std::stringstream buf;
+    buf << f.rdbuf();
+    const std::string text = buf.str();
+
+    // Minimal parse of this tool's own output format: pairs of
+    // "name": "<bench>" ... "items_per_sec": <number>. The committed file
+    // may carry extra fields (e.g. pre_change_items_per_sec); they are
+    // ignored because the exact quoted keys below are matched.
+    bool ok = true;
+    int compared = 0;
+    size_t pos = 0;
+    while ((pos = text.find("\"name\": \"", pos)) != std::string::npos) {
+      pos += std::strlen("\"name\": \"");
+      const size_t name_end = text.find('"', pos);
+      if (name_end == std::string::npos) break;
+      const std::string name = text.substr(pos, name_end - pos);
+      size_t vpos = text.find("\"items_per_sec\": ", name_end);
+      if (vpos == std::string::npos) break;
+      vpos += std::strlen("\"items_per_sec\": ");
+      const double baseline = std::strtod(text.c_str() + vpos, nullptr);
+      pos = vpos;
+
+      const auto it = std::find_if(
+          results.begin(), results.end(),
+          [&name](const BenchResult& r) { return r.name == name; });
+      if (it == results.end()) {
+        std::fprintf(stderr, "FAIL %-28s missing from this run\n",
+                     name.c_str());
+        ok = false;
+        continue;
+      }
+      if (baseline <= 0) continue;
+      const double ratio = it->items_per_sec / baseline;
+      ++compared;
+      const bool pass = ratio >= threshold;
+      std::printf("%s %-28s %.2fx of baseline (%.0f vs %.0f items/s)\n",
+                  pass ? "ok  " : "FAIL", name.c_str(), ratio,
+                  it->items_per_sec, baseline);
+      if (!pass) ok = false;
+    }
+    if (compared == 0) {
+      std::fprintf(stderr, "no benchmarks found in %s\n", compare_path.c_str());
+      return 1;
+    }
+    if (!ok) {
+      std::fprintf(stderr,
+                   "bench_baseline: regression beyond threshold %.2f\n",
+                   threshold);
+      return 1;
+    }
+    std::printf("all %d benchmarks within threshold %.2f\n", compared,
+                threshold);
+  }
+  return 0;
+}
+
+}  // namespace dcg
+
+int main(int argc, char** argv) { return dcg::BenchMain(argc, argv); }

@@ -6,7 +6,7 @@ namespace dcg::doc {
 
 struct Filter::Node {
   Kind kind;
-  std::string path;
+  Path path;
   Value value;
   std::vector<Value> values;       // kIn
   std::vector<Filter> children;    // kAnd / kOr / kNot
@@ -24,7 +24,7 @@ Filter Filter::True() {
 }
 
 #define DCG_FILTER_CMP(NAME, KIND)                        \
-  Filter Filter::NAME(std::string path, Value v) {        \
+  Filter Filter::NAME(Path path, Value v) {               \
     auto n = NewNode();                                   \
     n->kind = Kind::KIND;                                 \
     n->path = std::move(path);                            \
@@ -41,7 +41,7 @@ DCG_FILTER_CMP(Gte, kGte)
 
 #undef DCG_FILTER_CMP
 
-Filter Filter::In(std::string path, std::vector<Value> vs) {
+Filter Filter::In(Path path, std::vector<Value> vs) {
   auto n = NewNode();
   n->kind = Kind::kIn;
   n->path = std::move(path);
@@ -49,7 +49,7 @@ Filter Filter::In(std::string path, std::vector<Value> vs) {
   return Filter(std::move(n));
 }
 
-Filter Filter::Exists(std::string path, bool should_exist) {
+Filter Filter::Exists(Path path, bool should_exist) {
   auto n = NewNode();
   n->kind = Kind::kExists;
   n->path = std::move(path);
@@ -136,7 +136,7 @@ bool Filter::Matches(const Value& document) const {
 std::string Filter::ToString() const {
   const Node& n = *node_;
   auto cmp = [&](const char* op) {
-    return "(" + n.path + " " + op + " " + n.value.ToJson() + ")";
+    return "(" + n.path.str() + " " + op + " " + n.value.ToJson() + ")";
   };
   switch (n.kind) {
     case Kind::kTrue:
@@ -154,7 +154,7 @@ std::string Filter::ToString() const {
     case Kind::kGte:
       return cmp(">=");
     case Kind::kIn: {
-      std::string out = "(" + n.path + " in [";
+      std::string out = "(" + n.path.str() + " in [";
       for (size_t i = 0; i < n.values.size(); ++i) {
         if (i > 0) out += ",";
         out += n.values[i].ToJson();
@@ -162,7 +162,7 @@ std::string Filter::ToString() const {
       return out + "])";
     }
     case Kind::kExists:
-      return "(" + n.path + (n.should_exist ? " exists)" : " missing)");
+      return "(" + n.path.str() + (n.should_exist ? " exists)" : " missing)");
     case Kind::kAnd:
     case Kind::kOr: {
       const char* sep = n.kind == Kind::kAnd ? " and " : " or ";
@@ -181,7 +181,7 @@ std::string Filter::ToString() const {
 
 const Value* Filter::EqualityValue(std::string_view path) const {
   const Node& n = *node_;
-  if (n.kind == Kind::kEq && n.path == path) return &n.value;
+  if (n.kind == Kind::kEq && n.path.str() == path) return &n.value;
   if (n.kind == Kind::kAnd) {
     for (const auto& c : n.children) {
       const Value* v = c.EqualityValue(path);

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "doc/path.h"
 #include "doc/value.h"
 
 namespace dcg::doc {
@@ -21,15 +22,17 @@ class Filter {
   static Filter True();
 
   // Path comparisons (missing paths never match, mirroring MongoDB for
-  // everything except $exists:false).
-  static Filter Eq(std::string path, Value v);
-  static Filter Ne(std::string path, Value v);
-  static Filter Lt(std::string path, Value v);
-  static Filter Lte(std::string path, Value v);
-  static Filter Gt(std::string path, Value v);
-  static Filter Gte(std::string path, Value v);
-  static Filter In(std::string path, std::vector<Value> vs);
-  static Filter Exists(std::string path, bool should_exist);
+  // everything except $exists:false). Paths are compiled (pre-tokenized)
+  // once here, so Matches never re-splits the dotted string per document;
+  // plain strings convert implicitly.
+  static Filter Eq(Path path, Value v);
+  static Filter Ne(Path path, Value v);
+  static Filter Lt(Path path, Value v);
+  static Filter Lte(Path path, Value v);
+  static Filter Gt(Path path, Value v);
+  static Filter Gte(Path path, Value v);
+  static Filter In(Path path, std::vector<Value> vs);
+  static Filter Exists(Path path, bool should_exist);
 
   // Combinators.
   static Filter And(std::vector<Filter> fs);

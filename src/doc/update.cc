@@ -7,24 +7,18 @@ namespace {
 
 // Returns the final path segment and navigates `*parent` to the enclosing
 // object, creating intermediates. Returns false on type conflicts.
-bool ResolveParent(Value* root, std::string_view path, Value** parent,
+bool ResolveParent(Value* root, const Path& path, Value** parent,
                    std::string_view* leaf) {
-  size_t dot = path.rfind('.');
-  if (dot == std::string_view::npos) {
+  const size_t n = path.segment_count();
+  if (n == 0) {
     *parent = root;
-    *leaf = path;
+    *leaf = std::string_view();
     return root->is_object();
   }
-  std::string_view prefix = path.substr(0, dot);
-  *leaf = path.substr(dot + 1);
   Value* cur = root;
-  while (!prefix.empty()) {
+  for (size_t i = 0; i + 1 < n; ++i) {
     if (!cur->is_object()) return false;
-    const size_t d = prefix.find('.');
-    std::string_view head =
-        d == std::string_view::npos ? prefix : prefix.substr(0, d);
-    prefix = d == std::string_view::npos ? std::string_view{}
-                                         : prefix.substr(d + 1);
+    const std::string_view head = path.segment_name(i);
     Value* child = cur->Find(head);
     if (child == nullptr) {
       cur->Set(head, Value(Object{}));
@@ -33,6 +27,7 @@ bool ResolveParent(Value* root, std::string_view path, Value** parent,
     cur = child;
   }
   *parent = cur;
+  *leaf = path.segment_name(n - 1);
   return cur->is_object();
 }
 
@@ -88,27 +83,27 @@ bool ApplyOne(const UpdateOp& op, Value* target) {
 
 }  // namespace
 
-UpdateSpec& UpdateSpec::Set(std::string path, Value v) {
+UpdateSpec& UpdateSpec::Set(Path path, Value v) {
   ops_.push_back({UpdateOp::Kind::kSet, std::move(path), std::move(v)});
   return *this;
 }
-UpdateSpec& UpdateSpec::Inc(std::string path, Value v) {
+UpdateSpec& UpdateSpec::Inc(Path path, Value v) {
   ops_.push_back({UpdateOp::Kind::kInc, std::move(path), std::move(v)});
   return *this;
 }
-UpdateSpec& UpdateSpec::Unset(std::string path) {
+UpdateSpec& UpdateSpec::Unset(Path path) {
   ops_.push_back({UpdateOp::Kind::kUnset, std::move(path), Value()});
   return *this;
 }
-UpdateSpec& UpdateSpec::Push(std::string path, Value v) {
+UpdateSpec& UpdateSpec::Push(Path path, Value v) {
   ops_.push_back({UpdateOp::Kind::kPush, std::move(path), std::move(v)});
   return *this;
 }
-UpdateSpec& UpdateSpec::Max(std::string path, Value v) {
+UpdateSpec& UpdateSpec::Max(Path path, Value v) {
   ops_.push_back({UpdateOp::Kind::kMax, std::move(path), std::move(v)});
   return *this;
 }
-UpdateSpec& UpdateSpec::Min(std::string path, Value v) {
+UpdateSpec& UpdateSpec::Min(Path path, Value v) {
   ops_.push_back({UpdateOp::Kind::kMin, std::move(path), std::move(v)});
   return *this;
 }
@@ -126,7 +121,7 @@ Value UpdateSpec::ToValue() const {
   out.reserve(ops_.size());
   for (const auto& op : ops_) {
     out.push_back(Value::Doc({{"k", static_cast<int64_t>(op.kind)},
-                              {"p", op.path},
+                              {"p", op.path.str()},
                               {"v", op.value}}));
   }
   return Value(std::move(out));

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "doc/path.h"
 #include "doc/value.h"
 
 namespace dcg::doc {
@@ -20,7 +21,7 @@ struct UpdateOp {
   };
 
   Kind kind;
-  std::string path;
+  Path path;    // compiled once; replay never re-tokenizes it
   Value value;  // unused for kUnset
 };
 
@@ -35,13 +36,13 @@ class UpdateSpec {
  public:
   UpdateSpec() = default;
 
-  /// Fluent builders.
-  UpdateSpec& Set(std::string path, Value v);
-  UpdateSpec& Inc(std::string path, Value v);
-  UpdateSpec& Unset(std::string path);
-  UpdateSpec& Push(std::string path, Value v);
-  UpdateSpec& Max(std::string path, Value v);
-  UpdateSpec& Min(std::string path, Value v);
+  /// Fluent builders (plain strings convert implicitly to Path).
+  UpdateSpec& Set(Path path, Value v);
+  UpdateSpec& Inc(Path path, Value v);
+  UpdateSpec& Unset(Path path);
+  UpdateSpec& Push(Path path, Value v);
+  UpdateSpec& Max(Path path, Value v);
+  UpdateSpec& Min(Path path, Value v);
 
   const std::vector<UpdateOp>& ops() const { return ops_; }
   bool empty() const { return ops_.empty(); }

@@ -160,6 +160,21 @@ const Value* Value::FindPath(std::string_view path) const {
   return cur;
 }
 
+const Value* Value::FindPath(const Path& path) const {
+  const Value* cur = this;
+  const size_t n = path.segment_count();
+  for (size_t i = 0; i < n && cur != nullptr; ++i) {
+    const Path::Segment& seg = path.segment(i);
+    if (cur->is_array()) {
+      if (!seg.is_index || seg.index >= cur->as_array().size()) return nullptr;
+      cur = &cur->as_array()[seg.index];
+    } else {
+      cur = cur->Find(path.segment_name(i));
+    }
+  }
+  return cur;
+}
+
 void Value::Set(std::string_view field, Value v) {
   Value* existing = Find(field);
   if (existing != nullptr) {

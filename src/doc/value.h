@@ -10,6 +10,8 @@
 #include <variant>
 #include <vector>
 
+#include "doc/path.h"
+
 namespace dcg::doc {
 
 class Value;
@@ -99,6 +101,20 @@ class Value {
   /// Looks up a dotted path ("a.b.c"); also indexes into arrays when a path
   /// segment is a decimal number. Returns nullptr when absent.
   const Value* FindPath(std::string_view path) const;
+
+  /// Same lookup over a pre-compiled path — no per-call tokenization. The
+  /// hot query paths (filters, sorts, index maintenance) use this overload.
+  const Value* FindPath(const Path& path) const;
+
+  /// Exact-match overloads so string literals and std::string arguments stay
+  /// unambiguous between the string_view and Path overloads (each is one
+  /// implicit conversion away from both).
+  const Value* FindPath(const char* path) const {
+    return FindPath(std::string_view(path));
+  }
+  const Value* FindPath(const std::string& path) const {
+    return FindPath(std::string_view(path));
+  }
 
   /// Sets a direct field on an Object value (appends or overwrites).
   /// Requires the value to be an Object.

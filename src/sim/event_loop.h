@@ -3,15 +3,16 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "sim/time.h"
 
 namespace dcg::sim {
 
-/// Identifies a scheduled event so it can be cancelled.
+/// Identifies a scheduled event so it can be cancelled. Encodes a slab slot
+/// and a generation; ids are never reused (the generation advances every
+/// time a slot fires or is cancelled), so a stale id is always a no-op.
 using EventId = uint64_t;
 
 /// Single-threaded discrete-event scheduler.
@@ -20,6 +21,17 @@ using EventId = uint64_t;
 /// them in (time, insertion-order) order, advancing the logical clock to each
 /// event's timestamp before invoking it. Two events at the same timestamp
 /// fire in the order they were scheduled, which keeps runs deterministic.
+///
+/// Callbacks live inline in a slab of slots recycled through a free list —
+/// no per-event hash-map lookup, insert, or erase on the hot path. The
+/// priority queue is a 4-ary min-heap of POD entries carrying the slot and
+/// the generation the id was issued under; cancellation just bumps the
+/// slot's generation, and the stale queue entry is discarded when it
+/// surfaces (or swept out wholesale when tombstones outnumber live events,
+/// so cancel-heavy churn cannot balloon the heap). Firing order is a pure
+/// function of (time, seq) — a total order, since seq is unique — so
+/// neither slot recycling, heap arity, nor compaction can perturb a seeded
+/// run.
 ///
 /// The loop is the spine of the whole reproduction: servers, networks,
 /// clients, and the Read Balancer are all expressed as chains of events.
@@ -56,32 +68,80 @@ class EventLoop {
   bool Step();
 
   /// Number of live (non-cancelled) events waiting in the queue.
-  size_t PendingEvents() const { return callbacks_.size(); }
+  size_t PendingEvents() const { return pending_; }
 
  private:
   struct Event {
     Time at;
     uint64_t seq;  // tie-breaker: insertion order
-    EventId id;
+    uint32_t slot;
+    uint32_t gen;  // generation the id was issued under
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+  static bool Sooner(const Event& a, const Event& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+  /// One slab slot. `gen` advances on fire/cancel, which simultaneously
+  /// invalidates the outstanding EventId and any queue entry pointing here.
+  struct Slot {
+    std::function<void()> fn;
+    uint32_t gen = 1;  // 0 is reserved so EventId 0 is never valid
+    bool live = false;
   };
 
-  // Discards cancelled tombstones at the head of the queue. Returns false
-  // if the queue drained.
-  bool SkipTombstones();
+  static EventId MakeId(uint32_t slot, uint32_t gen) {
+    return (static_cast<uint64_t>(slot) << 32) | gen;
+  }
+
+  // Frees a slot after fire/cancel: drops the callback's captured state,
+  // advances the generation, and recycles the index.
+  void ReleaseSlot(uint32_t slot_idx);
+
+  // Slots live in fixed-size chunks so slab growth never moves (and never
+  // re-constructs) existing callbacks; a slot's address is stable for life.
+  static constexpr uint32_t kSlabChunkBits = 8;
+  static constexpr uint32_t kSlabChunkSize = 1u << kSlabChunkBits;
+
+  Slot& SlotAt(uint32_t i) {
+    return slabs_[i >> kSlabChunkBits][i & (kSlabChunkSize - 1)];
+  }
+  const Slot& SlotAt(uint32_t i) const {
+    return slabs_[i >> kSlabChunkBits][i & (kSlabChunkSize - 1)];
+  }
+
+  // True when the heap entry's slot was cancelled or refired since the
+  // entry was pushed.
+  bool IsStale(const Event& ev) const {
+    const Slot& slot = SlotAt(ev.slot);
+    return !slot.live || slot.gen != ev.gen;
+  }
+
+  // 4-ary min-heap over (at, seq): shallower than a binary heap, and each
+  // sift-down level reads one contiguous run of children — fewer cache
+  // lines per pop when the heap is deep.
+  void HeapPush(const Event& ev);
+  void HeapPop();
+  void SiftDown(size_t i);
+
+  // Sweeps cancelled tombstones out of the heap when they outnumber live
+  // events; amortized O(1) per cancel.
+  void CompactIfWorthwhile();
+
+  // Discards cancelled tombstones at the head of the queue. Returns the
+  // next live event, or nullptr if the queue drained.
+  const Event* PeekLive();
+
+  // Pops `ev` (the current queue head) and runs its callback.
+  void Fire(const Event& ev);
 
   Time now_ = 0;
   uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  // Callbacks for live events; erased on fire or cancel. Cancelled events
-  // leave a tombstone in queue_ that is skipped when popped.
-  std::unordered_map<EventId, std::function<void()>> callbacks_;
+  size_t pending_ = 0;
+  size_t stale_in_heap_ = 0;
+  uint32_t slot_count_ = 0;  // slots ever created, across all chunks
+  std::vector<Event> heap_;
+  std::vector<std::unique_ptr<Slot[]>> slabs_;
+  std::vector<uint32_t> free_slots_;
 };
 
 }  // namespace dcg::sim

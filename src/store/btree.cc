@@ -322,6 +322,74 @@ BTree::Iterator BTree::LowerBound(const Key& key) const {
   return it;
 }
 
+int BTree::ComparePrefix(const doc::Value* const* prefix, size_t n,
+                         const Key& key) {
+  if (!key.is_array()) {
+    // Rank-order comparison against a non-array key: Array sorts after
+    // everything but Object in the canonical Value order.
+    return key.is_object() ? -1 : 1;
+  }
+  const doc::Array& b = key.as_array();
+  const size_t m = std::min(n, b.size());
+  for (size_t i = 0; i < m; ++i) {
+    const int c = prefix[i]->Compare(b[i]);
+    if (c != 0) return c;
+  }
+  return n < b.size() ? -1 : (n > b.size() ? 1 : 0);
+}
+
+int BTree::ComparePrefixTruncated(const doc::Value* const* prefix, size_t n,
+                                  const Key& key) {
+  if (!key.is_array()) {
+    return key.is_object() ? -1 : 1;
+  }
+  const doc::Array& b = key.as_array();
+  const size_t m = std::min(n, b.size());
+  for (size_t i = 0; i < m; ++i) {
+    const int c = prefix[i]->Compare(b[i]);
+    if (c != 0) return c;
+  }
+  return n > b.size() ? 1 : 0;  // key components beyond n are ignored
+}
+
+BTree::Iterator BTree::LowerBoundPrefix(const doc::Value* const* prefix,
+                                        size_t n) const {
+  // Mirrors LowerBound, with the prefix taking the probe key's place:
+  // descend through the child whose range may hold the first key >= prefix,
+  // then binary-search the leaf.
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    size_t lo = 0, hi = node->keys.size();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (ComparePrefix(prefix, n, node->keys[mid]) < 0) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    node = node->children[lo].get();
+  }
+  size_t lo = 0, hi = node->keys.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (ComparePrefix(prefix, n, node->keys[mid]) <= 0) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  Iterator it(node, lo);
+  if (lo >= node->keys.size()) {
+    it.leaf_ = node->next;
+    it.pos_ = 0;
+    while (it.leaf_ != nullptr && it.leaf_->keys.empty()) {
+      it.leaf_ = it.leaf_->next;
+    }
+  }
+  return it;
+}
+
 BTree::Iterator BTree::UpperBound(const Key& key) const {
   Iterator it = LowerBound(key);
   if (it.Valid() && it.key() == key) it.Next();

@@ -79,6 +79,27 @@ class BTree {
   /// Cursor positioned at the first key >= `key`.
   Iterator LowerBound(const Key& key) const;
 
+  /// Cursor positioned at the first key >= the composite prefix
+  /// `[prefix, prefix + n)`, compared as if the prefix were an Array key —
+  /// but without materializing one. Since an Array that is a strict prefix
+  /// of another compares less, this is the inclusive lower bound for every
+  /// tuple extending the prefix. Secondary-index probes use this to avoid
+  /// a temporary key allocation per lookup.
+  Iterator LowerBoundPrefix(const doc::Value* const* prefix, size_t n) const;
+
+  /// Three-way comparison of a composite prefix against a stored key, with
+  /// the same semantics as LowerBoundPrefix (<0: prefix sorts before key;
+  /// a strict prefix of a longer tuple sorts before it).
+  static int ComparePrefix(const doc::Value* const* prefix, size_t n,
+                           const Key& key);
+
+  /// Like ComparePrefix but compares only the first `n` components of
+  /// `key` (0 when the key *extends* the prefix). Index range scans use it
+  /// to detect the end of the matching range: iteration is past the range
+  /// upper bound `prefix` once this returns < 0.
+  static int ComparePrefixTruncated(const doc::Value* const* prefix, size_t n,
+                                    const Key& key);
+
   /// Cursor positioned at the first key > `key`.
   Iterator UpperBound(const Key& key) const;
 

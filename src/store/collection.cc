@@ -112,7 +112,7 @@ void Collection::CreateIndex(std::string index_name,
                 index_name.c_str());
   auto index = std::make_unique<Index>();
   index->name = std::move(index_name);
-  index->paths = std::move(paths);
+  index->paths.assign(paths.begin(), paths.end());
   for (auto it = primary_.Begin(); it.Valid(); it.Next()) {
     IndexDocument(index.get(), it.key(), it.payload());
   }
@@ -124,7 +124,10 @@ Collection::IndexSpecs() const {
   std::vector<std::pair<std::string, std::vector<std::string>>> specs;
   specs.reserve(indexes_.size());
   for (const auto& index : indexes_) {
-    specs.emplace_back(index->name, index->paths);
+    std::vector<std::string> paths;
+    paths.reserve(index->paths.size());
+    for (const auto& path : index->paths) paths.push_back(path.str());
+    specs.emplace_back(index->name, std::move(paths));
   }
   return specs;
 }
@@ -136,50 +139,62 @@ bool Collection::HasIndex(const std::string& index_name) const {
   return false;
 }
 
-std::vector<DocPtr> Collection::Find(const doc::Filter& filter,
-                                     size_t limit) const {
-  std::vector<DocPtr> out;
-  if (limit == 0) return out;
-
+template <typename Visit>
+void Collection::VisitMatches(const doc::Filter& filter, Visit&& visit) const {
   // Point lookup through the primary key.
   if (const doc::Value* id = filter.EqualityValue("_id"); id != nullptr) {
     DocPtr d = primary_.Find(*id);
-    if (d != nullptr && filter.Matches(*d)) out.push_back(std::move(d));
-    return out;
+    if (d != nullptr && filter.Matches(*d)) visit(d);
+    return;
   }
 
-  // Equality over a full secondary-index prefix.
+  // Equality over a full secondary-index prefix. The pinned values are
+  // borrowed from the filter itself, so probing allocates nothing.
   for (const auto& index : indexes_) {
-    std::vector<doc::Value> prefix;
+    std::vector<const doc::Value*> prefix;
+    prefix.reserve(index->paths.size());
     for (const auto& path : index->paths) {
-      const doc::Value* v = filter.EqualityValue(path);
+      const doc::Value* v = filter.EqualityValue(path.str());
       if (v == nullptr) break;
-      prefix.push_back(*v);
+      prefix.push_back(v);
     }
     if (prefix.size() == index->paths.size()) {
-      for (auto& d :
-           IndexScan(index->name, prefix, prefix, SIZE_MAX)) {
-        if (filter.Matches(*d)) {
-          out.push_back(std::move(d));
-          if (out.size() >= limit) return out;
+      for (auto it = index->tree.LowerBoundPrefix(prefix.data(), prefix.size());
+           it.Valid(); it.Next()) {
+        if (BTree::ComparePrefixTruncated(prefix.data(), prefix.size(),
+                                          it.key()) != 0) {
+          break;  // past every tuple extending the prefix
         }
+        if (filter.Matches(*it.payload()) && !visit(it.payload())) return;
       }
-      return out;
+      return;
     }
   }
 
   // Full scan in _id order.
   for (auto it = primary_.Begin(); it.Valid(); it.Next()) {
-    if (filter.Matches(*it.payload())) {
-      out.push_back(it.payload());
-      if (out.size() >= limit) break;
-    }
+    if (filter.Matches(*it.payload()) && !visit(it.payload())) return;
   }
+}
+
+std::vector<DocPtr> Collection::Find(const doc::Filter& filter,
+                                     size_t limit) const {
+  std::vector<DocPtr> out;
+  if (limit == 0) return out;
+  VisitMatches(filter, [&out, limit](const DocPtr& d) {
+    out.push_back(d);
+    return out.size() < limit;
+  });
   return out;
 }
 
 size_t Collection::Count(const doc::Filter& filter) const {
-  return Find(filter).size();
+  size_t n = 0;
+  VisitMatches(filter, [&n](const DocPtr&) {
+    ++n;
+    return true;
+  });
+  return n;
 }
 
 std::vector<doc::Value> Collection::FindWith(const doc::Filter& filter,
@@ -189,17 +204,42 @@ std::vector<doc::Value> Collection::FindWith(const doc::Filter& filter,
       Find(filter, options.sort_path.empty() ? options.limit : SIZE_MAX);
 
   if (!options.sort_path.empty()) {
+    // Extract each document's sort key exactly once, then order decorated
+    // (key, input-position) entries: the position tie-break makes the
+    // comparator a strict total order, so partial_sort/sort reproduce the
+    // previous stable_sort semantics bit-for-bit while a top-k heap sort
+    // does O(n log k) work instead of a full O(n log n) pass.
     static const doc::Value kNull;
-    std::stable_sort(
-        matches.begin(), matches.end(),
-        [&options](const DocPtr& a, const DocPtr& b) {
-          const doc::Value* va = a->FindPath(options.sort_path);
-          const doc::Value* vb = b->FindPath(options.sort_path);
-          const int c = (va != nullptr ? *va : kNull)
-                            .Compare(vb != nullptr ? *vb : kNull);
-          return options.sort_descending ? c > 0 : c < 0;
-        });
-    if (matches.size() > options.limit) matches.resize(options.limit);
+    struct SortEntry {
+      const doc::Value* key;
+      size_t pos;
+    };
+    std::vector<SortEntry> entries;
+    entries.reserve(matches.size());
+    for (size_t i = 0; i < matches.size(); ++i) {
+      const doc::Value* key = matches[i]->FindPath(options.sort_path);
+      entries.push_back({key != nullptr ? key : &kNull, i});
+    }
+    const bool descending = options.sort_descending;
+    auto before = [descending](const SortEntry& a, const SortEntry& b) {
+      int c = a.key->Compare(*b.key);
+      if (descending) c = -c;
+      if (c != 0) return c < 0;
+      return a.pos < b.pos;  // ties keep input (_id / index) order
+    };
+    if (options.limit < entries.size()) {
+      std::partial_sort(entries.begin(), entries.begin() + options.limit,
+                        entries.end(), before);
+      entries.resize(options.limit);
+    } else {
+      std::sort(entries.begin(), entries.end(), before);
+    }
+    std::vector<DocPtr> ordered;
+    ordered.reserve(entries.size());
+    for (const SortEntry& e : entries) {
+      ordered.push_back(std::move(matches[e.pos]));
+    }
+    matches = std::move(ordered);
   }
 
   std::vector<doc::Value> out;
@@ -253,22 +293,20 @@ std::vector<DocPtr> Collection::IndexScan(
 
   std::vector<DocPtr> out;
   // An Array that is a strict prefix of another compares less, so the low
-  // prefix itself is a valid inclusive lower bound.
-  doc::Value low_key{doc::Array(low_prefix.begin(), low_prefix.end())};
-  for (auto it = index->tree.LowerBound(low_key);
+  // prefix itself is a valid inclusive lower bound. The probe borrows the
+  // caller's values — no temporary Array key is materialized.
+  std::vector<const doc::Value*> low;
+  low.reserve(low_prefix.size());
+  for (const auto& v : low_prefix) low.push_back(&v);
+  std::vector<const doc::Value*> high;
+  high.reserve(high_prefix.size());
+  for (const auto& v : high_prefix) high.push_back(&v);
+  for (auto it = index->tree.LowerBoundPrefix(low.data(), low.size());
        it.Valid() && out.size() < limit; it.Next()) {
-    const doc::Array& key = it.key().as_array();
     // Stop once the indexed tuple exceeds the high prefix.
-    bool past_end = false;
-    for (size_t i = 0; i < high_prefix.size(); ++i) {
-      const int c = key[i].Compare(high_prefix[i]);
-      if (c > 0) {
-        past_end = true;
-        break;
-      }
-      if (c < 0) break;  // strictly inside the range
+    if (BTree::ComparePrefixTruncated(high.data(), high.size(), it.key()) < 0) {
+      break;
     }
-    if (past_end) break;
     out.push_back(it.payload());
   }
   return out;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "doc/filter.h"
+#include "doc/path.h"
 #include "doc/update.h"
 #include "doc/value.h"
 #include "store/btree.h"
@@ -21,8 +22,10 @@ using DocPtr = std::shared_ptr<const doc::Value>;
 /// find() modifiers the TPC-C adaptation and ad-hoc queries use).
 struct FindOptions {
   /// Dotted path to order results by (documents missing the path sort
-  /// first, as Null). Empty: _id order.
-  std::string sort_path;
+  /// first, as Null). Empty: _id order. Compiled once at assignment, so
+  /// sorting never re-tokenizes it per comparison; plain strings convert
+  /// implicitly.
+  doc::Path sort_path;
   bool sort_descending = false;
   /// Applied after sorting.
   size_t limit = SIZE_MAX;
@@ -83,7 +86,8 @@ class Collection {
   std::vector<DocPtr> Find(const doc::Filter& filter,
                            size_t limit = SIZE_MAX) const;
 
-  /// Number of matching documents.
+  /// Number of matching documents, counted in place (no result
+  /// materialization).
   size_t Count(const doc::Filter& filter) const;
 
   /// Find with sort/limit/projection. Returns document *copies* (projected
@@ -118,12 +122,20 @@ class Collection {
  private:
   struct Index {
     std::string name;
-    std::vector<std::string> paths;
+    std::vector<doc::Path> paths;  // compiled at CreateIndex
     BTree tree;  // key: Array[path values..., _id]; payload: document
   };
 
   static doc::Value IndexKey(const Index& index, const doc::Value& id,
                              const doc::Value& document);
+
+  /// Enumerates matching documents in the same order Find returns them,
+  /// choosing the primary key or a secondary index when the filter pins
+  /// them with equality. `visit` returns false to stop early. Find and
+  /// Count share this enumerator (Count never materializes results).
+  template <typename Visit>
+  void VisitMatches(const doc::Filter& filter, Visit&& visit) const;
+
   void IndexDocument(Index* index, const doc::Value& id, const DocPtr& d);
   void UnindexDocument(Index* index, const doc::Value& id,
                        const doc::Value& document);

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -61,6 +62,53 @@ std::string RunTrace(const exp::ExperimentConfig& config) {
     trace << line << '\n';
   }
   return trace.str();
+}
+
+// FNV-1a over the serialised trace: a stable fingerprint of an entire run.
+uint64_t TraceHash(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Golden fingerprints captured from the pre-fast-path scheduler (the
+// unordered_map + tombstone EventLoop, string-tokenized query paths, and
+// full stable_sort FindWith). The fast-path rework — slab event storage,
+// compiled doc::Path, top-k sorts — must preserve (time, seq) firing order
+// and query semantics exactly, so the same seeds must keep producing these
+// byte-identical traces. If an intentional semantic change moves them,
+// re-capture with the printed values; do NOT update them for a perf-only
+// change.
+constexpr uint64_t kGoldenHealthyTrace = 15195803746109339267ull;
+constexpr uint64_t kGoldenFaultTrace = 2232401293154476420ull;
+
+TEST(DeterminismTest, TraceMatchesGoldenFingerprint) {
+  const uint64_t h = TraceHash(RunTrace(SmallConfig(42)));
+  std::cout << "healthy trace hash: " << h << "ull\n";
+  if (kGoldenHealthyTrace == 0) {
+    GTEST_SKIP() << "golden hash not yet recorded";
+  }
+  EXPECT_EQ(h, kGoldenHealthyTrace);
+}
+
+TEST(DeterminismTest, FaultTraceMatchesGoldenFingerprint) {
+  auto config = SmallConfig(42);
+  config.run_s_workload = false;
+  std::string error;
+  ASSERT_TRUE(fault::ParseFaultSpec(
+      "loss@25-40:node=1:p=0.3;partition@42-50:nodes=2;"
+      "latency@30-45:node=0:ms=5:x=2",
+      &config.faults, &error))
+      << error;
+  const uint64_t h = TraceHash(RunTrace(config));
+  std::cout << "fault trace hash: " << h << "ull\n";
+  if (kGoldenFaultTrace == 0) {
+    GTEST_SKIP() << "golden hash not yet recorded";
+  }
+  EXPECT_EQ(h, kGoldenFaultTrace);
 }
 
 TEST(DeterminismTest, SameSeedSameTrace) {
