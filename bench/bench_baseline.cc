@@ -31,7 +31,10 @@
 #include "doc/filter.h"
 #include "doc/update.h"
 #include "doc/value.h"
+#include "driver/client.h"
 #include "exp/experiment.h"
+#include "net/network.h"
+#include "repl/replica_set.h"
 #include "sim/event_loop.h"
 #include "sim/random.h"
 #include "store/btree.h"
@@ -160,6 +163,58 @@ uint64_t UpdateApplyDotted(const doc::UpdateSpec& spec, doc::Value* target) {
   return 1000;
 }
 
+// A minimal client + 3-node replica set wired through the command bus,
+// for measuring the per-op cost of the wire-protocol command layer
+// itself (dispatch, reply routing, retry/hedge state machines). The
+// client is deliberately not Start()ed: no hello/probe loops means the
+// event loop drains between batches, and ops run off the seed topology.
+struct CommandRig {
+  sim::EventLoop loop;
+  net::HostId client_host = 0;
+  std::vector<net::HostId> hosts;
+  std::unique_ptr<net::Network> network;
+  std::unique_ptr<repl::ReplicaSet> rs;
+  std::unique_ptr<driver::MongoClient> client;
+
+  explicit CommandRig(driver::ClientOptions options,
+                      sim::Duration link_jitter = 0) {
+    network = std::make_unique<net::Network>(&loop, sim::Rng(11));
+    client_host = network->AddHost("client");
+    for (int i = 0; i < 3; ++i) {
+      hosts.push_back(network->AddHost("n" + std::to_string(i)));
+      network->SetLink(client_host, hosts[i], sim::Millis(1), link_jitter);
+    }
+    repl::ReplicaSetParams params;
+    server::ServerParams server_params;
+    server_params.service.sigma = 0.0;
+    rs = std::make_unique<repl::ReplicaSet>(&loop, sim::Rng(12),
+                                            network.get(), params,
+                                            server_params, hosts);
+    client = std::make_unique<driver::MongoClient>(
+        &loop, sim::Rng(13), rs->command_bus(), client_host, options);
+  }
+
+  // One closed loop of `n` point reads; returns after the loop drains.
+  uint64_t RunReads(int n, driver::ReadPreference pref) {
+    int issued = 0, completed = 0;
+    std::function<void()> issue = [&] {
+      if (issued == n) return;
+      ++issued;
+      client->Read(pref, server::OpClass::kPointRead,
+                   [](const store::Database&) {},
+                   [&](const driver::MongoClient::ReadResult& r) {
+                     if (!r.ok) std::abort();
+                     ++completed;
+                     issue();
+                   });
+    };
+    issue();
+    loop.RunAll();
+    if (completed != n) std::abort();
+    return static_cast<uint64_t>(n);
+  }
+};
+
 }  // namespace
 
 int BenchMain(int argc, char** argv) {
@@ -279,6 +334,53 @@ int BenchMain(int argc, char** argv) {
       }
       if (docs != 10000) std::abort();
       return docs;
+    });
+  }
+
+  {
+    // Command-layer round trip: the full typed find path — selection,
+    // OpContext stamping, bus send, CommandService dispatch, reply
+    // routing, latency accounting — with nothing going wrong.
+    auto rig = std::make_shared<CommandRig>(driver::ClientOptions{});
+    run("command_round_trip", [rig] {
+      return rig->RunReads(1000, driver::ReadPreference::kPrimary);
+    });
+  }
+
+  {
+    // Retry storm: 40% loss in each direction on the client<->primary
+    // link, so most ops burn attempt timeouts and backoff retries before
+    // completing. Measures the retry state machine under duress.
+    driver::ClientOptions options;
+    options.attempt_timeout = sim::Millis(20);
+    options.retry_backoff_base = sim::Millis(1);
+    options.retry_backoff_max = sim::Millis(8);
+    auto rig = std::make_shared<CommandRig>(options);
+    net::Network::LinkFault fault;
+    fault.drop_probability = 0.4;
+    rig->network->SetLinkFault(rig->client_host, rig->hosts[0], fault);
+    rig->network->SetLinkFault(rig->hosts[0], rig->client_host, fault);
+    run("command_retry_storm", [rig] {
+      const uint64_t n = rig->RunReads(300, driver::ReadPreference::kPrimary);
+      if (rig->client->op_counters().retries_total == 0) std::abort();
+      return n;
+    });
+  }
+
+  {
+    // Hedged reads: jittered links give secondary reads a latency tail;
+    // the tail ops fire a hedge to the next-best secondary. Measures the
+    // hedge timer + duplicate-reply suppression path.
+    driver::ClientOptions options;
+    options.hedged_reads = true;
+    options.hedge_quantile = 0.7;
+    options.hedge_min_delay = sim::Micros(500);
+    auto rig = std::make_shared<CommandRig>(options, sim::Millis(3));
+    run("command_hedged_read", [rig] {
+      const uint64_t n =
+          rig->RunReads(500, driver::ReadPreference::kSecondary);
+      if (rig->client->op_counters().hedges_sent == 0) std::abort();
+      return n;
     });
   }
 

@@ -49,7 +49,10 @@ int main() {
   }
 
   // --- Driver + Decongestant. ---
-  driver::MongoClient client(&loop, rng.Fork(), &network, &rs, app,
+  // The driver talks to the replica set purely through its command bus
+  // (typed find/insert/hello messages over the network) and learns the
+  // topology from hello replies — it never touches ReplicaSet internals.
+  driver::MongoClient client(&loop, rng.Fork(), rs.command_bus(), app,
                              driver::ClientOptions{});
   core::BalancerConfig balancer_config;
   balancer_config.stale_bound_seconds = 5;
@@ -86,8 +89,9 @@ int main() {
           [key](const store::Database& db) {
             (void)db.Get("users")->FindById(doc::Value(key));
           },
-          [&, id, pref](const driver::MongoClient::ReadResult& r) {
-            policy.OnReadCompleted(pref, r.latency);
+          [&, id](const driver::MongoClient::ReadResult& r) {
+            // Latency feedback reaches the balancer through the driver's
+            // unified completion path — no manual OnReadCompleted needed.
             ++stats->reads;
             if (r.used_secondary) ++stats->secondary_reads;
             run_worker(id);

@@ -8,13 +8,18 @@
 //           [--warmup=SECONDS] [--seed=N] [--stale-bound=SECONDS]
 //           [--controller=step|proportional] [--no-s-workload]
 //           [--kill-primary-at=SECONDS] [--faults=SPEC] [--chaos-seed=N]
-//           [--csv-prefix=PATH] [--quiet]
+//           [--hedged-reads] [--op-deadline=MS] [--csv-prefix=PATH]
+//           [--quiet]
 //
 // --faults takes a semicolon-separated fault timeline (times in seconds):
 //   type@start[-end][:key=value]*   with type one of latency | loss |
 //   partition | crash | restart | throttle | skew | slowdown, and keys
-//   nodes=1+2, x=FLOAT, p=FLOAT, ms=FLOAT, in=1 (see fault_injector.h).
+//   nodes=1+2, x=FLOAT, p=FLOAT, ms=FLOAT, in=1, client=1 (see
+//   fault_injector.h).
 // --chaos-seed generates a random fault timeline over the run instead.
+// --hedged-reads mirrors eligible secondary reads to a second node after
+//   a P90 delay; --op-deadline gives every operation a client-enforced
+//   deadline in milliseconds (maxTimeMS).
 //
 // Examples:
 //   sim_cli --workload=ycsb-b --clients=45 --duration=300
@@ -22,6 +27,8 @@
 //   sim_cli --workload=ycsb-b --kill-primary-at=150 --csv-prefix=/tmp/run
 //   sim_cli --faults="partition@120-180:nodes=1+2;throttle@220-260:node=2:x=25"
 //   sim_cli --workload=ycsb-b --chaos-seed=7
+//   sim_cli --workload=ycsb-b --system=secondary --hedged-reads \
+//           --op-deadline=500
 
 #include <cstdio>
 #include <cstdlib>
@@ -95,6 +102,11 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "chaos-seed", &value)) {
       chaos_seed = std::strtoull(value.c_str(), nullptr, 10);
       chaos = true;
+    } else if (ParseFlag(argv[i], "op-deadline", &value)) {
+      config.client_options.default_op_deadline =
+          sim::Millis(std::atof(value.c_str()));
+    } else if (std::strcmp(argv[i], "--hedged-reads") == 0) {
+      config.client_options.hedged_reads = true;
     } else if (std::strcmp(argv[i], "--no-s-workload") == 0) {
       config.run_s_workload = false;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
@@ -203,6 +215,17 @@ int main(int argc, char** argv) {
       summary.read_throughput, summary.p80_read_latency_ms,
       summary.secondary_percent, summary.p80_staleness_s,
       summary.max_staleness_s);
+
+  const metrics::OpCounters& ops = experiment.client().op_counters();
+  std::printf(
+      "ops: %llu ok, %llu timed out, %llu retried (%llu retries), "
+      "%llu hedges sent, %llu hedges won\n",
+      static_cast<unsigned long long>(ops.ok),
+      static_cast<unsigned long long>(ops.timed_out),
+      static_cast<unsigned long long>(ops.retried),
+      static_cast<unsigned long long>(ops.retries_total),
+      static_cast<unsigned long long>(ops.hedges_sent),
+      static_cast<unsigned long long>(ops.hedges_won));
 
   if (!csv_prefix.empty()) {
     const bool ok =

@@ -20,10 +20,17 @@ ReadBalancer::ReadBalancer(driver::MongoClient* client, SharedState* state,
   // RecentBal starts as LOWBAL everywhere; the published fraction starts
   // at LOWBAL too (§3.3: initial Balance Fraction is 10 %).
   recent_bal_.assign(config_.recent_history, config_.low_bal);
-  rtt_samples_.resize(client_->replica_set().node_count());
+  rtt_samples_.resize(client_->node_count());
   state_->set_balance_fraction(config_.stale_bound_seconds == 0
                                    ? 0.0
                                    : config_.low_bal);
+  // Harvest latencies from the driver's unified completion path: one
+  // record per successful application read, regardless of which workload
+  // issued it. Probe/control reads opt out via record_latency.
+  client_->SetOpObserver([this](const driver::MongoClient::OpStats& stats) {
+    if (!stats.is_read || !stats.ok || !stats.record_latency) return;
+    state_->RecordLatency(stats.requested, stats.latency);
+  });
 }
 
 void ReadBalancer::Start() {
@@ -48,25 +55,27 @@ void ReadBalancer::RecordRtt(int node, sim::Duration rtt) {
 }
 
 void ReadBalancer::PingLoop() {
-  const int nodes = client_->replica_set().node_count();
+  const int nodes = client_->node_count();
   for (int i = 0; i < nodes; ++i) {
-    client_->PingNode(i, [this, i](sim::Duration rtt) { RecordRtt(i, rtt); });
+    // Timed-out probes contribute no sample: a partitioned node's RTT
+    // window empties instead of freezing at its last healthy value.
+    client_->PingNode(i, [this, i](bool ok, sim::Duration rtt) {
+      if (ok) RecordRtt(i, rtt);
+    });
   }
   client_->loop().ScheduleAfter(config_.ping_interval, [this] { PingLoop(); });
 }
 
 void ReadBalancer::ServerStatusLoop() {
-  client_->ServerStatus([this](const repl::ReplicaSet::ServerStatusReply& r) {
-    OnServerStatus(r);
-  });
+  client_->ServerStatus(
+      [this](const proto::ServerStatusReply& r) { OnServerStatus(r); });
   client_->loop().ScheduleAfter(config_.server_status_interval,
                                 [this] { ServerStatusLoop(); });
 }
 
 // Algorithm 1, Rcv-ServerStatus.
-void ReadBalancer::OnServerStatus(
-    const repl::ReplicaSet::ServerStatusReply& reply) {
-  staleness_estimate_ = repl::ReplicaSet::MaxStalenessSeconds(reply);
+void ReadBalancer::OnServerStatus(const proto::ServerStatusReply& reply) {
+  staleness_estimate_ = proto::MaxStalenessSeconds(reply);
   PublishFraction();
 }
 
@@ -80,13 +89,12 @@ void ReadBalancer::PublishFraction() {
 
 sim::Duration ReadBalancer::MedianRttPrimary() const {
   const auto& window =
-      rtt_samples_[static_cast<size_t>(client_->replica_set().primary_index())];
+      rtt_samples_[static_cast<size_t>(client_->primary_index())];
   return Median({window.begin(), window.end()});
 }
 
 sim::Duration ReadBalancer::MedianRttSecondaries() const {
-  const auto primary =
-      static_cast<size_t>(client_->replica_set().primary_index());
+  const auto primary = static_cast<size_t>(client_->primary_index());
   std::vector<sim::Duration> all;
   for (size_t i = 0; i < rtt_samples_.size(); ++i) {
     if (i == primary) continue;

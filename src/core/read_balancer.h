@@ -26,6 +26,12 @@ namespace dcg::core {
 ///     Lss = P50(Lclient) − P50(RTT)
 /// for primary- and secondary-routed reads, and steps the Balance
 /// Fraction by ±DELTA according to their ratio.
+///
+/// Latency samples arrive through the driver's unified completion path:
+/// constructing the balancer installs an op observer on its client, so
+/// every successful application read — whatever workload issued it — is
+/// recorded once, and control traffic (probe reads flagged
+/// record_latency=false) stays out of the estimate.
 class ReadBalancer {
  public:
   /// Per-period diagnostics, for experiment time series and tests.
@@ -81,7 +87,7 @@ class ReadBalancer {
  private:
   void PingLoop();
   void ServerStatusLoop();
-  void OnServerStatus(const repl::ReplicaSet::ServerStatusReply& reply);
+  void OnServerStatus(const proto::ServerStatusReply& reply);
   void OnPeriodEnd();
   /// Publishes the Balance Fraction clients see, applying the staleness
   /// gate of Algorithm 1 (lines 3-7 / 22-27).

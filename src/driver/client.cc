@@ -8,13 +8,18 @@
 
 namespace dcg::driver {
 
+namespace {
+/// Recent-read-latency window sizing the hedge-delay quantile estimate.
+constexpr size_t kLatencyRingCapacity = 64;
+}  // namespace
+
 MongoClient::MongoClient(sim::EventLoop* loop, sim::Rng rng,
-                         net::Network* network, repl::ReplicaSet* rs,
-                         net::HostId client_host, ClientOptions options)
+                         proto::CommandBus* bus, net::HostId client_host,
+                         ClientOptions options)
     : loop_(loop),
       rng_(std::move(rng)),
-      network_(network),
-      rs_(rs),
+      bus_(bus),
+      network_(bus->network()),
       client_host_(client_host),
       options_(options) {
   if (options_.enforce_mongodb_min_staleness &&
@@ -22,40 +27,70 @@ MongoClient::MongoClient(sim::EventLoop* loop, sim::Rng rng,
     DCG_CHECK_MSG(options_.max_staleness_seconds >= 90,
                   "MongoDB requires maxStalenessSeconds >= 90");
   }
-  // Seed RTT estimates from link base RTTs (first handshake).
-  rtt_estimate_.resize(rs_->node_count());
-  for (int i = 0; i < rs_->node_count(); ++i) {
-    rtt_estimate_[i] = network_->BaseRtt(client_host_, rs_->node(i).host());
+  const std::vector<net::HostId>& hosts = bus_->server_hosts();
+  DCG_CHECK_MSG(!hosts.empty(), "command bus has no registered servers");
+  servers_.resize(hosts.size());
+  for (size_t i = 0; i < hosts.size(); ++i) {
+    servers_[i].host = hosts[i];
+    // Seed RTT estimates from link base RTTs (first handshake).
+    servers_[i].rtt_ewma = network_->BaseRtt(client_host_, hosts[i]);
   }
-  staleness_cache_.assign(rs_->node_count(), 0);
 }
 
 void MongoClient::Start() {
+  if (started_) return;
+  started_ = true;
+  for (ServerDescription& sd : servers_) sd.last_heard = loop_->Now();
+  HelloLoop();
   ProbeLoop();
   if (options_.max_staleness_seconds >= 0) StalenessLoop();
 }
 
+void MongoClient::HelloLoop() {
+  const sim::Time now = loop_->Now();
+  for (int i = 0; i < node_count(); ++i) {
+    ServerDescription& sd = servers_[i];
+    if (sd.reachable && now - sd.last_heard >= options_.hello_timeout) {
+      // Nothing heard for a full timeout: declare the server down and
+      // fail its outstanding attempts over (connection-pool clear).
+      sd.reachable = false;
+      AbortAttemptsOn(i);
+    }
+    proto::Command cmd;
+    cmd.kind = proto::CommandKind::kHello;
+    cmd.reply_to = client_host_;
+    cmd.on_reply = [this](const proto::Reply& reply) {
+      MarkHeard(reply.node_index);
+      AdoptTopology(reply.hello);
+    };
+    bus_->Send(client_host_, sd.host, std::move(cmd));
+  }
+  loop_->ScheduleAfter(options_.hello_interval, [this] { HelloLoop(); });
+}
+
 void MongoClient::ProbeLoop() {
-  for (int i = 0; i < rs_->node_count(); ++i) {
-    PingNode(i, [this, i](sim::Duration rtt) {
+  for (int i = 0; i < node_count(); ++i) {
+    PingNode(i, [this, i](bool ok, sim::Duration rtt) {
+      if (!ok) return;  // probe lost; reachability is the hello loop's job
+      MarkHeard(i);
       const double alpha = options_.rtt_ewma_alpha;
-      rtt_estimate_[i] = static_cast<sim::Duration>(
+      servers_[i].rtt_ewma = static_cast<sim::Duration>(
           alpha * static_cast<double>(rtt) +
-          (1.0 - alpha) * static_cast<double>(rtt_estimate_[i]));
+          (1.0 - alpha) * static_cast<double>(servers_[i].rtt_ewma));
     });
   }
   loop_->ScheduleAfter(options_.rtt_probe_interval, [this] { ProbeLoop(); });
 }
 
 void MongoClient::StalenessLoop() {
-  ServerStatus([this](const repl::ReplicaSet::ServerStatusReply& reply) {
+  ServerStatus([this](const proto::ServerStatusReply& reply) {
     for (size_t i = 0; i < reply.secondary_last_applied.size(); ++i) {
       const int node = reply.secondary_nodes[i];
       const repl::OpTime& sec = reply.secondary_last_applied[i];
       if (sec.seq >= reply.primary_last_applied.seq) {
-        staleness_cache_[node] = 0;
+        servers_[node].staleness_s = 0;
       } else {
-        staleness_cache_[node] =
+        servers_[node].staleness_s =
             (reply.primary_last_applied.wall - sec.wall) / sim::kSecond;
       }
     }
@@ -65,20 +100,20 @@ void MongoClient::StalenessLoop() {
 }
 
 std::vector<int> MongoClient::EligibleSecondaries() {
-  const int primary = rs_->primary_index();
+  const int primary = believed_primary_;
   std::vector<int> eligible;
   sim::Duration min_rtt = std::numeric_limits<sim::Duration>::max();
-  for (int i = 0; i < rs_->node_count(); ++i) {
-    if (i == primary || !rs_->IsAlive(i)) continue;
-    min_rtt = std::min(min_rtt, rtt_estimate_[i]);
+  for (int i = 0; i < node_count(); ++i) {
+    if (i == primary || !servers_[i].reachable) continue;
+    min_rtt = std::min(min_rtt, servers_[i].rtt_ewma);
   }
-  for (int i = 0; i < rs_->node_count(); ++i) {
-    if (i == primary || !rs_->IsAlive(i)) continue;
-    if (rtt_estimate_[i] > min_rtt + options_.selection_latency_window) {
+  for (int i = 0; i < node_count(); ++i) {
+    if (i == primary || !servers_[i].reachable) continue;
+    if (servers_[i].rtt_ewma > min_rtt + options_.selection_latency_window) {
       continue;
     }
     if (options_.max_staleness_seconds >= 0 &&
-        staleness_cache_[i] > options_.max_staleness_seconds) {
+        servers_[i].staleness_s > options_.max_staleness_seconds) {
       continue;
     }
     eligible.push_back(i);
@@ -87,8 +122,8 @@ std::vector<int> MongoClient::EligibleSecondaries() {
 }
 
 int MongoClient::SelectNode(ReadPreference pref) {
-  const int primary = rs_->primary_index();
-  const bool primary_alive = rs_->IsAlive(primary);
+  const int primary = believed_primary_;
+  const bool primary_alive = primary >= 0 && servers_[primary].reachable;
   switch (pref) {
     case ReadPreference::kPrimary:
       return primary_alive ? primary : kNoNode;
@@ -113,9 +148,11 @@ int MongoClient::SelectNode(ReadPreference pref) {
     }
     case ReadPreference::kNearest: {
       int best = kNoNode;
-      for (int i = 0; i < rs_->node_count(); ++i) {
-        if (!rs_->IsAlive(i)) continue;
-        if (best < 0 || rtt_estimate_[i] < rtt_estimate_[best]) best = i;
+      for (int i = 0; i < node_count(); ++i) {
+        if (!servers_[i].reachable) continue;
+        if (best < 0 || servers_[i].rtt_ewma < servers_[best].rtt_ewma) {
+          best = i;
+        }
       }
       return best;
     }
@@ -123,120 +160,449 @@ int MongoClient::SelectNode(ReadPreference pref) {
   return primary_alive ? primary : kNoNode;
 }
 
+int MongoClient::SelectNodeExcluding(ReadPreference pref, int exclude) {
+  if (exclude == kNoNode || pref == ReadPreference::kPrimary) {
+    // kPrimary has no alternative server — re-selection re-resolves who
+    // the primary is, which the topology refresh already moved.
+    return SelectNode(pref);
+  }
+  if (pref == ReadPreference::kNearest) {
+    int best = kNoNode;
+    for (int i = 0; i < node_count(); ++i) {
+      if (i == exclude || !servers_[i].reachable) continue;
+      if (best < 0 || servers_[i].rtt_ewma < servers_[best].rtt_ewma) best = i;
+    }
+    return best != kNoNode ? best : SelectNode(pref);
+  }
+  const int primary = believed_primary_;
+  const bool primary_alive = primary >= 0 && servers_[primary].reachable;
+  if (pref == ReadPreference::kPrimaryPreferred && primary_alive &&
+      primary != exclude) {
+    return primary;
+  }
+  std::vector<int> eligible = EligibleSecondaries();
+  eligible.erase(std::remove(eligible.begin(), eligible.end(), exclude),
+                 eligible.end());
+  if (!eligible.empty()) {
+    return eligible[static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(eligible.size()) - 1))];
+  }
+  // No alternative exists; fall back to the normal rules (possibly the
+  // same node — better than failing when it is the only one left).
+  return SelectNode(pref);
+}
+
 void MongoClient::Read(ReadPreference pref, server::OpClass op_class,
-                       repl::ReplicaSet::ReadBody body,
-                       std::function<void(const ReadResult&)> done) {
-  ReadAfter(pref, repl::OpTime{}, op_class, std::move(body), std::move(done));
+                       proto::ReadBody body,
+                       std::function<void(const ReadResult&)> done,
+                       OpOptions opts) {
+  ReadAfter(pref, repl::OpTime{}, op_class, std::move(body), std::move(done),
+            opts);
 }
 
 void MongoClient::ReadAfter(ReadPreference pref, const repl::OpTime& after,
-                            server::OpClass op_class,
-                            repl::ReplicaSet::ReadBody body,
-                            std::function<void(const ReadResult&)> done) {
-  const int node = SelectNode(pref);
-  if (node == kNoNode) {
-    // No selectable server right now (fail-over in progress): the driver
-    // retries server selection, as real drivers do.
-    loop_->ScheduleAfter(options_.selection_retry_interval,
-                         [this, pref, after, op_class, body = std::move(body),
-                          done = std::move(done)]() mutable {
-                           ReadAfter(pref, after, op_class, std::move(body),
-                                     std::move(done));
-                         });
-    return;
-  }
-  const net::HostId node_host = rs_->node(node).host();
-  const sim::Time start = loop_->Now();
-  network_->Send(
-      client_host_, node_host,
-      [this, node, node_host, pref, op_class, after, start,
-       body = std::move(body), done = std::move(done)]() mutable {
-        rs_->ReadAfter(
-            node, after, op_class,
-            [this, node, node_host, pref, start, body = std::move(body),
-             done = std::move(done)](const store::Database& db) {
-              body(db);
-              const repl::OpTime operation_time =
-                  rs_->node(node).last_applied();
-              network_->Send(node_host, client_host_,
-                             [this, node, pref, start, operation_time,
-                              done = std::move(done)] {
-                               ReadResult result;
-                               result.latency = loop_->Now() - start;
-                               result.requested = pref;
-                               result.node = node;
-                               result.used_secondary =
-                                   node != rs_->primary_index();
-                               result.operation_time = operation_time;
-                               if (done) done(result);
-                             });
-            });
-      });
+                            server::OpClass op_class, proto::ReadBody body,
+                            std::function<void(const ReadResult&)> done,
+                            OpOptions opts) {
+  PendingOp op;
+  op.is_read = true;
+  op.pref = pref;
+  op.op_class = op_class;
+  op.read_body = std::move(body);
+  op.after = after;
+  op.read_done = std::move(done);
+  BeginOp(std::move(op), opts);
 }
 
-void MongoClient::Write(server::OpClass op_class,
-                        repl::ReplicaSet::TxnBody body,
+void MongoClient::Write(server::OpClass op_class, proto::TxnBody body,
                         std::function<void(const WriteResult&)> done,
-                        repl::WriteConcern concern) {
-  if (!rs_->IsAlive(rs_->primary_index())) {
-    // Not-master: retry server selection until the election resolves.
-    loop_->ScheduleAfter(options_.selection_retry_interval,
-                         [this, op_class, concern, body = std::move(body),
-                          done = std::move(done)]() mutable {
-                           Write(op_class, std::move(body), std::move(done),
-                                 concern);
-                         });
+                        repl::WriteConcern concern, OpOptions opts) {
+  PendingOp op;
+  op.is_read = false;
+  op.pref = ReadPreference::kPrimary;
+  op.op_class = op_class;
+  op.txn_body = std::move(body);
+  op.concern = concern;
+  op.write_done = std::move(done);
+  BeginOp(std::move(op), opts);
+}
+
+uint64_t MongoClient::BeginOp(PendingOp op, OpOptions opts) {
+  const uint64_t op_id = next_op_id_++;
+  op.start = loop_->Now();
+  op.max_retries =
+      opts.max_retries == -2 ? options_.max_retries : opts.max_retries;
+  op.hedge_eligible = opts.hedge_eligible;
+  op.record_latency = opts.record_latency;
+  const sim::Duration deadline =
+      opts.deadline < 0 ? options_.default_op_deadline : opts.deadline;
+  if (deadline > 0) {
+    op.deadline = op.start + deadline;
+    op.deadline_timer =
+        loop_->ScheduleAfter(deadline, [this, op_id] { OnDeadline(op_id); });
+  }
+  pending_[op_id] = std::move(op);
+  StartAttempt(op_id);
+  return op_id;
+}
+
+void MongoClient::StartAttempt(uint64_t op_id) {
+  auto it = pending_.find(op_id);
+  if (it == pending_.end()) return;
+  PendingOp& op = it->second;
+  op.backoff_timer = 0;
+  int node = kNoNode;
+  if (op.is_read) {
+    node = SelectNodeExcluding(op.pref,
+                               op.attempts_sent > 0 ? op.last_target : kNoNode);
+  } else if (believed_primary_ >= 0 &&
+             servers_[believed_primary_].reachable) {
+    node = believed_primary_;
+  }
+  if (node == kNoNode) {
+    // No selectable server right now (fail-over in progress): retry
+    // server selection, as real drivers do. Selection waits do not burn
+    // the retry budget — nothing was sent.
+    op.backoff_timer =
+        loop_->ScheduleAfter(options_.selection_retry_interval,
+                             [this, op_id] { StartAttempt(op_id); });
     return;
   }
-  const net::HostId primary_host = rs_->primary().host();
-  const sim::Time start = loop_->Now();
-  network_->Send(
-      client_host_, primary_host,
-      [this, primary_host, op_class, concern, start, body = std::move(body),
-       done = std::move(done)]() mutable {
-        rs_->WriteTransaction(
-            op_class, std::move(body),
-            [this, primary_host, start, done = std::move(done)](
-                bool committed) {
-              const repl::OpTime operation_time =
-                  rs_->primary().last_applied();
-              network_->Send(primary_host, client_host_,
-                             [this, start, committed, operation_time,
-                              done = std::move(done)] {
-                               WriteResult result;
-                               result.latency = loop_->Now() - start;
-                               result.committed = committed;
-                               result.operation_time = operation_time;
-                               if (done) done(result);
-                             });
-            },
-            concern);
-      });
+  op.target = node;
+  ++op.attempts_sent;
+
+  proto::Command cmd;
+  cmd.kind = op.is_read ? proto::CommandKind::kFind : proto::CommandKind::kWrite;
+  cmd.ctx.op_id = op_id;
+  cmd.ctx.deadline = op.deadline;
+  cmd.ctx.after_cluster_time = op.after;
+  cmd.ctx.attempt = op.attempts_sent - 1;
+  cmd.op_class = op.op_class;
+  cmd.require_primary = !op.is_read || op.pref == ReadPreference::kPrimary;
+  cmd.read_body = op.read_body;  // copies: the op outlives any one attempt
+  cmd.txn_body = op.txn_body;
+  cmd.concern = op.concern;
+  cmd.reply_to = client_host_;
+  cmd.on_reply = [this, op_id](const proto::Reply& r) { OnReply(op_id, r); };
+  bus_->Send(client_host_, servers_[node].host, std::move(cmd));
+
+  if (options_.attempt_timeout > 0) {
+    op.attempt_timer = loop_->ScheduleAfter(
+        options_.attempt_timeout, [this, op_id] { OnAttemptTimeout(op_id); });
+  }
+  if (op.is_read && options_.hedged_reads && op.hedge_eligible &&
+      op.pref != ReadPreference::kPrimary && op.attempts_sent == 1) {
+    op.hedge_timer = loop_->ScheduleAfter(HedgeDelay(),
+                                          [this, op_id] { OnHedgeTimer(op_id); });
+  }
+}
+
+void MongoClient::OnReply(uint64_t op_id, const proto::Reply& reply) {
+  // Every reply is traffic: it proves the server reachable and carries a
+  // hello piggyback refreshing the topology view.
+  MarkHeard(reply.node_index);
+  AdoptTopology(reply.hello);
+  auto it = pending_.find(op_id);
+  if (it == pending_.end()) return;  // hedge loser / superseded attempt
+  PendingOp& op = it->second;
+  if (reply.status == proto::ReplyStatus::kNotPrimary) {
+    // Only the outstanding attempt's error triggers a retry; errors from
+    // already-superseded attempts were handled when they were abandoned.
+    if (!reply.is_hedge && reply.node_index == op.target) RetryAttempt(op_id);
+    return;
+  }
+  CompleteOp(op_id, reply);
+}
+
+void MongoClient::OnAttemptTimeout(uint64_t op_id) {
+  auto it = pending_.find(op_id);
+  if (it == pending_.end()) return;
+  it->second.attempt_timer = 0;
+  RetryAttempt(op_id);
+}
+
+void MongoClient::OnDeadline(uint64_t op_id) {
+  auto it = pending_.find(op_id);
+  if (it == pending_.end()) return;
+  it->second.deadline_timer = 0;
+  FailOp(op_id, /*timed_out=*/true);
+}
+
+void MongoClient::OnHedgeTimer(uint64_t op_id) {
+  auto it = pending_.find(op_id);
+  if (it == pending_.end()) return;
+  PendingOp& op = it->second;
+  op.hedge_timer = 0;
+  // Next-best eligible secondary by RTT, avoiding the outstanding
+  // attempt's node. Deterministic — hedging must not perturb the main
+  // path's random draw sequence.
+  int target = kNoNode;
+  for (int i : EligibleSecondaries()) {
+    if (i == op.target) continue;
+    if (target == kNoNode || servers_[i].rtt_ewma < servers_[target].rtt_ewma) {
+      target = i;
+    }
+  }
+  if (target == kNoNode) return;  // nobody to hedge to
+  op.hedged = true;
+  ++counters_.hedges_sent;
+  proto::Command cmd;
+  cmd.kind = proto::CommandKind::kFind;
+  cmd.ctx.op_id = op_id;
+  cmd.ctx.deadline = op.deadline;
+  cmd.ctx.after_cluster_time = op.after;
+  cmd.ctx.attempt = op.attempts_sent - 1;
+  cmd.ctx.is_hedge = true;
+  cmd.op_class = op.op_class;
+  cmd.read_body = op.read_body;
+  cmd.reply_to = client_host_;
+  cmd.on_reply = [this, op_id](const proto::Reply& r) { OnReply(op_id, r); };
+  bus_->Send(client_host_, servers_[target].host, std::move(cmd));
+}
+
+void MongoClient::RetryAttempt(uint64_t op_id) {
+  auto it = pending_.find(op_id);
+  if (it == pending_.end()) return;
+  PendingOp& op = it->second;
+  if (op.attempt_timer != 0) {
+    loop_->Cancel(op.attempt_timer);
+    op.attempt_timer = 0;
+  }
+  op.last_target = op.target;
+  op.target = kNoNode;
+  if (op.max_retries >= 0 && op.attempts_sent > op.max_retries) {
+    FailOp(op_id, /*timed_out=*/false);
+    return;
+  }
+  // Bounded exponential backoff; no jitter, so same-seed traces stay
+  // bit-identical.
+  sim::Duration backoff = options_.retry_backoff_base;
+  for (int i = 1; i < op.attempts_sent && backoff < options_.retry_backoff_max;
+       ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, options_.retry_backoff_max);
+  op.backoff_timer =
+      loop_->ScheduleAfter(backoff, [this, op_id] { StartAttempt(op_id); });
+}
+
+void MongoClient::CompleteOp(uint64_t op_id, const proto::Reply& reply) {
+  auto it = pending_.find(op_id);
+  if (it == pending_.end()) return;
+  PendingOp op = std::move(it->second);
+  pending_.erase(it);
+  CancelOpTimers(&op);
+  const sim::Duration latency = loop_->Now() - op.start;
+  const int retries = std::max(0, op.attempts_sent - 1);
+  ++counters_.ok;
+  if (retries > 0) {
+    ++counters_.retried;
+    counters_.retries_total += static_cast<uint64_t>(retries);
+  }
+  if (reply.is_hedge) ++counters_.hedges_won;
+  if (op.is_read) RecordReadLatency(latency);
+
+  OpStats stats;
+  stats.is_read = op.is_read;
+  stats.requested = op.pref;
+  stats.latency = latency;
+  stats.ok = true;
+  stats.retries = retries;
+  stats.hedged = op.hedged;
+  stats.hedge_won = reply.is_hedge;
+  stats.node = reply.node_index;
+  stats.used_secondary = !reply.from_primary;
+  stats.record_latency = op.record_latency;
+  if (observer_) observer_(stats);
+
+  if (op.is_read) {
+    ReadResult result;
+    result.latency = latency;
+    result.requested = op.pref;
+    result.node = reply.node_index;
+    result.used_secondary = !reply.from_primary;
+    result.operation_time = reply.operation_time;
+    result.ok = true;
+    result.retries = retries;
+    result.hedged = op.hedged;
+    result.hedge_won = reply.is_hedge;
+    if (op.read_done) op.read_done(result);
+  } else {
+    WriteResult result;
+    result.latency = latency;
+    result.committed = reply.committed;
+    result.operation_time = reply.operation_time;
+    result.ok = true;
+    result.retries = retries;
+    if (op.write_done) op.write_done(result);
+  }
+}
+
+void MongoClient::FailOp(uint64_t op_id, bool timed_out) {
+  auto it = pending_.find(op_id);
+  if (it == pending_.end()) return;
+  PendingOp op = std::move(it->second);
+  pending_.erase(it);
+  CancelOpTimers(&op);
+  const sim::Duration latency = loop_->Now() - op.start;
+  const int retries = std::max(0, op.attempts_sent - 1);
+  if (timed_out) ++counters_.timed_out;
+  if (retries > 0) {
+    ++counters_.retried;
+    counters_.retries_total += static_cast<uint64_t>(retries);
+  }
+
+  OpStats stats;
+  stats.is_read = op.is_read;
+  stats.requested = op.pref;
+  stats.latency = latency;
+  stats.ok = false;
+  stats.timed_out = timed_out;
+  stats.retries = retries;
+  stats.hedged = op.hedged;
+  stats.node = op.target;
+  stats.record_latency = op.record_latency;
+  if (observer_) observer_(stats);
+
+  if (op.is_read) {
+    ReadResult result;
+    result.latency = latency;
+    result.requested = op.pref;
+    result.node = op.target;
+    result.ok = false;
+    result.timed_out = timed_out;
+    result.retries = retries;
+    result.hedged = op.hedged;
+    if (op.read_done) op.read_done(result);
+  } else {
+    WriteResult result;
+    result.latency = latency;
+    result.committed = false;
+    result.ok = false;
+    result.timed_out = timed_out;
+    result.retries = retries;
+    if (op.write_done) op.write_done(result);
+  }
+}
+
+void MongoClient::CancelOpTimers(PendingOp* op) {
+  if (op->attempt_timer != 0) {
+    loop_->Cancel(op->attempt_timer);
+    op->attempt_timer = 0;
+  }
+  if (op->deadline_timer != 0) {
+    loop_->Cancel(op->deadline_timer);
+    op->deadline_timer = 0;
+  }
+  if (op->backoff_timer != 0) {
+    loop_->Cancel(op->backoff_timer);
+    op->backoff_timer = 0;
+  }
+  if (op->hedge_timer != 0) {
+    loop_->Cancel(op->hedge_timer);
+    op->hedge_timer = 0;
+  }
+}
+
+void MongoClient::AbortAttemptsOn(int node) {
+  std::vector<uint64_t> affected;
+  for (const auto& [op_id, op] : pending_) {
+    if (op.target == node) affected.push_back(op_id);
+  }
+  // RetryAttempt may erase ops (budget spent) and their callbacks may
+  // start new ones — mutate only after the scan.
+  for (uint64_t op_id : affected) RetryAttempt(op_id);
+}
+
+void MongoClient::AdoptTopology(const proto::HelloReply& hello) {
+  if (hello.term < believed_term_) return;  // stale view
+  believed_term_ = hello.term;
+  believed_primary_ = hello.primary_index;
+}
+
+void MongoClient::MarkHeard(int node) {
+  if (node < 0 || node >= node_count()) return;
+  servers_[node].last_heard = loop_->Now();
+  servers_[node].reachable = true;
+}
+
+sim::Duration MongoClient::HedgeDelay() const {
+  if (read_latency_ring_.empty()) return options_.hedge_min_delay;
+  std::vector<sim::Duration> sorted = read_latency_ring_;
+  std::sort(sorted.begin(), sorted.end());
+  const double q = std::clamp(options_.hedge_quantile, 0.0, 1.0);
+  const size_t idx =
+      static_cast<size_t>(q * static_cast<double>(sorted.size() - 1));
+  return std::max(options_.hedge_min_delay, sorted[idx]);
+}
+
+void MongoClient::RecordReadLatency(sim::Duration latency) {
+  if (!options_.hedged_reads) return;  // ring only feeds the hedge delay
+  if (read_latency_ring_.size() < kLatencyRingCapacity) {
+    read_latency_ring_.push_back(latency);
+    return;
+  }
+  read_latency_ring_[read_latency_next_] = latency;
+  read_latency_next_ = (read_latency_next_ + 1) % kLatencyRingCapacity;
 }
 
 void MongoClient::ServerStatus(
-    std::function<void(const repl::ReplicaSet::ServerStatusReply&)> done) {
-  if (!rs_->IsAlive(rs_->primary_index())) {
+    std::function<void(const proto::ServerStatusReply&)> done) {
+  const int primary = believed_primary_;
+  if (primary < 0 || !servers_[primary].reachable) {
     loop_->ScheduleAfter(options_.selection_retry_interval,
                          [this, done = std::move(done)]() mutable {
                            ServerStatus(std::move(done));
                          });
     return;
   }
-  const net::HostId primary_host = rs_->primary().host();
-  network_->Send(
-      client_host_, primary_host, [this, primary_host, done = std::move(done)] {
-        rs_->ServerStatus(
-            [this, primary_host, done = std::move(done)](
-                const repl::ReplicaSet::ServerStatusReply& reply) {
-              network_->Send(primary_host, client_host_,
-                             [reply, done = std::move(done)] { done(reply); });
-            });
-      });
+  proto::Command cmd;
+  cmd.kind = proto::CommandKind::kServerStatus;
+  cmd.op_class = server::OpClass::kServerStatus;
+  cmd.require_primary = true;
+  cmd.reply_to = client_host_;
+  cmd.on_reply = [this, done](const proto::Reply& reply) {
+    MarkHeard(reply.node_index);
+    AdoptTopology(reply.hello);
+    if (reply.status == proto::ReplyStatus::kNotPrimary) {
+      // Stale primary view; the piggybacked hello just corrected it.
+      loop_->ScheduleAfter(options_.selection_retry_interval,
+                           [this, done] { ServerStatus(done); });
+      return;
+    }
+    done(reply.server_status);
+  };
+  bus_->Send(client_host_, servers_[primary].host, std::move(cmd));
 }
 
-void MongoClient::PingNode(int node, std::function<void(sim::Duration)> done) {
-  network_->Ping(client_host_, rs_->node(node).host(), std::move(done));
+void MongoClient::PingNode(int node,
+                           std::function<void(bool, sim::Duration)> done) {
+  // A wire-protocol ping, not a network-layer one: a crashed mongod's
+  // host still carries packets, but its command service answers nothing,
+  // so only a served kPing counts as the node being up. The client-side
+  // timer keeps the exactly-one-callback contract when the command (or
+  // its reply) is silently lost.
+  const sim::Time start = loop_->Now();
+  auto settled = std::make_shared<bool>(false);
+  auto cb =
+      std::make_shared<std::function<void(bool, sim::Duration)>>(
+          std::move(done));
+  const sim::EventId timer =
+      loop_->ScheduleAfter(options_.ping_timeout, [settled, cb] {
+        if (*settled) return;
+        *settled = true;
+        (*cb)(false, 0);
+      });
+  proto::Command cmd;
+  cmd.kind = proto::CommandKind::kPing;
+  cmd.reply_to = client_host_;
+  cmd.on_reply = [this, start, settled, cb, timer](const proto::Reply&) {
+    if (*settled) return;
+    *settled = true;
+    loop_->Cancel(timer);
+    (*cb)(true, loop_->Now() - start);
+  };
+  bus_->Send(client_host_, servers_[node].host, std::move(cmd));
 }
 
 }  // namespace dcg::driver

@@ -1,12 +1,15 @@
 #ifndef DCG_DRIVER_CLIENT_H_
 #define DCG_DRIVER_CLIENT_H_
 
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "driver/read_preference.h"
+#include "metrics/op_counters.h"
 #include "net/network.h"
-#include "repl/replica_set.h"
+#include "proto/command.h"
 #include "sim/event_loop.h"
 #include "sim/random.h"
 
@@ -25,6 +28,19 @@ struct ClientOptions {
   /// EWMA weight for new RTT samples (driver spec uses 0.2).
   double rtt_ewma_alpha = 0.2;
 
+  /// RTT probes that outlive this are abandoned (the node or link is
+  /// down; reachability is tracked by the hello loop, not by pings).
+  sim::Duration ping_timeout = sim::Seconds(2);
+
+  /// How often the driver sends `hello` to every node to maintain its
+  /// topology view (who is primary, who is reachable).
+  sim::Duration hello_interval = sim::Millis(500);
+
+  /// A node that has not answered any traffic for this long is marked
+  /// unreachable; its in-flight attempts are failed over immediately
+  /// (connection-pool clear on server-down, per the driver spec).
+  sim::Duration hello_timeout = sim::Millis(1500);
+
   /// Optional maxStalenessSeconds: secondaries whose estimated staleness
   /// exceeds this are excluded from selection. -1 disables the filter.
   /// Real MongoDB requires >= 90 s (§2.2); we accept any value so the
@@ -39,12 +55,58 @@ struct ClientOptions {
   /// Backoff between server-selection retries when no node is currently
   /// selectable (e.g. during a fail-over).
   sim::Duration selection_retry_interval = sim::Millis(200);
+
+  /// Per-attempt timeout: when a sent command has produced no reply for
+  /// this long (silent network loss — the server never errors, it just
+  /// never answers), the attempt is abandoned and the op retries on a
+  /// freshly selected node. 0 disables (an op can then wedge forever on
+  /// a lossy link, like the old driver did).
+  sim::Duration attempt_timeout = sim::Seconds(10);
+
+  /// Bounded exponential backoff between retry attempts.
+  sim::Duration retry_backoff_base = sim::Millis(2);
+  sim::Duration retry_backoff_max = sim::Seconds(1);
+
+  /// Default retry budget per op: -1 = unlimited (ops without a deadline
+  /// keep trying, preserving the old driver's never-give-up semantics).
+  int max_retries = -1;
+
+  /// Default per-op deadline (maxTimeMS); 0 = none. Ops past their
+  /// deadline complete with `timed_out` set. Enforced client-side: a
+  /// dropped message is silent, so only the client can keep the promise.
+  sim::Duration default_op_deadline = 0;
+
+  /// Opt-in hedged reads: after a delay at the `hedge_quantile` of
+  /// recently observed read latencies, a second copy of a non-primary
+  /// read is sent to the next-best eligible secondary; the first reply
+  /// wins and the loser is discarded client-side. Off by default — when
+  /// off, the read path schedules nothing extra and draws no randomness.
+  bool hedged_reads = false;
+  double hedge_quantile = 0.9;
+  sim::Duration hedge_min_delay = sim::Millis(1);
 };
 
-/// The client-side library every simulated application thread shares: node
-/// selection per Read Preference, RTT bookkeeping, and the network hop to
-/// and from the chosen node. Latencies it reports are end-to-end as a real
-/// client would observe them.
+/// Per-operation overrides (passed alongside a Read/Write call).
+struct OpOptions {
+  /// Relative deadline for this op; -1 = use the client default, 0 =
+  /// explicitly none.
+  sim::Duration deadline = -1;
+  /// Retry budget; -2 = use the client default, -1 = unlimited.
+  int max_retries = -2;
+  /// False excludes this read from hedging even when the client hedges.
+  bool hedge_eligible = true;
+  /// False keeps this op's latency out of the balancer's feed (control
+  /// traffic such as the S-shaped-curve probe reads).
+  bool record_latency = true;
+};
+
+/// The client-side library every simulated application thread shares. It
+/// speaks only the wire protocol: topology comes from hello/serverStatus
+/// replies, liveness from reply timeouts, data from find/write commands —
+/// never from touching replica-set internals. Per-op it provides node
+/// selection per Read Preference, deadlines, retries with bounded
+/// backoff and re-selection, opt-in hedged reads, and a unified
+/// completion path feeding the Read Balancer's latency samples.
 class MongoClient {
  public:
   struct ReadResult {
@@ -55,6 +117,14 @@ class MongoClient {
     /// The serving node's lastAppliedOpTime at execution — the
     /// operationTime MongoDB returns for causal sessions.
     repl::OpTime operation_time;
+    /// False when the op failed (deadline hit or retry budget spent).
+    bool ok = true;
+    bool timed_out = false;
+    /// Retry attempts this op needed (0 = first attempt answered).
+    int retries = 0;
+    /// Whether a hedge was sent, and whether it answered first.
+    bool hedged = false;
+    bool hedge_won = false;
   };
 
   struct WriteResult {
@@ -62,16 +132,42 @@ class MongoClient {
     bool committed = false;
     /// Commit point of the transaction (for causal sessions).
     repl::OpTime operation_time;
+    /// False when the op failed (deadline hit or retry budget spent).
+    bool ok = true;
+    bool timed_out = false;
+    int retries = 0;
   };
 
-  MongoClient(sim::EventLoop* loop, sim::Rng rng, net::Network* network,
-              repl::ReplicaSet* rs, net::HostId client_host,
-              ClientOptions options);
+  /// One record per completed op, delivered on the unified completion
+  /// path (the Read Balancer installs an observer to harvest latencies).
+  struct OpStats {
+    bool is_read = true;
+    ReadPreference requested = ReadPreference::kPrimary;
+    sim::Duration latency = 0;
+    bool ok = false;
+    bool timed_out = false;
+    int retries = 0;
+    bool hedged = false;
+    bool hedge_won = false;
+    int node = -1;
+    bool used_secondary = false;
+    bool record_latency = true;
+  };
+  using OpObserver = std::function<void(const OpStats&)>;
+
+  /// The client dials the replica set through its command bus: the bus's
+  /// registered server hosts double as the seed list (connection string),
+  /// and everything else is learned from replies.
+  MongoClient(sim::EventLoop* loop, sim::Rng rng, proto::CommandBus* bus,
+              net::HostId client_host, ClientOptions options);
 
   MongoClient(const MongoClient&) = delete;
   MongoClient& operator=(const MongoClient&) = delete;
 
-  /// Starts RTT probing (and staleness polling when maxStaleness is set).
+  /// Starts topology monitoring: the hello loop (reachability + primary
+  /// discovery), RTT probing, and staleness polling when maxStaleness is
+  /// set. Without Start() the client runs off its seed view (node 0
+  /// primary, everyone reachable) and never notices failures.
   void Start();
 
   /// Returned by SelectNode when no server is currently selectable.
@@ -85,50 +181,141 @@ class MongoClient {
   /// chosen node's data at server-side completion; `done` runs back on the
   /// client with the measured end-to-end latency.
   void Read(ReadPreference pref, server::OpClass op_class,
-            repl::ReplicaSet::ReadBody body,
-            std::function<void(const ReadResult&)> done);
+            proto::ReadBody body, std::function<void(const ReadResult&)> done,
+            OpOptions opts = {});
 
   /// Like Read, but the chosen node defers execution until it has applied
   /// `after` (afterClusterTime) — the causal-consistency read gate.
   void ReadAfter(ReadPreference pref, const repl::OpTime& after,
-                 server::OpClass op_class, repl::ReplicaSet::ReadBody body,
-                 std::function<void(const ReadResult&)> done);
+                 server::OpClass op_class, proto::ReadBody body,
+                 std::function<void(const ReadResult&)> done,
+                 OpOptions opts = {});
 
   /// Issues a read-write transaction (always to the primary). With
   /// WriteConcern::kMajority the acknowledgement waits for majority
-  /// replication.
-  void Write(server::OpClass op_class, repl::ReplicaSet::TxnBody body,
+  /// replication. Writes are retryable: every attempt carries the same op
+  /// id, and the server's transaction table ensures a retried write is
+  /// acknowledged — not re-applied — when the first attempt did commit.
+  void Write(server::OpClass op_class, proto::TxnBody body,
              std::function<void(const WriteResult&)> done,
-             repl::WriteConcern concern = repl::WriteConcern::kW1);
+             repl::WriteConcern concern = repl::WriteConcern::kW1,
+             OpOptions opts = {});
 
   /// Issues a serverStatus command to the primary and returns the reply to
   /// the client host (full network round trip + primary CPU service).
-  void ServerStatus(
-      std::function<void(const repl::ReplicaSet::ServerStatusReply&)> done);
+  void ServerStatus(std::function<void(const proto::ServerStatusReply&)> done);
 
-  /// Application-level ping to a node; `done(rtt)` runs on the client.
-  void PingNode(int node, std::function<void(sim::Duration)> done);
+  /// Application-level ping to a node; `done(true, rtt)` on a completed
+  /// round trip, `done(false, 0)` when the probe timed out.
+  void PingNode(int node, std::function<void(bool ok, sim::Duration rtt)> done);
 
   /// Driver-maintained RTT estimate to a node (EWMA of probe results).
-  sim::Duration RttEstimate(int node) const { return rtt_estimate_[node]; }
+  sim::Duration RttEstimate(int node) const { return servers_[node].rtt_ewma; }
+
+  int node_count() const { return static_cast<int>(servers_.size()); }
+  /// The node the driver currently believes holds the primary role.
+  int primary_index() const { return believed_primary_; }
+  /// Whether the driver currently believes the node is reachable.
+  bool NodeReachable(int node) const { return servers_[node].reachable; }
+
+  /// Installs the unified-completion-path observer (one per client).
+  void SetOpObserver(OpObserver observer) { observer_ = std::move(observer); }
+
+  const metrics::OpCounters& op_counters() const { return counters_; }
 
   net::HostId client_host() const { return client_host_; }
-  repl::ReplicaSet& replica_set() { return *rs_; }
   sim::EventLoop& loop() { return *loop_; }
 
  private:
+  /// What the driver knows about one server, learned entirely from
+  /// replies (the driver-spec ServerDescription).
+  struct ServerDescription {
+    net::HostId host = -1;
+    bool reachable = true;
+    sim::Time last_heard = 0;
+    sim::Duration rtt_ewma = 0;
+    int64_t staleness_s = 0;
+  };
+
+  /// One logical in-flight operation (may span several attempts).
+  struct PendingOp {
+    bool is_read = true;
+    ReadPreference pref = ReadPreference::kPrimary;
+    server::OpClass op_class = server::OpClass::kPointRead;
+    proto::ReadBody read_body;
+    proto::TxnBody txn_body;
+    repl::WriteConcern concern = repl::WriteConcern::kW1;
+    repl::OpTime after;
+    sim::Time start = 0;
+    sim::Time deadline = 0;  // absolute; 0 = none
+    int max_retries = -1;
+    bool hedge_eligible = true;
+    bool record_latency = true;
+    int attempts_sent = 0;
+    int target = kNoNode;       // node of the outstanding attempt
+    int last_target = kNoNode;  // excluded on re-selection
+    bool hedged = false;
+    sim::EventId attempt_timer = 0;
+    sim::EventId deadline_timer = 0;
+    sim::EventId backoff_timer = 0;
+    sim::EventId hedge_timer = 0;
+    std::function<void(const ReadResult&)> read_done;
+    std::function<void(const WriteResult&)> write_done;
+  };
+
+  void HelloLoop();
   void ProbeLoop();
   void StalenessLoop();
   std::vector<int> EligibleSecondaries();
+  /// Re-selection for retries: avoids `exclude` when an alternative
+  /// eligible node exists.
+  int SelectNodeExcluding(ReadPreference pref, int exclude);
+
+  uint64_t BeginOp(PendingOp op, OpOptions opts);
+  void StartAttempt(uint64_t op_id);
+  void OnReply(uint64_t op_id, const proto::Reply& reply);
+  void OnAttemptTimeout(uint64_t op_id);
+  void OnDeadline(uint64_t op_id);
+  void OnHedgeTimer(uint64_t op_id);
+  /// Abandons the outstanding attempt and schedules the next one with
+  /// bounded exponential backoff (or fails the op: budget spent).
+  void RetryAttempt(uint64_t op_id);
+  void CompleteOp(uint64_t op_id, const proto::Reply& reply);
+  void FailOp(uint64_t op_id, bool timed_out);
+  void CancelOpTimers(PendingOp* op);
+  /// Connection-pool clear: fails over every attempt outstanding against
+  /// a node that was just declared unreachable.
+  void AbortAttemptsOn(int node);
+  /// Merges a reply's hello piggyback into the topology view.
+  void AdoptTopology(const proto::HelloReply& hello);
+  void MarkHeard(int node);
+  /// Current hedge delay: the configured quantile of recent read
+  /// latencies (floored at hedge_min_delay).
+  sim::Duration HedgeDelay() const;
+  void RecordReadLatency(sim::Duration latency);
 
   sim::EventLoop* loop_;
   sim::Rng rng_;
+  proto::CommandBus* bus_;
   net::Network* network_;
-  repl::ReplicaSet* rs_;
   net::HostId client_host_;
   ClientOptions options_;
-  std::vector<sim::Duration> rtt_estimate_;
-  std::vector<int64_t> staleness_cache_;  // per node index, seconds
+
+  std::vector<ServerDescription> servers_;
+  int believed_primary_ = 0;
+  uint64_t believed_term_ = 0;
+  bool started_ = false;
+
+  // std::map: deterministic iteration (AbortAttemptsOn scans it).
+  std::map<uint64_t, PendingOp> pending_;
+  uint64_t next_op_id_ = 1;
+
+  metrics::OpCounters counters_;
+  OpObserver observer_;
+
+  /// Ring of recent completed-read latencies driving the hedge delay.
+  std::vector<sim::Duration> read_latency_ring_;
+  size_t read_latency_next_ = 0;
 };
 
 }  // namespace dcg::driver

@@ -5,28 +5,28 @@
 namespace dcg::driver {
 
 void CausalSession::Read(
-    ReadPreference pref, server::OpClass op_class,
-    repl::ReplicaSet::ReadBody body,
-    std::function<void(const MongoClient::ReadResult&)> done) {
+    ReadPreference pref, server::OpClass op_class, proto::ReadBody body,
+    std::function<void(const MongoClient::ReadResult&)> done, OpOptions opts) {
   client_->ReadAfter(
       pref, operation_time_, op_class, std::move(body),
       [this, done = std::move(done)](const MongoClient::ReadResult& r) {
-        Advance(r.operation_time);
+        if (r.ok) Advance(r.operation_time);
         if (done) done(r);
-      });
+      },
+      opts);
 }
 
 void CausalSession::Write(
-    server::OpClass op_class, repl::ReplicaSet::TxnBody body,
+    server::OpClass op_class, proto::TxnBody body,
     std::function<void(const MongoClient::WriteResult&)> done,
-    repl::WriteConcern concern) {
+    repl::WriteConcern concern, OpOptions opts) {
   client_->Write(
       op_class, std::move(body),
       [this, done = std::move(done)](const MongoClient::WriteResult& r) {
-        Advance(r.operation_time);
+        if (r.ok) Advance(r.operation_time);
         if (done) done(r);
       },
-      concern);
+      concern, opts);
 }
 
 }  // namespace dcg::driver

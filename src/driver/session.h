@@ -24,16 +24,19 @@ class CausalSession {
   CausalSession& operator=(const CausalSession&) = delete;
 
   /// Read with the session's causal token: the serving node blocks until
-  /// it has applied everything this session has seen.
+  /// it has applied everything this session has seen. Retried attempts
+  /// re-send the same token, so the causal floor survives re-selection.
   void Read(ReadPreference pref, server::OpClass op_class,
-            repl::ReplicaSet::ReadBody body,
-            std::function<void(const MongoClient::ReadResult&)> done);
+            proto::ReadBody body,
+            std::function<void(const MongoClient::ReadResult&)> done,
+            OpOptions opts = {});
 
   /// Write through the session; advances the causal token to the commit
   /// point on acknowledgement.
-  void Write(server::OpClass op_class, repl::ReplicaSet::TxnBody body,
+  void Write(server::OpClass op_class, proto::TxnBody body,
              std::function<void(const MongoClient::WriteResult&)> done,
-             repl::WriteConcern concern = repl::WriteConcern::kW1);
+             repl::WriteConcern concern = repl::WriteConcern::kW1,
+             OpOptions opts = {});
 
   /// The highest operationTime observed by this session.
   const repl::OpTime& operation_time() const { return operation_time_; }

@@ -5,13 +5,15 @@
 namespace dcg::exp {
 
 ClientSystem::ClientSystem(sim::EventLoop* loop, sim::Rng rng,
-                           net::Network* network, repl::ReplicaSet* rs,
+                           net::Network* /*network*/, repl::ReplicaSet* rs,
                            net::HostId host,
                            driver::ClientOptions client_options,
                            core::BalancerConfig balancer_config,
                            workload::YcsbConfig ycsb_config) {
+  // The driver speaks only the command bus; it learns topology from
+  // hello replies rather than touching the replica set.
   client_ = std::make_unique<driver::MongoClient>(
-      loop, rng.Fork(), network, rs, host, client_options);
+      loop, rng.Fork(), rs->command_bus(), host, client_options);
   state_ = std::make_unique<core::SharedState>(balancer_config.low_bal);
   policy_ = std::make_unique<core::DecongestantPolicy>(state_.get());
   balancer_ = std::make_unique<core::ReadBalancer>(

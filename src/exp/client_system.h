@@ -8,6 +8,7 @@
 #include "core/shared_state.h"
 #include "driver/client.h"
 #include "exp/client_pool.h"
+#include "repl/replica_set.h"
 #include "workload/ycsb.h"
 
 namespace dcg::exp {

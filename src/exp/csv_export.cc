@@ -34,9 +34,11 @@ bool WritePeriodsCsv(const Experiment& experiment, const std::string& path) {
   csv.Line(
       "start_s,reads,reads_secondary,writes,read_throughput,"
       "p80_latency_ms,secondary_pct,balance_fraction,est_staleness_s,"
-      "stock_level,stock_level_p80_ms");
+      "stock_level,stock_level_p80_ms,ops_ok,ops_timed_out,ops_retried,"
+      "hedges_won");
   for (const PeriodRow& row : experiment.rows()) {
-    csv.Line("%.1f,%llu,%llu,%llu,%.2f,%.3f,%.2f,%.2f,%lld,%llu,%.3f",
+    csv.Line("%.1f,%llu,%llu,%llu,%.2f,%.3f,%.2f,%.2f,%lld,%llu,%.3f,"
+             "%llu,%llu,%llu,%llu",
              sim::ToSeconds(row.start),
              static_cast<unsigned long long>(row.reads),
              static_cast<unsigned long long>(row.reads_secondary),
@@ -46,7 +48,11 @@ bool WritePeriodsCsv(const Experiment& experiment, const std::string& path) {
              static_cast<long long>(row.est_staleness_max_s),
              static_cast<unsigned long long>(row.stock_level),
              row.stock_level_latency.Percentile(80) /
-                 static_cast<double>(sim::kMillisecond));
+                 static_cast<double>(sim::kMillisecond),
+             static_cast<unsigned long long>(row.ops_ok),
+             static_cast<unsigned long long>(row.ops_timed_out),
+             static_cast<unsigned long long>(row.ops_retried),
+             static_cast<unsigned long long>(row.hedges_won));
   }
   return true;
 }

@@ -9,7 +9,8 @@ namespace dcg::exp {
 
 /// Writes the per-period time series (one row per report period:
 /// throughput, P80 latency, secondary share, balance fraction, staleness
-/// estimate) to `path`. Returns false on I/O failure.
+/// estimate, per-op outcome counters) to `path`. Returns false on I/O
+/// failure.
 bool WritePeriodsCsv(const Experiment& experiment, const std::string& path);
 
 /// Writes the per-second staleness series (estimate + ground truth).

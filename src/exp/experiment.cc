@@ -64,7 +64,7 @@ Experiment::Experiment(ExperimentConfig config)
                                            network_.get(), config_.repl,
                                            config_.server, node_hosts);
   client_ = std::make_unique<driver::MongoClient>(&loop_, rng_.Fork(),
-                                                  network_.get(), rs_.get(),
+                                                  rs_->command_bus(),
                                                   client_host,
                                                   config_.client_options);
 
@@ -148,6 +148,19 @@ Experiment::Experiment(ExperimentConfig config)
 Experiment::~Experiment() = default;
 
 void Experiment::OnOp(const workload::OpOutcome& outcome) {
+  if (outcome.ok) {
+    ++current_.ops_ok;
+  } else if (outcome.timed_out) {
+    ++current_.ops_timed_out;
+  }
+  if (outcome.retries > 0) ++current_.ops_retried;
+  if (outcome.hedge_won) ++current_.hedges_won;
+  if (!outcome.ok) {
+    // A failed op has no latency or serving node worth recording; the
+    // throughput columns count only completed operations.
+    if (op_observer_) op_observer_(outcome);
+    return;
+  }
   if (outcome.read_only) {
     ++current_.reads;
     if (outcome.used_secondary) ++current_.reads_secondary;

@@ -93,6 +93,11 @@ struct PeriodRow {
   metrics::Histogram s_staleness;   // seconds, S-workload samples
   int64_t est_staleness_max_s = 0;  // max serverStatus estimate in period
   double balance_fraction = 0.0;    // published fraction at period end
+  // Per-op outcome counters from the command layer (all op types).
+  uint64_t ops_ok = 0;         // ops that completed
+  uint64_t ops_timed_out = 0;  // ops that failed their client deadline
+  uint64_t ops_retried = 0;    // ops needing at least one retry
+  uint64_t hedges_won = 0;     // reads answered by the hedge request
 
   double ReadThroughput() const;
   double SecondaryPercent() const;

@@ -121,6 +121,8 @@ bool ParseOneEvent(const std::string& token, FaultEvent* event,
       event->delay = sim::Millis(std::atof(value.c_str()));
     } else if (key == "in") {
       event->inbound_only = std::atoi(value.c_str()) != 0;
+    } else if (key == "client") {
+      event->include_client = std::atoi(value.c_str()) != 0;
     } else {
       *error = "unknown key \"" + key + "\" in \"" + token + "\"";
       return false;
@@ -310,11 +312,12 @@ void FaultInjector::LogEvent(const char* action, const FaultEvent& event) {
   }
   char line[160];
   std::snprintf(line, sizeof(line),
-                "t=%.3fs %s %s nodes=%s value=%.3f delay_ms=%.3f%s",
+                "t=%.3fs %s %s nodes=%s value=%.3f delay_ms=%.3f%s%s",
                 sim::ToSeconds(loop_->Now()), action,
                 std::string(ToString(event.type)).c_str(), targets.c_str(),
                 event.value, sim::ToMillis(event.delay),
-                event.inbound_only ? " inbound" : "");
+                event.inbound_only ? " inbound" : "",
+                event.include_client ? " client" : "");
   log_.push_back(line);
 }
 
@@ -346,6 +349,12 @@ void FaultInjector::Apply(const FaultEvent& event) {
           network_->SetLinkFault(peer, host, fault);
           if (!event.inbound_only) network_->SetLinkFault(host, peer, fault);
         }
+        if (event.include_client && client_host_ >= 0) {
+          network_->SetLinkFault(client_host_, host, fault);
+          if (!event.inbound_only) {
+            network_->SetLinkFault(host, client_host_, fault);
+          }
+        }
       }
       break;
     }
@@ -354,6 +363,9 @@ void FaultInjector::Apply(const FaultEvent& event) {
         const net::HostId host = rs_->node(node).host();
         for (net::HostId peer : PeerHosts(event)) {
           network_->BlockPair(host, peer);
+        }
+        if (event.include_client && client_host_ >= 0) {
+          network_->BlockPair(host, client_host_);
         }
       }
       break;
@@ -407,6 +419,12 @@ void FaultInjector::Heal(const FaultEvent& event) {
           network_->ClearLinkFault(peer, host);
           if (!event.inbound_only) network_->ClearLinkFault(host, peer);
         }
+        if (event.include_client && client_host_ >= 0) {
+          network_->ClearLinkFault(client_host_, host);
+          if (!event.inbound_only) {
+            network_->ClearLinkFault(host, client_host_);
+          }
+        }
       }
       break;
     case FaultType::kPartition:
@@ -414,6 +432,9 @@ void FaultInjector::Heal(const FaultEvent& event) {
         const net::HostId host = rs_->node(node).host();
         for (net::HostId peer : PeerHosts(event)) {
           network_->UnblockPair(host, peer);
+        }
+        if (event.include_client && client_host_ >= 0) {
+          network_->UnblockPair(host, client_host_);
         }
       }
       break;

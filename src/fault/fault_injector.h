@@ -22,14 +22,17 @@ enum class FaultType {
   kLatencySpike,
   /// Messages on links between the target nodes and the other DB nodes
   /// are dropped with probability `value`. With `inbound_only`, only
-  /// traffic *into* the targets drops (asymmetric loss). Client links are
-  /// never subjected to loss (the driver has no operation timeout).
+  /// traffic *into* the targets drops (asymmetric loss). With
+  /// `include_client`, the client↔target links drop too — exercising the
+  /// driver's attempt timeouts and retry path.
   kPacketLoss,
   /// Replication-level partition: all traffic between the target nodes
   /// and the other DB nodes is blackholed until heal. Targets can still
-  /// talk to each other (they are one side of the split). Client links
-  /// stay up, as when a replication mesh loses a switch but the frontend
-  /// VLAN survives.
+  /// talk to each other (they are one side of the split). By default
+  /// client links stay up, as when a replication mesh loses a switch but
+  /// the frontend VLAN survives; with `include_client` the client is cut
+  /// off from the targets as well, forcing command retries on another
+  /// node.
   kPartition,
   /// Crashes the target nodes at `start` (ReplicaSet::KillNode semantics:
   /// elections, rollback). Never auto-heals; pair with kRestart.
@@ -71,6 +74,9 @@ struct FaultEvent {
   sim::Duration delay = 0;
   /// kPacketLoss only: drop only messages flowing *into* the targets.
   bool inbound_only = false;
+  /// kPartition / kPacketLoss: also affect the client↔target links (the
+  /// command layer's deadline/retry machinery is then on the hook).
+  bool include_client = false;
 };
 
 /// A time-ordered list of fault events — the full chaos timeline of a run.
@@ -99,6 +105,7 @@ struct FaultSchedule {
 ///             p=FLOAT    — drop probability (loss)
 ///             ms=FLOAT   — added delay or clock shift, milliseconds
 ///             in=1       — asymmetric: inbound-only loss
+///             client=1   — partition/loss also hits client↔target links
 ///
 /// Example: "partition@120-180:nodes=1+2;crash@200:node=0;restart@300:node=0"
 /// Returns false and sets `error` on malformed input.
@@ -120,8 +127,10 @@ FaultSchedule MakeRandomSchedule(uint64_t seed, sim::Time horizon,
 /// human-readable log that doubles as a determinism trace.
 class FaultInjector {
  public:
-  /// `client_host` is only used by kLatencySpike (the one fault type that
-  /// touches client links); pass -1 when there is no client host.
+  /// `client_host` is used by kLatencySpike and by kPartition /
+  /// kPacketLoss events with `include_client`; pass -1 when there is no
+  /// client host (client-touching events are then skipped on the client
+  /// side).
   FaultInjector(sim::EventLoop* loop, net::Network* network,
                 repl::ReplicaSet* rs, net::HostId client_host = -1);
 

@@ -1,0 +1,39 @@
+#ifndef DCG_METRICS_OP_COUNTERS_H_
+#define DCG_METRICS_OP_COUNTERS_H_
+
+#include <cstdint>
+
+namespace dcg::metrics {
+
+/// Per-operation outcome counters maintained by the driver's unified
+/// completion path (one increment site for every read/write, however it
+/// ended). Exported per period through the experiment CSVs and summarized
+/// by sim_cli.
+struct OpCounters {
+  /// Operations that completed successfully (committed, for writes).
+  uint64_t ok = 0;
+  /// Operations that hit their client-side deadline before any reply.
+  uint64_t timed_out = 0;
+  /// Operations that needed at least one retry (counted once per op).
+  uint64_t retried = 0;
+  /// Total retry attempts across all operations.
+  uint64_t retries_total = 0;
+  /// Speculative second requests sent for hedged reads.
+  uint64_t hedges_sent = 0;
+  /// Hedged reads where the hedge replied before the primary attempt.
+  uint64_t hedges_won = 0;
+
+  OpCounters& operator+=(const OpCounters& other) {
+    ok += other.ok;
+    timed_out += other.timed_out;
+    retried += other.retried;
+    retries_total += other.retries_total;
+    hedges_sent += other.hedges_sent;
+    hedges_won += other.hedges_won;
+    return *this;
+  }
+};
+
+}  // namespace dcg::metrics
+
+#endif  // DCG_METRICS_OP_COUNTERS_H_

@@ -1,0 +1,52 @@
+#include "proto/command.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dcg::proto {
+
+int64_t MaxStalenessSeconds(const ServerStatusReply& reply) {
+  int64_t max_seconds = 0;
+  for (const repl::OpTime& sec : reply.secondary_last_applied) {
+    if (sec.seq >= reply.primary_last_applied.seq) continue;
+    const sim::Duration gap = reply.primary_last_applied.wall - sec.wall;
+    max_seconds = std::max(max_seconds, gap / sim::kSecond);
+  }
+  return max_seconds;
+}
+
+std::string_view ToString(CommandKind kind) {
+  switch (kind) {
+    case CommandKind::kFind:
+      return "find";
+    case CommandKind::kWrite:
+      return "write";
+    case CommandKind::kPing:
+      return "ping";
+    case CommandKind::kServerStatus:
+      return "serverStatus";
+    case CommandKind::kHello:
+      return "hello";
+  }
+  return "unknown";
+}
+
+void CommandBus::RegisterService(net::HostId host, Handler handler) {
+  DCG_CHECK_MSG(handlers_.find(host) == handlers_.end(),
+                "host already has a command service");
+  server_hosts_.push_back(host);
+  handlers_[host] = std::move(handler);
+}
+
+void CommandBus::Send(net::HostId from, net::HostId to, Command command) {
+  auto it = handlers_.find(to);
+  DCG_CHECK_MSG(it != handlers_.end(), "no command service at destination");
+  Handler* handler = &it->second;
+  network_->Send(from, to, [handler, command = std::move(command)]() mutable {
+    (*handler)(std::move(command));
+  });
+}
+
+}  // namespace dcg::proto

@@ -1,0 +1,149 @@
+#ifndef DCG_PROTO_COMMAND_H_
+#define DCG_PROTO_COMMAND_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/network.h"
+#include "proto/op_context.h"
+#include "repl/oplog.h"
+#include "repl/txn.h"
+#include "server/service_model.h"
+#include "sim/time.h"
+
+namespace dcg::proto {
+
+/// Runs at a read's server-side completion against the serving node's data.
+using ReadBody = std::function<void(const store::Database&)>;
+/// Runs atomically at a write transaction's commit instant on the primary.
+using TxnBody = std::function<void(repl::TxnContext*)>;
+
+/// The command vocabulary of the wire protocol — what a driver actually
+/// sends to a mongod (§2.2): CRUD, liveness/topology handshakes, and the
+/// diagnostic command Decongestant polls.
+enum class CommandKind {
+  kFind,          // read-only operation (body runs against node data)
+  kWrite,         // read-write transaction (primary only)
+  kPing,          // application-level liveness/RTT probe
+  kServerStatus,  // replication-progress snapshot (primary only)
+  kHello,         // topology discovery heartbeat (any node)
+};
+
+std::string_view ToString(CommandKind kind);
+
+/// Server-side verdict carried in a reply.
+enum class ReplyStatus {
+  kOk,
+  /// The command required a primary but the serving node is not one —
+  /// the driver must re-discover topology and retry elsewhere.
+  kNotPrimary,
+};
+
+/// What the primary's serverStatus reports about replication progress.
+/// (Moved here from ReplicaSet: it is a wire-protocol payload now.)
+struct ServerStatusReply {
+  repl::OpTime primary_last_applied;
+  /// Per live secondary, as known to the primary via heartbeats (lagged);
+  /// `secondary_nodes` holds the matching node indexes.
+  std::vector<repl::OpTime> secondary_last_applied;
+  std::vector<int> secondary_nodes;
+  sim::Time generated_at = 0;
+};
+
+/// The staleness estimate of §2.3, from a serverStatus reply: max over
+/// secondaries of (primary lastApplied wall − secondary lastApplied
+/// wall), floored to whole seconds like MongoDB's reporting granularity.
+int64_t MaxStalenessSeconds(const ServerStatusReply& reply);
+
+/// Topology heartbeat payload (MongoDB's `hello`): who the serving node
+/// is, who it believes the primary is, and under which election term.
+struct HelloReply {
+  int node_index = -1;
+  bool is_primary = false;
+  int primary_index = -1;
+  uint64_t term = 0;
+  repl::OpTime last_applied;
+};
+
+/// Typed reply to a Command. Routed back to the issuing client via the
+/// `on_reply` continuation the command carried.
+struct Reply {
+  uint64_t op_id = 0;
+  CommandKind kind = CommandKind::kPing;
+  ReplyStatus status = ReplyStatus::kOk;
+  /// kWrite: true when the transaction committed (false = aborted).
+  bool committed = false;
+  /// Serving node's lastAppliedOpTime at execution (kFind) or the commit
+  /// point (kWrite) — MongoDB's operationTime.
+  int node_index = -1;
+  repl::OpTime operation_time;
+  /// Whether the serving node held the primary role at completion.
+  bool from_primary = false;
+  /// Copied from the request's OpContext, so the client can tell which
+  /// arm of a hedged read answered first.
+  bool is_hedge = false;
+  ServerStatusReply server_status;  // kServerStatus only
+  HelloReply hello;                 // kHello only
+};
+
+/// One typed wire command. In a real driver this is a BSON message; here
+/// the payload is the operation body itself, but the envelope — kind,
+/// OpContext, reply address — is what the protocol layer dispatches on.
+struct Command {
+  CommandKind kind = CommandKind::kPing;
+  OpContext ctx;
+  server::OpClass op_class = server::OpClass::kPointRead;
+  /// kFind: fail with kNotPrimary unless the serving node is the primary
+  /// (Read Preference primary is a *server-checked* contract).
+  bool require_primary = false;
+  ReadBody read_body;        // kFind
+  TxnBody txn_body;          // kWrite
+  repl::WriteConcern concern = repl::WriteConcern::kW1;  // kWrite
+  /// Where the reply is delivered (the issuing client's host).
+  net::HostId reply_to = -1;
+  /// Client-side continuation invoked when the reply message arrives.
+  /// Carried in the command (a connection, in effect) so several clients
+  /// can share one host without a reply-demux registry.
+  std::function<void(const Reply&)> on_reply;
+};
+
+/// The wire between drivers and per-node CommandServices: commands travel
+/// as net::Network messages (so faults drop and delay them like any other
+/// traffic), and the bus dispatches each one to the service registered at
+/// the destination host. Replies travel back the same way via `on_reply`.
+class CommandBus {
+ public:
+  explicit CommandBus(net::Network* network) : network_(network) {}
+
+  CommandBus(const CommandBus&) = delete;
+  CommandBus& operator=(const CommandBus&) = delete;
+
+  using Handler = std::function<void(Command)>;
+
+  /// Registers the service handling commands addressed to `host`.
+  /// Registration order defines the node indexing drivers use.
+  void RegisterService(net::HostId host, Handler handler);
+
+  /// Node hosts in registration (= replica-set node index) order. This is
+  /// the topology seed a driver starts from, like a connection string.
+  const std::vector<net::HostId>& server_hosts() const {
+    return server_hosts_;
+  }
+
+  net::Network* network() { return network_; }
+
+  /// Ships `command` from the client host to a server host. Silently lost
+  /// when the network drops it — callers enforce deadlines client-side.
+  void Send(net::HostId from, net::HostId to, Command command);
+
+ private:
+  net::Network* network_;
+  std::vector<net::HostId> server_hosts_;
+  std::map<net::HostId, Handler> handlers_;
+};
+
+}  // namespace dcg::proto
+
+#endif  // DCG_PROTO_COMMAND_H_

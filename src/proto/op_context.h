@@ -1,0 +1,40 @@
+#ifndef DCG_PROTO_OP_CONTEXT_H_
+#define DCG_PROTO_OP_CONTEXT_H_
+
+#include <cstdint>
+
+#include "repl/oplog.h"
+#include "sim/time.h"
+
+namespace dcg::proto {
+
+/// Per-operation context threaded end-to-end through the command layer
+/// (driver → net → server → repl → core), mirroring what a real driver
+/// attaches to every wire command: an id for tracing and retryable-write
+/// dedup, a maxTimeMS-style deadline, the causal-session token, and the
+/// attempt/hedge bookkeeping the client uses to interpret replies.
+struct OpContext {
+  /// Unique per logical operation; retries and hedges of the same
+  /// operation share it. 0 = unset (internal traffic).
+  uint64_t op_id = 0;
+
+  /// Absolute simulated time by which the client wants an answer; 0 = no
+  /// deadline. Enforced client-side (a dropped message is silent — the
+  /// server may never see the command), but shipped to the server so it
+  /// could shed already-dead work in a future PR.
+  sim::Time deadline = 0;
+
+  /// Causal-session token (afterClusterTime): the serving node must have
+  /// applied at least this optime before executing a read.
+  repl::OpTime after_cluster_time;
+
+  /// 0 for the first attempt, incremented per retry. Tracing only.
+  int attempt = 0;
+
+  /// True for the speculative second request of a hedged read.
+  bool is_hedge = false;
+};
+
+}  // namespace dcg::proto
+
+#endif  // DCG_PROTO_OP_CONTEXT_H_

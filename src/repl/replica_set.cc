@@ -17,7 +17,8 @@ ReplicaSet::ReplicaSet(sim::EventLoop* loop, sim::Rng rng,
       rng_(std::move(rng)),
       network_(network),
       params_(params),
-      oplog_(params.oplog_capacity) {
+      oplog_(params.oplog_capacity),
+      bus_(network) {
   DCG_CHECK(params_.secondaries >= 1);
   DCG_CHECK(static_cast<int>(hosts.size()) == params_.secondaries + 1);
   for (int i = 0; i <= params_.secondaries; ++i) {
@@ -26,6 +27,16 @@ ReplicaSet::ReplicaSet(sim::EventLoop* loop, sim::Rng rng,
     nodes_.push_back(std::make_unique<ReplicaNode>(loop_, rng_.Fork(),
                                                    node_params, hosts[i],
                                                    name));
+  }
+  // Each node fronts its replication state with a wire-protocol command
+  // service; registration order defines the driver-visible node indexing.
+  for (int i = 0; i <= params_.secondaries; ++i) {
+    services_.push_back(std::make_unique<server::CommandService>(
+        loop_, network_, this, i, hosts[i]));
+    server::CommandService* service = services_.back().get();
+    bus_.RegisterService(hosts[i], [service](proto::Command command) {
+      service->Handle(std::move(command));
+    });
   }
   known_last_applied_.resize(nodes_.size());
   alive_.assign(nodes_.size(), true);
@@ -102,8 +113,19 @@ void ReplicaSet::ElectPrimary() {
   DCG_CHECK_MSG(winner >= 0, "no surviving member to elect");
   // Writes the dead primary acknowledged at w:1 but never shipped are
   // rolled back: the replicated history ends at the winner's optime.
-  oplog_.TruncateAfter(node(winner).last_applied().seq);
-  next_seq_ = node(winner).last_applied().seq + 1;
+  const uint64_t survived_seq = node(winner).last_applied().seq;
+  oplog_.TruncateAfter(survived_seq);
+  next_seq_ = survived_seq + 1;
+  // The retryable-write transaction table is replicated with the data it
+  // describes: records for writes rolled back here vanish with them, so a
+  // client retry re-executes the write instead of trusting a stale ack.
+  for (auto it = retry_records_.begin(); it != retry_records_.end();) {
+    if (it->second.committed && it->second.operation_time.seq > survived_seq) {
+      it = retry_records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   // The winner stops pulling; any continuation of its secondary-era chain
   // still in flight must not run once it is primary.
   RetirePull(winner);
@@ -153,6 +175,17 @@ void ReplicaSet::ReadAfter(int idx, const OpTime& after, server::OpClass c,
 void ReplicaSet::WriteTransaction(server::OpClass c, TxnBody body,
                                   std::function<void(bool)> done,
                                   WriteConcern concern) {
+  CommitInternal(c, std::move(body), /*op_id=*/0,
+                 [done = std::move(done)](const server::WriteOutcome& outcome) {
+                   if (done) done(outcome.ok && outcome.committed);
+                 },
+                 concern);
+}
+
+void ReplicaSet::CommitInternal(
+    server::OpClass op_class, TxnBody body, uint64_t op_id,
+    std::function<void(const server::WriteOutcome&)> done,
+    WriteConcern concern) {
   double throttle = 1.0;
   if (params_.flow_control_enabled &&
       KnownMaxLag() > params_.flow_control_target_lag) {
@@ -162,20 +195,29 @@ void ReplicaSet::WriteTransaction(server::OpClass c, TxnBody body,
   const int expected_primary = primary_index_;
   const uint64_t expected_term = term_;
   primary().server().ExecuteScaled(
-      c, throttle,
-      [this, body = std::move(body), done = std::move(done), concern,
+      op_class, throttle,
+      [this, body = std::move(body), done = std::move(done), concern, op_id,
        expected_primary, expected_term] {
         // The node lost the primary role (or crashed) while the operation
-        // was queued: the write never commits.
+        // was queued: the write never commits (and is safe to retry).
         if (!alive_[expected_primary] || term_ != expected_term ||
             primary_index_ != expected_primary) {
-          if (done) done(false);
+          if (done) done(server::WriteOutcome{});
           return;
         }
         TxnContext ctx(&primary().db());
         body(&ctx);
         if (ctx.aborted()) {
-          if (done) done(false);
+          server::WriteOutcome outcome;
+          outcome.ok = true;
+          outcome.committed = false;
+          outcome.operation_time = primary().last_applied();
+          // Aborts are deterministic outcomes of the body; record them so
+          // a retry is acknowledged identically instead of re-running.
+          if (op_id != 0) {
+            retry_records_[op_id] = {false, outcome.operation_time};
+          }
+          if (done) done(outcome);
           return;
         }
         uint64_t commit_seq = primary().last_applied().seq;
@@ -187,45 +229,98 @@ void ReplicaSet::WriteTransaction(server::OpClass c, TxnBody body,
           oplog_.Append(std::move(entry));
         }
         ++committed_writes_;
+        server::WriteOutcome outcome;
+        outcome.ok = true;
+        outcome.committed = true;
+        outcome.operation_time = primary().last_applied();
+        // The transaction record is written at the commit instant — not at
+        // ack time — so a retry after a lost w:majority ack replies from
+        // the record iff the commit itself survived (election purge).
+        if (op_id != 0) {
+          retry_records_[op_id] = {true, outcome.operation_time};
+        }
         if (concern == WriteConcern::kMajority && done) {
           // Acknowledge once a majority of nodes are known to have
           // applied the commit point.
           majority_waiters_.push_back(
-              {commit_seq, [this, done = std::move(done)](bool ok) {
-                 if (ok) ++majority_writes_acked_;
-                 done(ok);
+              {commit_seq,
+               [this, done = std::move(done), outcome](bool ok) {
+                 if (ok) {
+                   ++majority_writes_acked_;
+                   done(outcome);
+                 } else {
+                   // Primary crashed before the ack: uncertain outcome,
+                   // surfaced like an infrastructure failure.
+                   done(server::WriteOutcome{});
+                 }
                }});
           CheckMajorityWaiters();
           return;
         }
-        if (done) done(true);
+        if (done) done(outcome);
       });
+}
+
+void ReplicaSet::CommitWrite(
+    server::OpClass op_class, proto::TxnBody body, WriteConcern concern,
+    uint64_t op_id, std::function<void(const server::WriteOutcome&)> done) {
+  if (op_id != 0) {
+    if (auto it = retry_records_.find(op_id); it != retry_records_.end()) {
+      // Retryable write replay: acknowledge from the transaction record
+      // without executing the body a second time.
+      server::WriteOutcome outcome;
+      outcome.ok = true;
+      outcome.committed = it->second.committed;
+      outcome.operation_time = it->second.operation_time;
+      done(outcome);
+      return;
+    }
+    if (auto it = retry_waiters_.find(op_id); it != retry_waiters_.end()) {
+      // The first attempt is still in the CPU queue (a retry raced a slow
+      // — not lost — original): attach to its outcome.
+      it->second.push_back(std::move(done));
+      return;
+    }
+    retry_waiters_[op_id];  // mark in progress
+    CommitInternal(
+        op_class, std::move(body), op_id,
+        [this, op_id,
+         done = std::move(done)](const server::WriteOutcome& outcome) {
+          std::vector<std::function<void(const server::WriteOutcome&)>>
+              waiters = std::move(retry_waiters_[op_id]);
+          retry_waiters_.erase(op_id);
+          done(outcome);
+          for (auto& waiter : waiters) waiter(outcome);
+        },
+        concern);
+    return;
+  }
+  CommitInternal(op_class, std::move(body), /*op_id=*/0, std::move(done),
+                 concern);
+}
+
+proto::ServerStatusReply ReplicaSet::ServerStatusSnapshot() {
+  ServerStatusReply reply;
+  reply.primary_last_applied = primary().last_applied();
+  for (int i = 0; i < node_count(); ++i) {
+    if (i == primary_index_ || !alive_[i]) continue;
+    reply.secondary_last_applied.push_back(known_last_applied_[i]);
+    reply.secondary_nodes.push_back(i);
+  }
+  reply.generated_at = loop_->Now();
+  return reply;
 }
 
 void ReplicaSet::ServerStatus(
     std::function<void(const ServerStatusReply&)> done) {
-  primary().server().Execute(
-      server::OpClass::kServerStatus, [this, done = std::move(done)] {
-        ServerStatusReply reply;
-        reply.primary_last_applied = primary().last_applied();
-        for (int i = 0; i < node_count(); ++i) {
-          if (i == primary_index_ || !alive_[i]) continue;
-          reply.secondary_last_applied.push_back(known_last_applied_[i]);
-          reply.secondary_nodes.push_back(i);
-        }
-        reply.generated_at = loop_->Now();
-        done(reply);
-      });
+  primary().server().Execute(server::OpClass::kServerStatus,
+                             [this, done = std::move(done)] {
+                               done(ServerStatusSnapshot());
+                             });
 }
 
 int64_t ReplicaSet::MaxStalenessSeconds(const ServerStatusReply& reply) {
-  int64_t max_seconds = 0;
-  for (const OpTime& sec : reply.secondary_last_applied) {
-    if (sec.seq >= reply.primary_last_applied.seq) continue;
-    const sim::Duration gap = reply.primary_last_applied.wall - sec.wall;
-    max_seconds = std::max(max_seconds, gap / sim::kSecond);
-  }
-  return max_seconds;
+  return proto::MaxStalenessSeconds(reply);
 }
 
 sim::Duration ReplicaSet::TrueStaleness(int secondary_idx) const {

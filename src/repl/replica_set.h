@@ -1,14 +1,18 @@
 #ifndef DCG_REPL_REPLICA_SET_H_
 #define DCG_REPL_REPLICA_SET_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "net/network.h"
+#include "proto/command.h"
 #include "repl/oplog.h"
 #include "repl/replica_node.h"
 #include "repl/txn.h"
+#include "server/command_service.h"
 #include "server/server_node.h"
 #include "sim/event_loop.h"
 #include "sim/random.h"
@@ -63,20 +67,16 @@ struct ReplicaSetParams {
   sim::Duration pull_retry_timeout = sim::Seconds(2);
 };
 
-/// Durability requirement for a write (MongoDB write concern).
-enum class WriteConcern {
-  kW1,        // acknowledged once committed on the primary (default)
-  kMajority,  // acknowledged once a majority of nodes have applied it
-};
-
 /// A primary plus N secondaries wired through the simulated network —
 /// the MongoDB replica set substrate.
 ///
-/// The driver delivers operations *at* a node (it models the client-to-node
-/// network hop itself); ReplicaSet models everything server-side: CPU
-/// queueing, commit + oplog append on the primary, batched log-shipping to
-/// secondaries, heartbeats, serverStatus, and flow control.
-class ReplicaSet {
+/// Clients reach the set exclusively through its wire-protocol command
+/// layer: each node runs a server::CommandService registered on the set's
+/// proto::CommandBus, and ReplicaSet implements the CommandBackend those
+/// services dispatch into. Server-side it models CPU queueing, commit +
+/// oplog append on the primary, batched log-shipping to secondaries,
+/// heartbeats, serverStatus, retryable-write dedup, and flow control.
+class ReplicaSet : public server::CommandBackend {
  public:
   ReplicaSet(sim::EventLoop* loop, sim::Rng rng, net::Network* network,
              ReplicaSetParams params, server::ServerParams node_params,
@@ -87,6 +87,31 @@ class ReplicaSet {
 
   /// Starts checkpoint cycles, pull loops, and heartbeats.
   void Start();
+
+  /// The wire-protocol bus clients use to reach this set's nodes. Node
+  /// hosts are registered in node-index order, so `bus->server_hosts()`
+  /// doubles as the driver's seed list (connection string).
+  proto::CommandBus* command_bus() { return &bus_; }
+
+  // --- server::CommandBackend (dispatched into by CommandServices) ---
+
+  bool NodeAlive(int idx) const override { return alive_[idx]; }
+  int PrimaryIndexHint() const override { return primary_index_; }
+  uint64_t CurrentTerm() const override { return term_; }
+  OpTime NodeLastApplied(int idx) const override {
+    return nodes_[idx]->last_applied();
+  }
+  const store::Database& NodeData(int idx) const override {
+    return nodes_[idx]->db();
+  }
+  server::ServerNode& NodeServer(int idx) override {
+    return nodes_[idx]->server();
+  }
+  void CommitWrite(server::OpClass op_class, proto::TxnBody body,
+                   WriteConcern concern, uint64_t op_id,
+                   std::function<void(const server::WriteOutcome&)> done)
+      override;
+  proto::ServerStatusReply ServerStatusSnapshot() override;
 
   int node_count() const { return static_cast<int>(nodes_.size()); }
   int secondary_count() const { return node_count() - 1; }
@@ -141,13 +166,15 @@ class ReplicaSet {
 
   /// Runs `body` against node `idx`'s data once that node's CPU finishes a
   /// service of class `c` (i.e., at the read's server-side completion).
-  using ReadBody = std::function<void(const store::Database&)>;
+  /// Internal/test entry point — clients go through the command bus.
+  using ReadBody = proto::ReadBody;
   void Read(int idx, server::OpClass c, ReadBody body);
 
   /// Executes a read-write transaction on the primary under service class
   /// `c`. The body runs atomically at the commit instant; on commit its
   /// recorded writes enter the oplog. `done(committed)` follows.
-  using TxnBody = std::function<void(TxnContext*)>;
+  /// Internal/test entry point — clients go through the command bus.
+  using TxnBody = proto::TxnBody;
   void WriteTransaction(server::OpClass c, TxnBody body,
                         std::function<void(bool committed)> done,
                         WriteConcern concern = WriteConcern::kW1);
@@ -160,14 +187,8 @@ class ReplicaSet {
                  ReadBody body);
 
   /// What the primary's serverStatus reports about replication progress.
-  struct ServerStatusReply {
-    OpTime primary_last_applied;
-    /// Per live secondary, as known to the primary via heartbeats
-    /// (lagged); `secondary_nodes` holds the matching node indexes.
-    std::vector<OpTime> secondary_last_applied;
-    std::vector<int> secondary_nodes;
-    sim::Time generated_at = 0;
-  };
+  /// The struct itself lives in proto/ now — it is a wire payload.
+  using ServerStatusReply = proto::ServerStatusReply;
 
   /// Executes serverStatus at the primary (it queues on the CPU like any
   /// other command) and delivers the reply.
@@ -200,6 +221,15 @@ class ReplicaSet {
   uint64_t majority_writes_acked() const { return majority_writes_acked_; }
 
  private:
+  /// Shared implementation behind WriteTransaction and CommitWrite: runs
+  /// the transaction on the primary's CPU (flow control applied), commits
+  /// or aborts at completion, and — when `op_id != 0` — records the
+  /// outcome in the retryable-write transaction table at the commit
+  /// instant (the record is logically replicated with the write, so an
+  /// election that rolls the write back also drops the record).
+  void CommitInternal(server::OpClass op_class, TxnBody body, uint64_t op_id,
+                      std::function<void(const server::WriteOutcome&)> done,
+                      WriteConcern concern);
   /// Resolves w:majority waiters whose sequence has reached a majority.
   void CheckMajorityWaiters();
   /// Fails all outstanding w:majority waiters (primary crash: outcome
@@ -263,6 +293,26 @@ class ReplicaSet {
     std::function<void(bool)> ack;
   };
   std::vector<MajorityWaiter> majority_waiters_;
+
+  // --- wire-protocol command layer ---
+
+  proto::CommandBus bus_;
+  std::vector<std::unique_ptr<server::CommandService>> services_;
+
+  /// Retryable-write transaction table, keyed by op id. Modeled as
+  /// perfectly replicated alongside the data it describes: records for
+  /// writes rolled back by an election are purged with them.
+  struct RetryRecord {
+    bool committed = false;
+    OpTime operation_time;
+  };
+  std::unordered_map<uint64_t, RetryRecord> retry_records_;
+  /// Attempts that arrived while the same op id was still committing
+  /// (e.g. a client retry racing a slow first attempt) park here and are
+  /// acknowledged with the original's outcome instead of re-executing.
+  std::unordered_map<
+      uint64_t, std::vector<std::function<void(const server::WriteOutcome&)>>>
+      retry_waiters_;
 };
 
 }  // namespace dcg::repl

@@ -11,6 +11,12 @@
 
 namespace dcg::repl {
 
+/// Durability requirement for a write (MongoDB write concern).
+enum class WriteConcern {
+  kW1,        // acknowledged once committed on the primary (default)
+  kMajority,  // acknowledged once a majority of nodes have applied it
+};
+
 /// Write-transaction context handed to transaction bodies executing on the
 /// primary.
 ///

@@ -1,0 +1,159 @@
+#include "server/command_service.h"
+
+#include <utility>
+
+namespace dcg::server {
+
+namespace {
+/// Poll interval for a parked causal read waiting on afterClusterTime —
+/// the same cadence the old client-side park loop used.
+constexpr sim::Duration kClusterTimePoll = sim::Millis(5);
+}  // namespace
+
+CommandService::CommandService(sim::EventLoop* loop, net::Network* network,
+                               CommandBackend* backend, int node_index,
+                               net::HostId host)
+    : loop_(loop),
+      network_(network),
+      backend_(backend),
+      node_(node_index),
+      host_(host) {}
+
+void CommandService::Handle(proto::Command command) {
+  // A dead node is silent: commands arriving after the crash vanish, like
+  // connections reset by a downed mongod. Clients notice via timeouts.
+  if (!backend_->NodeAlive(node_)) return;
+  ++commands_served_;
+  switch (command.kind) {
+    case proto::CommandKind::kPing:
+    case proto::CommandKind::kHello:
+      // Answered off the heartbeat executor — no CPU queueing, so
+      // topology monitoring stays responsive on a congested node.
+      SendReply(command, proto::Reply{});
+      return;
+    case proto::CommandKind::kFind:
+      HandleFind(std::move(command));
+      return;
+    case proto::CommandKind::kWrite:
+      HandleWrite(std::move(command));
+      return;
+    case proto::CommandKind::kServerStatus:
+      HandleServerStatus(std::move(command));
+      return;
+  }
+}
+
+void CommandService::HandleFind(proto::Command command) {
+  if (command.require_primary && !IsPrimaryHere()) {
+    proto::Reply reply;
+    reply.status = proto::ReplyStatus::kNotPrimary;
+    SendReply(command, reply);
+    return;
+  }
+  WaitForClusterTime(std::move(command));
+}
+
+void CommandService::WaitForClusterTime(proto::Command command) {
+  // Node died while the read was parked: abandon it silently (the client
+  // attempt timeout takes over).
+  if (!backend_->NodeAlive(node_)) return;
+  if (backend_->NodeLastApplied(node_).seq <
+      command.ctx.after_cluster_time.seq) {
+    loop_->ScheduleAfter(kClusterTimePoll,
+                         [this, command = std::move(command)]() mutable {
+                           WaitForClusterTime(std::move(command));
+                         });
+    return;
+  }
+  ExecuteFind(std::move(command));
+}
+
+void CommandService::ExecuteFind(proto::Command command) {
+  ServerNode& server = backend_->NodeServer(node_);
+  const OpClass op_class = command.op_class;
+  server.Execute(op_class, [this, command = std::move(command)]() mutable {
+    // Ops already in service when a node dies still complete — their
+    // replies race the failure, exactly like in-flight responses do.
+    command.read_body(backend_->NodeData(node_));
+    proto::Reply reply;
+    reply.operation_time = backend_->NodeLastApplied(node_);
+    reply.from_primary = IsPrimaryHere();
+    SendReply(command, reply);
+  });
+}
+
+void CommandService::HandleWrite(proto::Command command) {
+  if (!IsPrimaryHere()) {
+    proto::Reply reply;
+    reply.status = proto::ReplyStatus::kNotPrimary;
+    SendReply(command, reply);
+    return;
+  }
+  proto::TxnBody body = std::move(command.txn_body);
+  backend_->CommitWrite(
+      command.op_class, std::move(body), command.concern, command.ctx.op_id,
+      [this, command = std::move(command)](const WriteOutcome& outcome) {
+        proto::Reply reply;
+        if (!outcome.ok) {
+          // The role was lost before the body ran (crash / election) —
+          // nothing was applied; tell the client to go find the primary.
+          reply.status = proto::ReplyStatus::kNotPrimary;
+        } else {
+          reply.committed = outcome.committed;
+          reply.operation_time = outcome.operation_time;
+        }
+        reply.from_primary = IsPrimaryHere();
+        SendReply(command, reply);
+      });
+}
+
+void CommandService::HandleServerStatus(proto::Command command) {
+  if (!IsPrimaryHere()) {
+    proto::Reply reply;
+    reply.status = proto::ReplyStatus::kNotPrimary;
+    SendReply(command, reply);
+    return;
+  }
+  ServerNode& server = backend_->NodeServer(node_);
+  server.Execute(OpClass::kServerStatus,
+                 [this, command = std::move(command)]() mutable {
+                   proto::Reply reply;
+                   reply.server_status = backend_->ServerStatusSnapshot();
+                   reply.operation_time = backend_->NodeLastApplied(node_);
+                   reply.from_primary = IsPrimaryHere();
+                   SendReply(command, reply);
+                 });
+}
+
+bool CommandService::IsPrimaryHere() const {
+  return backend_->PrimaryIndexHint() == node_;
+}
+
+proto::HelloReply CommandService::MakeHello() const {
+  proto::HelloReply hello;
+  hello.node_index = node_;
+  hello.is_primary = IsPrimaryHere();
+  hello.primary_index = backend_->PrimaryIndexHint();
+  hello.term = backend_->CurrentTerm();
+  hello.last_applied = backend_->NodeLastApplied(node_);
+  return hello;
+}
+
+void CommandService::SendReply(const proto::Command& command,
+                               proto::Reply reply) {
+  reply.op_id = command.ctx.op_id;
+  reply.kind = command.kind;
+  reply.node_index = node_;
+  reply.is_hedge = command.ctx.is_hedge;
+  // Every reply piggybacks a hello snapshot, so drivers refresh their
+  // topology view from whatever traffic flows (a kNotPrimary reply names
+  // the real primary, accelerating failover recovery).
+  reply.hello = MakeHello();
+  auto on_reply = command.on_reply;
+  network_->Send(host_, command.reply_to,
+                 [on_reply = std::move(on_reply), reply = std::move(reply)] {
+                   if (on_reply) on_reply(reply);
+                 });
+}
+
+}  // namespace dcg::server

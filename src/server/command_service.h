@@ -1,0 +1,107 @@
+#ifndef DCG_SERVER_COMMAND_SERVICE_H_
+#define DCG_SERVER_COMMAND_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "net/network.h"
+#include "proto/command.h"
+#include "repl/oplog.h"
+#include "repl/txn.h"
+#include "server/server_node.h"
+#include "sim/event_loop.h"
+
+namespace dcg::server {
+
+/// Outcome of a write commit attempt at the replication layer.
+struct WriteOutcome {
+  /// False: the node lost the primary role (crash, election) before the
+  /// transaction body ran — nothing was applied, safe to retry elsewhere.
+  bool ok = false;
+  /// Valid when ok: whether the transaction committed (false = aborted).
+  bool committed = false;
+  /// The commit point (primary lastApplied after the transaction).
+  repl::OpTime operation_time;
+};
+
+/// The replication-layer surface a CommandService dispatches into.
+/// Implemented by repl::ReplicaSet; kept narrow so server/ does not
+/// depend on replica-set internals.
+class CommandBackend {
+ public:
+  virtual ~CommandBackend() = default;
+
+  virtual bool NodeAlive(int idx) const = 0;
+  /// The node currently holding the primary role (it may be dead between
+  /// a crash and the next election — exactly the window hello exposes).
+  virtual int PrimaryIndexHint() const = 0;
+  virtual uint64_t CurrentTerm() const = 0;
+  virtual repl::OpTime NodeLastApplied(int idx) const = 0;
+  virtual const store::Database& NodeData(int idx) const = 0;
+  virtual ServerNode& NodeServer(int idx) = 0;
+
+  /// Commits a write transaction on the primary. `op_id != 0` enables
+  /// retryable-write dedup: a re-sent op_id whose first attempt already
+  /// committed is acknowledged from the transaction record instead of
+  /// being applied twice.
+  virtual void CommitWrite(OpClass op_class, proto::TxnBody body,
+                           repl::WriteConcern concern, uint64_t op_id,
+                           std::function<void(const WriteOutcome&)> done) = 0;
+
+  /// Primary-side replication-progress snapshot (serverStatus payload).
+  virtual proto::ServerStatusReply ServerStatusSnapshot() = 0;
+};
+
+/// Per-node wire-protocol dispatcher: receives typed proto::Commands off
+/// the network, runs them through the node's CPU queue and the local
+/// store (or the replication layer, for writes), and ships the typed
+/// reply back to the issuing client. This is the mongod command layer of
+/// the model — the driver never touches replica-set internals; everything
+/// it learns (topology, progress, data) arrives as a Reply.
+///
+/// Crash semantics match the rest of the repo: a command *arriving* at a
+/// dead node is silently dropped (the TCP connection would have reset —
+/// the client's attempt timeout notices), but operations already in
+/// service when the node dies still complete, and their replies race the
+/// failure.
+class CommandService {
+ public:
+  CommandService(sim::EventLoop* loop, net::Network* network,
+                 CommandBackend* backend, int node_index, net::HostId host);
+
+  CommandService(const CommandService&) = delete;
+  CommandService& operator=(const CommandService&) = delete;
+
+  /// Entry point the CommandBus dispatches into at message delivery.
+  void Handle(proto::Command command);
+
+  int node_index() const { return node_; }
+  net::HostId host() const { return host_; }
+  uint64_t commands_served() const { return commands_served_; }
+
+ private:
+  void HandleFind(proto::Command command);
+  /// Parks a causal read (afterClusterTime) until the local lastApplied
+  /// catches up, polling like a real server's read-concern wait.
+  void WaitForClusterTime(proto::Command command);
+  void ExecuteFind(proto::Command command);
+  void HandleWrite(proto::Command command);
+  void HandleServerStatus(proto::Command command);
+
+  bool IsPrimaryHere() const;
+  proto::HelloReply MakeHello() const;
+  /// Fills the envelope (op id, kind, node, hello piggyback) and ships
+  /// the reply over the network to the command's reply_to host.
+  void SendReply(const proto::Command& command, proto::Reply reply);
+
+  sim::EventLoop* loop_;
+  net::Network* network_;
+  CommandBackend* backend_;
+  const int node_;
+  const net::HostId host_;
+  uint64_t commands_served_ = 0;
+};
+
+}  // namespace dcg::server
+
+#endif  // DCG_SERVER_COMMAND_SERVICE_H_

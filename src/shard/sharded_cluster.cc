@@ -45,7 +45,7 @@ ShardedCluster::ShardedCluster(sim::EventLoop* loop, sim::Rng rng,
     shards_.push_back(std::make_unique<repl::ReplicaSet>(
         loop_, rng_.Fork(), network, config_.repl, config_.server, hosts));
     clients_.push_back(std::make_unique<driver::MongoClient>(
-        loop_, rng_.Fork(), network, shards_.back().get(), client_host,
+        loop_, rng_.Fork(), shards_.back()->command_bus(), client_host,
         config_.client_options));
     states_.push_back(
         std::make_unique<core::SharedState>(config_.balancer.low_bal));
@@ -79,18 +79,18 @@ int ShardedCluster::ShardFor(const doc::Value& id) const {
 
 void ShardedCluster::ReadDoc(
     const std::string& collection, const doc::Value& id,
-    server::OpClass op_class, repl::ReplicaSet::ReadBody body,
+    server::OpClass op_class, proto::ReadBody body,
     std::function<void(const driver::MongoClient::ReadResult&)> done) {
   (void)collection;  // the body addresses the collection itself
   const int s = ShardFor(id);
   const driver::ReadPreference pref = policies_[s]->ChooseReadPreference(&rng_);
-  clients_[s]->Read(
-      pref, op_class, std::move(body),
-      [this, s, pref, done = std::move(done)](
-          const driver::MongoClient::ReadResult& result) {
-        policies_[s]->OnReadCompleted(pref, result.latency);
-        if (done) done(result);
-      });
+  // Latency feedback reaches the shard's balancer through its client's op
+  // observer — the router no longer reports completions by hand.
+  clients_[s]->Read(pref, op_class, std::move(body),
+                    [done = std::move(done)](
+                        const driver::MongoClient::ReadResult& result) {
+                      if (done) done(result);
+                    });
 }
 
 void ShardedCluster::InsertDoc(
@@ -142,9 +142,8 @@ void ShardedCluster::ScatterCount(
           const store::Collection* coll = db.Get(collection);
           if (coll != nullptr) *shard_count_value = coll->Count(filter);
         },
-        [this, s, pref, gather, shard_count_value, done](
+        [gather, shard_count_value, done](
             const driver::MongoClient::ReadResult& result) {
-          policies_[s]->OnReadCompleted(pref, result.latency);
           gather->total += *shard_count_value;
           gather->slowest = std::max(gather->slowest, result.latency);
           if (--gather->remaining == 0 && done) {

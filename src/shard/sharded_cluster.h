@@ -64,10 +64,11 @@ class ShardedCluster {
   core::ReadBalancer* balancer(int i) { return balancers_[i].get(); }
   core::RoutingPolicy& policy(int i) { return *policies_[i]; }
 
-  /// Routed point read: picks the owning shard, asks that shard's policy
-  /// for a Read Preference, and reports the latency back to it.
+  /// Routed point read: picks the owning shard and asks that shard's
+  /// policy for a Read Preference; the shard's balancer sees the latency
+  /// through its client's op observer.
   void ReadDoc(const std::string& collection, const doc::Value& id,
-               server::OpClass op_class, repl::ReplicaSet::ReadBody body,
+               server::OpClass op_class, proto::ReadBody body,
                std::function<void(const driver::MongoClient::ReadResult&)>
                    done);
 

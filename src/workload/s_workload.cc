@@ -96,6 +96,12 @@ void SWorkload::ReaderLoop() {
                                   [this] { ReaderLoop(); });
   };
 
+  // Control-plane probes: keep them out of the balancer's latency lists
+  // and never hedge them (a hedge could answer from a different node than
+  // the one being measured).
+  driver::OpOptions probe_opts;
+  probe_opts.hedge_eligible = false;
+  probe_opts.record_latency = false;
   client_->Read(
       driver::ReadPreference::kPrimary, server::OpClass::kPointRead,
       [state, read_ts](const store::Database& db) {
@@ -103,7 +109,8 @@ void SWorkload::ReaderLoop() {
       },
       [maybe_finish](const driver::MongoClient::ReadResult&) {
         maybe_finish();
-      });
+      },
+      probe_opts);
   client_->Read(
       probe_secondary ? driver::ReadPreference::kSecondary
                       : driver::ReadPreference::kPrimary,
@@ -113,7 +120,8 @@ void SWorkload::ReaderLoop() {
       },
       [maybe_finish](const driver::MongoClient::ReadResult&) {
         maybe_finish();
-      });
+      },
+      probe_opts);
 }
 
 }  // namespace dcg::workload

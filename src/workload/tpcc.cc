@@ -239,9 +239,7 @@ void TpccWorkload::DoStockLevel(Done done) {
           }
         }
       },
-      [this, pref, done = std::move(done)](
-          const driver::MongoClient::ReadResult& r) {
-        policy_->OnReadCompleted(pref, r.latency);
+      [done = std::move(done)](const driver::MongoClient::ReadResult& r) {
         OpOutcome outcome;
         outcome.type = "stock_level";
         outcome.read_only = true;
@@ -249,6 +247,11 @@ void TpccWorkload::DoStockLevel(Done done) {
         outcome.latency = r.latency;
         outcome.node = r.node;
         outcome.operation_time = r.operation_time;
+        outcome.ok = r.ok;
+        outcome.timed_out = r.timed_out;
+        outcome.retries = r.retries;
+        outcome.hedged = r.hedged;
+        outcome.hedge_won = r.hedge_won;
         done(outcome);
       });
 }
@@ -326,11 +329,14 @@ void TpccWorkload::DoNewOrder(Done done) {
       },
       [this, done = std::move(done)](
           const driver::MongoClient::WriteResult& r) {
-        if (!r.committed) ++new_order_aborts_;
+        if (r.ok && !r.committed) ++new_order_aborts_;
         OpOutcome outcome;
         outcome.type = "new_order";
         outcome.committed = r.committed;
         outcome.latency = r.latency;
+        outcome.ok = r.ok;
+        outcome.timed_out = r.timed_out;
+        outcome.retries = r.retries;
         done(outcome);
       });
 }
@@ -372,6 +378,9 @@ void TpccWorkload::DoPayment(Done done) {
         outcome.type = "payment";
         outcome.committed = r.committed;
         outcome.latency = r.latency;
+        outcome.ok = r.ok;
+        outcome.timed_out = r.timed_out;
+        outcome.retries = r.retries;
         done(outcome);
       });
 }
@@ -400,9 +409,7 @@ void TpccWorkload::DoOrderStatus(Done done) {
         const store::DocPtr& last = mine.back();  // highest order id
         (void)last->Find("o_lines");
       },
-      [this, pref, done = std::move(done)](
-          const driver::MongoClient::ReadResult& r) {
-        policy_->OnReadCompleted(pref, r.latency);
+      [done = std::move(done)](const driver::MongoClient::ReadResult& r) {
         OpOutcome outcome;
         outcome.type = "order_status";
         outcome.read_only = true;
@@ -410,6 +417,11 @@ void TpccWorkload::DoOrderStatus(Done done) {
         outcome.latency = r.latency;
         outcome.node = r.node;
         outcome.operation_time = r.operation_time;
+        outcome.ok = r.ok;
+        outcome.timed_out = r.timed_out;
+        outcome.retries = r.retries;
+        outcome.hedged = r.hedged;
+        outcome.hedge_won = r.hedge_won;
         done(outcome);
       });
 }
@@ -473,6 +485,9 @@ void TpccWorkload::DoDelivery(Done done) {
         outcome.type = "delivery";
         outcome.committed = r.committed;
         outcome.latency = r.latency;
+        outcome.ok = r.ok;
+        outcome.timed_out = r.timed_out;
+        outcome.retries = r.retries;
         done(outcome);
       });
 }

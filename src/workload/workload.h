@@ -28,6 +28,16 @@ struct OpOutcome {
   /// lastAppliedOpTime of the serving node when the read executed — the
   /// data's ground-truth freshness (chaos-harness invariant input).
   repl::OpTime operation_time;
+  /// False when the driver gave up (deadline hit or retry budget spent);
+  /// `operation_time`/`node` are then meaningless.
+  bool ok = true;
+  /// True when the op failed by exceeding its client-side deadline.
+  bool timed_out = false;
+  /// Retry attempts the driver needed (0 = first attempt answered).
+  int retries = 0;
+  /// Hedged-read bookkeeping: whether a hedge was sent / answered first.
+  bool hedged = false;
+  bool hedge_won = false;
 };
 
 /// A closed-loop workload generator: `Issue` starts one operation for a

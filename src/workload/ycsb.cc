@@ -68,10 +68,11 @@ void YcsbWorkload::IssueRead(Done done) {
         *found = table != nullptr &&
                  table->FindById(doc::Value(key)) != nullptr;
       },
-      [this, pref, found, done = std::move(done)](
+      [this, found, done = std::move(done)](
           const driver::MongoClient::ReadResult& r) {
-        if (!*found) ++missing_reads_;
-        policy_->OnReadCompleted(pref, r.latency);
+        // Latency feedback to the balancer flows through the driver's
+        // completion path now — no per-workload reporting.
+        if (r.ok && !*found) ++missing_reads_;
         OpOutcome outcome;
         outcome.type = "read";
         outcome.read_only = true;
@@ -79,6 +80,11 @@ void YcsbWorkload::IssueRead(Done done) {
         outcome.latency = r.latency;
         outcome.node = r.node;
         outcome.operation_time = r.operation_time;
+        outcome.ok = r.ok;
+        outcome.timed_out = r.timed_out;
+        outcome.retries = r.retries;
+        outcome.hedged = r.hedged;
+        outcome.hedge_won = r.hedge_won;
         done(outcome);
       });
 }
@@ -103,6 +109,9 @@ void YcsbWorkload::IssueUpdate(Done done) {
         outcome.read_only = false;
         outcome.committed = r.committed;
         outcome.latency = r.latency;
+        outcome.ok = r.ok;
+        outcome.timed_out = r.timed_out;
+        outcome.retries = r.retries;
         done(outcome);
       });
 }

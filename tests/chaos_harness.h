@@ -21,6 +21,11 @@ struct ChaosOptions {
   double read_proportion = 0.95;
   int64_t stale_bound_seconds = 10;
 
+  /// Driver knobs for the run (deadlines, attempt timeouts, hedging) —
+  /// chaos schedules that drop commands mid-flight pair these with the
+  /// retry/deadline invariants.
+  driver::ClientOptions client_options;
+
   /// Slack added to StaleBound for the per-read freshness invariant. The
   /// estimate pipeline lags truth by up to one serverStatus poll (1 s) +
   /// one heartbeat (0.5 s) + the whole-second flooring (1 s) + in-flight
@@ -46,6 +51,11 @@ struct ChaosReport {
 
   uint64_t secondary_reads = 0;
   uint64_t total_reads = 0;
+  /// Per-op outcome sums over every period row.
+  uint64_t ops_ok = 0;
+  uint64_t ops_timed_out = 0;
+  uint64_t ops_retried = 0;
+  uint64_t hedges_won = 0;
   sim::Duration worst_secondary_staleness = 0;
   double final_fraction = 0.0;
   uint64_t pull_restarts = 0;
@@ -88,6 +98,7 @@ inline ChaosReport RunChaos(const ChaosOptions& options) {
   config.warmup = sim::Seconds(20);
   config.run_s_workload = false;  // the probe pair is not failover-aware
   config.balancer.stale_bound_seconds = options.stale_bound_seconds;
+  config.client_options = options.client_options;
   config.faults = options.schedule;
 
   exp::Experiment experiment(config);
@@ -101,6 +112,9 @@ inline ChaosReport RunChaos(const ChaosOptions& options) {
   // --- Invariant 1: per-read ground-truth freshness. ---
   uint64_t freshness_violations = 0;
   experiment.SetOpObserver([&](const workload::OpOutcome& outcome) {
+    // Failed ops (deadline exceeded / retries exhausted) carry no
+    // meaningful operation_time or node — skip the freshness check.
+    if (!outcome.ok) return;
     if (!outcome.read_only || !outcome.used_secondary) return;
     ++report.secondary_reads;
     const repl::OpTime primary_applied = rs.primary().last_applied();
@@ -206,15 +220,23 @@ inline ChaosReport RunChaos(const ChaosOptions& options) {
   for (const auto& row : experiment.rows()) {
     std::snprintf(line, sizeof(line),
                   "t=%.0f reads=%llu sec=%llu writes=%llu frac=%.4f "
-                  "est=%lld\n",
+                  "est=%lld ok=%llu to=%llu retry=%llu hw=%llu\n",
                   sim::ToSeconds(row.start),
                   static_cast<unsigned long long>(row.reads),
                   static_cast<unsigned long long>(row.reads_secondary),
                   static_cast<unsigned long long>(row.writes),
                   row.balance_fraction,
-                  static_cast<long long>(row.est_staleness_max_s));
+                  static_cast<long long>(row.est_staleness_max_s),
+                  static_cast<unsigned long long>(row.ops_ok),
+                  static_cast<unsigned long long>(row.ops_timed_out),
+                  static_cast<unsigned long long>(row.ops_retried),
+                  static_cast<unsigned long long>(row.hedges_won));
     trace += line;
     report.total_reads += row.reads;
+    report.ops_ok += row.ops_ok;
+    report.ops_timed_out += row.ops_timed_out;
+    report.ops_retried += row.ops_retried;
+    report.hedges_won += row.hedges_won;
   }
   for (const std::string& entry : experiment.fault_injector().log()) {
     trace += entry + "\n";
@@ -229,6 +251,15 @@ inline ChaosReport RunChaos(const ChaosOptions& options) {
                     experiment.network().messages_delivered()),
                 static_cast<unsigned long long>(
                     experiment.network().messages_dropped()));
+  trace += line;
+  const metrics::OpCounters& ops = experiment.client().op_counters();
+  std::snprintf(line, sizeof(line),
+                "driver ok=%llu to=%llu retries=%llu hedges=%llu/%llu\n",
+                static_cast<unsigned long long>(ops.ok),
+                static_cast<unsigned long long>(ops.timed_out),
+                static_cast<unsigned long long>(ops.retries_total),
+                static_cast<unsigned long long>(ops.hedges_won),
+                static_cast<unsigned long long>(ops.hedges_sent));
   trace += line;
   for (int i = 0; i < rs.node_count(); ++i) {
     std::snprintf(line, sizeof(line), "node%d fp=%llx alive=%d\n", i,

@@ -2,9 +2,12 @@
 // run against the full Decongestant stack, with the freshness / reaction /
 // recovery / drain invariants checked by tests/chaos_harness.h.
 
+#include <functional>
+
 #include <gtest/gtest.h>
 
 #include "chaos_harness.h"
+#include "driver/session.h"
 
 namespace dcg {
 namespace {
@@ -110,7 +113,190 @@ TEST(ChaosTest, AsymmetricPacketLossExercisesWatchdog) {
   EXPECT_GT(report.pull_restarts, 0u);
 }
 
-// Schedule 6 — combined seeded-random timelines: a handful of mixed
+// Schedule 6 — the client itself is partitioned from one secondary for
+// 60 s (frontend VLAN cut). Ops in flight toward that node are silently
+// lost; they must complete anyway — via the command layer's attempt
+// failover onto the other secondary — with zero timed-out ops, because
+// no deadline was set and retries are unlimited.
+TEST(ChaosTest, ClientPartitionDuringReadsRetriesOnAnotherNode) {
+  ChaosOptions options;
+  options.seed = 1006;
+  {
+    FaultEvent event = Event(FaultType::kPartition, 80, 140, {1});
+    event.include_client = true;
+    options.schedule.Add(event);
+  }
+  const ChaosReport report = RunChaos(options);
+  EXPECT_TRUE(report.ok()) << report.ViolationText();
+  EXPECT_GT(report.secondary_reads, 0u);
+  // The partition stranded in-flight commands: the only way those ops
+  // completed is the retry path onto a different node.
+  EXPECT_GT(report.ops_retried, 0u);
+  EXPECT_EQ(report.ops_timed_out, 0u);
+}
+
+// Schedule 7 — deadlined ops under near-total client-link loss: with
+// maxTimeMS set, an op whose commands keep vanishing must fail within
+// its deadline plus (at most) one control period — never hang, never
+// fail late.
+TEST(ChaosTest, DeadlinedOpsFailWithinDeadlinePlusOnePeriod) {
+  exp::ExperimentConfig config;
+  config.seed = 2001;
+  config.system = exp::SystemType::kDecongestant;
+  config.kind = exp::WorkloadKind::kYcsb;
+  config.phases = {{0, 12, 0.95}};
+  config.duration = sim::Seconds(160);
+  config.warmup = sim::Seconds(20);
+  config.run_s_workload = false;
+  config.client_options.default_op_deadline = sim::Seconds(2);
+  config.client_options.attempt_timeout = sim::Millis(400);
+  exp::Experiment experiment(config);
+
+  // Drop 97% of everything between the client host and every node for
+  // 40 s mid-run, both directions — commands and replies vanish alike.
+  auto& loop = experiment.loop();
+  auto& network = experiment.network();
+  auto& rs = experiment.replica_set();
+  const net::HostId client_host = experiment.client().client_host();
+  loop.ScheduleAt(sim::Seconds(60), [&] {
+    net::Network::LinkFault fault;
+    fault.drop_probability = 0.97;
+    for (int i = 0; i < rs.node_count(); ++i) {
+      network.SetLinkFault(client_host, rs.node(i).host(), fault);
+      network.SetLinkFault(rs.node(i).host(), client_host, fault);
+    }
+  });
+  loop.ScheduleAt(sim::Seconds(100), [&] {
+    for (int i = 0; i < rs.node_count(); ++i) {
+      network.ClearLinkFault(client_host, rs.node(i).host());
+      network.ClearLinkFault(rs.node(i).host(), client_host);
+    }
+  });
+
+  uint64_t failed = 0;
+  sim::Duration worst_failure_latency = 0;
+  experiment.SetOpObserver([&](const workload::OpOutcome& outcome) {
+    if (outcome.ok) return;
+    ++failed;
+    EXPECT_TRUE(outcome.timed_out);  // the only failure mode configured
+    worst_failure_latency = std::max(worst_failure_latency, outcome.latency);
+  });
+  experiment.Run();
+
+  EXPECT_GT(failed, 0u);  // the loss window really bit
+  EXPECT_LE(worst_failure_latency,
+            config.client_options.default_op_deadline +
+                config.balancer.period);
+  // And the cluster recovered: the final period completed ops again.
+  ASSERT_FALSE(experiment.rows().empty());
+  EXPECT_GT(experiment.rows().back().ops_ok, 0u);
+}
+
+// Schedule 8 — causal sessions under a lossy link: retried session reads
+// must never violate the afterClusterTime token. Every read-your-own-
+// write must hold even when the read's first attempt was dropped and the
+// retry landed on a different secondary.
+TEST(ChaosTest, RetriesNeverViolateCausalSessionToken) {
+  sim::EventLoop loop;
+  net::Network network(&loop, sim::Rng(1));
+  const net::HostId client_host = network.AddHost("client");
+  repl::ReplicaSetParams params;
+  server::ServerParams server_params;
+  server_params.service.sigma = 0.0;
+  std::vector<net::HostId> hosts;
+  for (int i = 0; i < 3; ++i) {
+    hosts.push_back(network.AddHost("n" + std::to_string(i)));
+    network.SetLink(client_host, hosts[i], sim::Millis(1), 0);
+  }
+  repl::ReplicaSet rs(&loop, sim::Rng(2), &network, params, server_params,
+                      hosts);
+  driver::ClientOptions options;
+  options.attempt_timeout = sim::Millis(300);
+  options.retry_backoff_base = sim::Millis(1);
+  driver::MongoClient client(&loop, sim::Rng(3), rs.command_bus(),
+                             client_host, options);
+  rs.Start();
+
+  // 50% loss on both secondary links (both directions) for most of the
+  // run: session reads keep being dropped mid-flight and retried.
+  loop.ScheduleAt(sim::Seconds(2), [&] {
+    net::Network::LinkFault fault;
+    fault.drop_probability = 0.5;
+    for (int i = 1; i < 3; ++i) {
+      network.SetLinkFault(client_host, hosts[i], fault);
+      network.SetLinkFault(hosts[i], client_host, fault);
+    }
+  });
+  loop.ScheduleAt(sim::Seconds(40), [&] {
+    for (int i = 1; i < 3; ++i) {
+      network.ClearLinkFault(client_host, hosts[i]);
+      network.ClearLinkFault(hosts[i], client_host);
+    }
+  });
+
+  driver::CausalSession session(&client);
+  int cycles_done = 0, saw_own_write = 0;
+  std::function<void(int)> cycle = [&](int i) {
+    if (i == 60) return;
+    session.Write(
+        server::OpClass::kInsert,
+        [i](repl::TxnContext* ctx) {
+          ctx->Insert("t", doc::Value::Doc({{"_id", i}}));
+        },
+        [&, i](const driver::MongoClient::WriteResult& w) {
+          ASSERT_TRUE(w.committed);
+          auto hit = std::make_shared<bool>(false);
+          session.Read(
+              driver::ReadPreference::kSecondary,
+              server::OpClass::kPointRead,
+              [i, hit](const store::Database& db) {
+                const store::Collection* t = db.Get("t");
+                *hit = t != nullptr &&
+                       t->FindById(doc::Value(i)) != nullptr;
+              },
+              [&, hit, i](const driver::MongoClient::ReadResult& r) {
+                ASSERT_TRUE(r.ok);
+                EXPECT_TRUE(r.used_secondary);
+                ++cycles_done;
+                if (*hit) ++saw_own_write;
+                cycle(i + 1);
+              });
+        });
+  };
+  cycle(0);
+  loop.RunUntil(sim::Seconds(120));
+  EXPECT_EQ(cycles_done, 60);
+  // The causal token held on every cycle — including the retried ones.
+  EXPECT_EQ(saw_own_write, 60);
+  EXPECT_GT(client.op_counters().retries_total, 0u);
+}
+
+// Client-side faults must not break same-seed bit-identical traces: the
+// retry/backoff/hedge machinery draws only from the client's own seeded
+// RNG stream.
+TEST(ChaosTest, ClientFaultTracesAreDeterministic) {
+  ChaosOptions options;
+  options.seed = 1007;
+  {
+    FaultEvent partition = Event(FaultType::kPartition, 80, 120, {1});
+    partition.include_client = true;
+    options.schedule.Add(partition);
+  }
+  {
+    FaultEvent loss = Event(FaultType::kPacketLoss, 90, 130, {2});
+    loss.value = 0.4;
+    loss.include_client = true;
+    options.schedule.Add(loss);
+  }
+  const ChaosReport first = RunChaos(options);
+  const ChaosReport second = RunChaos(options);
+  EXPECT_TRUE(first.ok()) << first.ViolationText();
+  EXPECT_GT(first.ops_retried, 0u);
+  ASSERT_FALSE(first.trace.empty());
+  EXPECT_EQ(first.trace, second.trace);
+}
+
+// Schedule 9 — combined seeded-random timelines: a handful of mixed
 // faults (latency, loss, partition, throttle, negative skew, slowdown,
 // plus a crash/restart cycle) per seed. Every invariant must hold for
 // every seed.

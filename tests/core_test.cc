@@ -8,6 +8,7 @@
 #include "core/read_balancer.h"
 #include "core/routing_policy.h"
 #include "core/shared_state.h"
+#include "repl/replica_set.h"
 
 namespace dcg::core {
 namespace {
@@ -103,8 +104,7 @@ class ReadBalancerTest : public ::testing::Test {
                                              network_.get(), params,
                                              server_params, hosts);
     client_ = std::make_unique<driver::MongoClient>(
-        &loop_, sim::Rng(3), network_.get(), rs_.get(), c,
-        driver::ClientOptions{});
+        &loop_, sim::Rng(3), rs_->command_bus(), c, driver::ClientOptions{});
     state_ = std::make_unique<SharedState>(config.low_bal);
     balancer_ = std::make_unique<ReadBalancer>(client_.get(), state_.get(),
                                                config, sim::Rng(4));

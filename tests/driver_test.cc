@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "driver/client.h"
+#include "repl/replica_set.h"
 
 namespace dcg::driver {
 namespace {
@@ -32,8 +33,8 @@ class DriverTest : public ::testing::Test {
                                              network_.get(), params,
                                              server_params, hosts);
     client_ = std::make_unique<MongoClient>(&loop_, sim::Rng(3),
-                                            network_.get(), rs_.get(),
-                                            client_host_, options);
+                                            rs_->command_bus(), client_host_,
+                                            options);
   }
 
   sim::EventLoop loop_;
@@ -199,11 +200,16 @@ TEST_F(DriverTest, EnforcedMongoMinimumStalenessAborts) {
 
 TEST_F(DriverTest, PrimaryPreferredFallsBackWhenPrimaryDies) {
   Build();
+  client_->Start();
   rs_->Start();
+  loop_.RunUntil(sim::Seconds(1));
   EXPECT_EQ(client_->SelectNode(ReadPreference::kPrimaryPreferred), 0);
   rs_->KillNode(0);
-  // Before the election resolves, primaryPreferred reads fall back to a
-  // live secondary instead of erroring out.
+  // The driver notices the dead primary once its hellos go unanswered —
+  // well before the election resolves (5 s timeout). primaryPreferred
+  // reads then fall back to a live secondary instead of erroring out.
+  loop_.RunUntil(sim::Seconds(3));
+  EXPECT_FALSE(client_->NodeReachable(0));
   const int node = client_->SelectNode(ReadPreference::kPrimaryPreferred);
   EXPECT_GE(node, 1);
   EXPECT_TRUE(rs_->IsAlive(node));

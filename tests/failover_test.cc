@@ -30,8 +30,7 @@ class FailoverTest : public ::testing::Test {
                                        params, server_params, hosts);
     driver::ClientOptions options;
     client_ = std::make_unique<driver::MongoClient>(
-        &loop_, sim::Rng(3), network_.get(), rs_.get(), client_host_,
-        options);
+        &loop_, sim::Rng(3), rs_->command_bus(), client_host_, options);
     rs_->Start();
   }
 
@@ -232,11 +231,15 @@ TEST_F(FailoverTest, SelectionSkipsDeadSecondaries) {
   client_->Start();
   loop_.RunUntil(sim::Seconds(1));
   rs_->KillNode(2);
+  // The dead secondary stops answering hellos; after the hello timeout
+  // the driver marks it unreachable and stops selecting it.
+  loop_.RunUntil(sim::Seconds(4));
   for (int i = 0; i < 50; ++i) {
     const int node = client_->SelectNode(driver::ReadPreference::kSecondary);
     EXPECT_EQ(node, 1);
   }
   rs_->KillNode(1);
+  loop_.RunUntil(sim::Seconds(7));
   // All secondaries dead: falls back to the primary.
   EXPECT_EQ(client_->SelectNode(driver::ReadPreference::kSecondary), 0);
 }

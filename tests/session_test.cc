@@ -8,6 +8,7 @@
 #include "core/controller.h"
 #include "driver/session.h"
 #include "net/network.h"
+#include "repl/replica_set.h"
 
 namespace dcg {
 namespace {
@@ -29,8 +30,7 @@ class SessionTest : public ::testing::Test {
                                              network_.get(), params,
                                              server_params, hosts);
     client_ = std::make_unique<driver::MongoClient>(
-        &loop_, sim::Rng(3), network_.get(), rs_.get(), c,
-        driver::ClientOptions{});
+        &loop_, sim::Rng(3), rs_->command_bus(), c, driver::ClientOptions{});
     rs_->Start();
   }
 

@@ -11,6 +11,7 @@
 #include "workload/s_workload.h"
 #include "workload/tpcc.h"
 #include "workload/ycsb.h"
+#include "repl/replica_set.h"
 
 namespace dcg::workload {
 namespace {
@@ -92,8 +93,7 @@ class WorkloadClusterTest : public ::testing::Test {
                                              network_.get(), params,
                                              server_params, hosts);
     client_ = std::make_unique<driver::MongoClient>(
-        &loop_, sim::Rng(3), network_.get(), rs_.get(), c,
-        driver::ClientOptions{});
+        &loop_, sim::Rng(3), rs_->command_bus(), c, driver::ClientOptions{});
     state_ = std::make_unique<core::SharedState>(0.5);
     policy_ = std::make_unique<core::DecongestantPolicy>(state_.get());
   }
