@@ -32,6 +32,7 @@
 #include "doc/update.h"
 #include "doc/value.h"
 #include "driver/client.h"
+#include "driver/pool/connection_pool.h"
 #include "exp/experiment.h"
 #include "net/network.h"
 #include "repl/replica_set.h"
@@ -196,6 +197,13 @@ struct CommandRig {
 
   // One closed loop of `n` point reads; returns after the loop drains.
   uint64_t RunReads(int n, driver::ReadPreference pref) {
+    return RunReadsConcurrent(n, 1, pref);
+  }
+
+  // `n` point reads with up to `fanout` outstanding at once — `fanout`
+  // closed loops sharing one client, so a size-capped connection pool
+  // sees sustained checkout contention.
+  uint64_t RunReadsConcurrent(int n, int fanout, driver::ReadPreference pref) {
     int issued = 0, completed = 0;
     std::function<void()> issue = [&] {
       if (issued == n) return;
@@ -208,7 +216,7 @@ struct CommandRig {
                      issue();
                    });
     };
-    issue();
+    for (int i = 0; i < fanout && i < n; ++i) issue();
     loop.RunAll();
     if (completed != n) std::abort();
     return static_cast<uint64_t>(n);
@@ -220,6 +228,7 @@ struct CommandRig {
 int BenchMain(int argc, char** argv) {
   std::string out_path;
   std::string compare_path;
+  std::string summary_path;
   double threshold = 0.85;
   double min_time = 1.0;
   bool allow_debug = false;
@@ -236,6 +245,8 @@ int BenchMain(int argc, char** argv) {
       out_path = next();
     } else if (arg == "--compare") {
       compare_path = next();
+    } else if (arg == "--summary") {
+      summary_path = next();
     } else if (arg == "--threshold") {
       threshold = std::stod(next());
     } else if (arg == "--min-time") {
@@ -245,8 +256,8 @@ int BenchMain(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: bench_baseline [--out FILE] [--compare FILE]\n"
-                   "                      [--threshold R] [--min-time S]\n"
-                   "                      [--allow-debug]\n");
+                   "                      [--summary FILE] [--threshold R]\n"
+                   "                      [--min-time S] [--allow-debug]\n");
       return 2;
     }
   }
@@ -385,6 +396,48 @@ int BenchMain(int argc, char** argv) {
   }
 
   {
+    // Pool checkout fast path: a size-capped pool with all connections
+    // warm, driven by a single closed loop — every checkout is satisfied
+    // synchronously from the idle list, every check-in returns LIFO.
+    // Measures the bookkeeping a healthy pooled op pays per round trip.
+    auto loop = std::make_shared<sim::EventLoop>();
+    driver::pool::PoolOptions options;
+    options.max_pool_size = 8;
+    auto pool = std::make_shared<driver::pool::ConnectionPool>(loop.get(),
+                                                               options);
+    run("pool_checkout", [loop, pool] {
+      for (int i = 0; i < 10000; ++i) {
+        uint64_t conn = 0;
+        pool->CheckOut(
+            [&conn](const driver::pool::ConnectionPool::Checkout& co) {
+              if (!co.ok) std::abort();
+              conn = co.conn_id;
+            });
+        if (conn == 0) std::abort();  // warm pool must deliver synchronously
+        pool->CheckIn(conn);
+      }
+      loop->RunAll();
+      return 10000;
+    });
+  }
+
+  {
+    // Pool starvation: 64 concurrent closed loops over a pool of ONE
+    // connection per node — every op queues behind the rest, exercising
+    // the FIFO wait queue and the serve-on-check-in handoff under
+    // sustained contention.
+    driver::ClientOptions options;
+    options.pool.max_pool_size = 1;
+    auto rig = std::make_shared<CommandRig>(options);
+    run("pool_starvation", [rig] {
+      const uint64_t n =
+          rig->RunReadsConcurrent(400, 64, driver::ReadPreference::kPrimary);
+      if (rig->client->PoolTotals().max_queue_depth == 0) std::abort();
+      return n;
+    });
+  }
+
+  {
     // One simulated second of a loaded 3-node cluster under Decongestant —
     // the end-to-end cost that bounds how fast every paper figure runs.
     // items = simulator events executed.
@@ -451,7 +504,16 @@ int BenchMain(int argc, char** argv) {
     // "name": "<bench>" ... "items_per_sec": <number>. The committed file
     // may carry extra fields (e.g. pre_change_items_per_sec); they are
     // ignored because the exact quoted keys below are matched.
-    bool ok = true;
+    struct CompareRow {
+      std::string name;
+      double baseline = 0;
+      double current = 0;
+      double ratio = 0;
+      bool pass = false;
+      bool missing = false;  // in the baseline but not in this run
+    };
+    std::vector<CompareRow> rows;
+    std::vector<std::string> offenders;
     int compared = 0;
     size_t pos = 0;
     while ((pos = text.find("\"name\": \"", pos)) != std::string::npos) {
@@ -471,7 +533,8 @@ int BenchMain(int argc, char** argv) {
       if (it == results.end()) {
         std::fprintf(stderr, "FAIL %-28s missing from this run\n",
                      name.c_str());
-        ok = false;
+        rows.push_back({name, baseline, 0, 0, false, true});
+        offenders.push_back(name);
         continue;
       }
       if (baseline <= 0) continue;
@@ -481,16 +544,61 @@ int BenchMain(int argc, char** argv) {
       std::printf("%s %-28s %.2fx of baseline (%.0f vs %.0f items/s)\n",
                   pass ? "ok  " : "FAIL", name.c_str(), ratio,
                   it->items_per_sec, baseline);
-      if (!pass) ok = false;
+      rows.push_back({name, baseline, it->items_per_sec, ratio, pass, false});
+      if (!pass) offenders.push_back(name);
     }
+
+    // Markdown report for CI step summaries ($GITHUB_STEP_SUMMARY):
+    // the full comparison table plus an explicit offender list, so a
+    // red bench job names its regressions without log spelunking.
+    if (!summary_path.empty()) {
+      std::ofstream s(summary_path, std::ios::app);
+      s << "### bench_baseline vs `" << compare_path << "` (threshold "
+        << threshold << ")\n\n";
+      s << "| benchmark | baseline items/s | current items/s | ratio | "
+           "status |\n";
+      s << "|---|---:|---:|---:|---|\n";
+      char line[256];
+      for (const CompareRow& row : rows) {
+        if (row.missing) {
+          std::snprintf(line, sizeof(line),
+                        "| `%s` | %.0f | — | — | :x: missing |\n",
+                        row.name.c_str(), row.baseline);
+        } else {
+          std::snprintf(line, sizeof(line),
+                        "| `%s` | %.0f | %.0f | %.2fx | %s |\n",
+                        row.name.c_str(), row.baseline, row.current,
+                        row.ratio, row.pass ? ":white_check_mark:" : ":x:");
+        }
+        s << line;
+      }
+      if (offenders.empty()) {
+        s << "\nAll " << compared << " benchmarks within threshold.\n";
+      } else {
+        s << "\n**Regressed:** ";
+        for (size_t i = 0; i < offenders.size(); ++i) {
+          s << (i ? ", " : "") << "`" << offenders[i] << "`";
+        }
+        s << "\n";
+      }
+      if (!s) {
+        std::fprintf(stderr, "failed to write %s\n", summary_path.c_str());
+        return 1;
+      }
+    }
+
     if (compared == 0) {
       std::fprintf(stderr, "no benchmarks found in %s\n", compare_path.c_str());
       return 1;
     }
-    if (!ok) {
+    if (!offenders.empty()) {
+      std::ostringstream who;
+      for (size_t i = 0; i < offenders.size(); ++i) {
+        who << (i ? ", " : "") << offenders[i];
+      }
       std::fprintf(stderr,
-                   "bench_baseline: regression beyond threshold %.2f\n",
-                   threshold);
+                   "bench_baseline: regression beyond threshold %.2f in: %s\n",
+                   threshold, who.str().c_str());
       return 1;
     }
     std::printf("all %d benchmarks within threshold %.2f\n", compared,

@@ -8,8 +8,8 @@
 //           [--warmup=SECONDS] [--seed=N] [--stale-bound=SECONDS]
 //           [--controller=step|proportional] [--no-s-workload]
 //           [--kill-primary-at=SECONDS] [--faults=SPEC] [--chaos-seed=N]
-//           [--hedged-reads] [--op-deadline=MS] [--csv-prefix=PATH]
-//           [--quiet]
+//           [--hedged-reads] [--op-deadline=MS] [--max-pool-size=N]
+//           [--wait-queue-timeout=MS] [--csv-prefix=PATH] [--quiet]
 //
 // --faults takes a semicolon-separated fault timeline (times in seconds):
 //   type@start[-end][:key=value]*   with type one of latency | loss |
@@ -20,6 +20,11 @@
 // --hedged-reads mirrors eligible secondary reads to a second node after
 //   a P90 delay; --op-deadline gives every operation a client-enforced
 //   deadline in milliseconds (maxTimeMS).
+// --max-pool-size caps the per-node connection pool (0 = unlimited, the
+//   default — checkouts never queue); --wait-queue-timeout bounds how long
+//   a checkout may wait for a free connection, in milliseconds (0 = wait
+//   forever). A constrained pool surfaces checkout queueing in client
+//   latency, which the Read Balancer then sheds to secondaries.
 //
 // Examples:
 //   sim_cli --workload=ycsb-b --clients=45 --duration=300
@@ -104,6 +109,11 @@ int main(int argc, char** argv) {
       chaos = true;
     } else if (ParseFlag(argv[i], "op-deadline", &value)) {
       config.client_options.default_op_deadline =
+          sim::Millis(std::atof(value.c_str()));
+    } else if (ParseFlag(argv[i], "max-pool-size", &value)) {
+      config.client_options.pool.max_pool_size = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "wait-queue-timeout", &value)) {
+      config.client_options.pool.wait_queue_timeout =
           sim::Millis(std::atof(value.c_str()));
     } else if (std::strcmp(argv[i], "--hedged-reads") == 0) {
       config.client_options.hedged_reads = true;
@@ -226,6 +236,21 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(ops.retries_total),
       static_cast<unsigned long long>(ops.hedges_sent),
       static_cast<unsigned long long>(ops.hedges_won));
+
+  if (config.client_options.pool.max_pool_size > 0) {
+    const auto pool = experiment.client().PoolTotals();
+    std::printf(
+        "pool: %llu checkouts, %llu timed out, %llu established, "
+        "%llu destroyed, %llu clears, peak queue %llu, "
+        "%.1f ms total wait\n",
+        static_cast<unsigned long long>(pool.checkouts),
+        static_cast<unsigned long long>(pool.checkout_timeouts),
+        static_cast<unsigned long long>(pool.established),
+        static_cast<unsigned long long>(pool.destroyed),
+        static_cast<unsigned long long>(pool.clears),
+        static_cast<unsigned long long>(pool.max_queue_depth),
+        sim::ToMillis(pool.wait_total));
+  }
 
   if (!csv_prefix.empty()) {
     const bool ok =

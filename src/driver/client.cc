@@ -34,6 +34,8 @@ MongoClient::MongoClient(sim::EventLoop* loop, sim::Rng rng,
     servers_[i].host = hosts[i];
     // Seed RTT estimates from link base RTTs (first handshake).
     servers_[i].rtt_ewma = network_->BaseRtt(client_host_, hosts[i]);
+    pools_.push_back(
+        std::make_unique<pool::ConnectionPool>(loop_, options_.pool));
   }
 }
 
@@ -41,9 +43,40 @@ void MongoClient::Start() {
   if (started_) return;
   started_ = true;
   for (ServerDescription& sd : servers_) sd.last_heard = loop_->Now();
+  // No-op unless minPoolSize / maxIdleTime are configured, so the default
+  // pool adds no events to a run.
+  for (auto& pool : pools_) pool->StartMaintenance();
   HelloLoop();
   ProbeLoop();
   if (options_.max_staleness_seconds >= 0) StalenessLoop();
+}
+
+pool::ConnectionPool::Stats MongoClient::PoolTotals() const {
+  pool::ConnectionPool::Stats totals;
+  for (const auto& pool : pools_) {
+    const pool::ConnectionPool::Stats& s = pool->stats();
+    totals.checkouts += s.checkouts;
+    totals.checkout_timeouts += s.checkout_timeouts;
+    totals.established += s.established;
+    totals.destroyed += s.destroyed;
+    totals.clears += s.clears;
+    totals.max_queue_depth =
+        std::max(totals.max_queue_depth, s.max_queue_depth);
+    totals.wait_total += s.wait_total;
+  }
+  return totals;
+}
+
+int MongoClient::PoolQueueDepth() const {
+  int depth = 0;
+  for (const auto& pool : pools_) depth += pool->queue_depth();
+  return depth;
+}
+
+int MongoClient::PoolCheckedOut() const {
+  int out = 0;
+  for (const auto& pool : pools_) out += pool->checked_out();
+  return out;
 }
 
 void MongoClient::HelloLoop() {
@@ -270,6 +303,52 @@ void MongoClient::StartAttempt(uint64_t op_id) {
   }
   op.target = node;
   ++op.attempts_sent;
+  // Every attempt checks a connection out of the target node's pool
+  // before it may touch the wire. With default pool options the checkout
+  // completes synchronously (no queueing, no events), so the event
+  // sequence matches the pre-pool driver exactly.
+  const int attempt = op.attempts_sent;
+  pools_[node]->CheckOut(
+      [this, op_id, node, attempt](const pool::ConnectionPool::Checkout& co) {
+        OnCheckout(op_id, node, attempt, co);
+      });
+}
+
+void MongoClient::OnCheckout(uint64_t op_id, int node, int attempt,
+                             const pool::ConnectionPool::Checkout& co) {
+  auto it = pending_.find(op_id);
+  if (it == pending_.end() || it->second.target != node ||
+      it->second.attempts_sent != attempt) {
+    // The op moved on while this checkout sat in the wait queue (completed
+    // via a hedge, failed over, hit its deadline): the unused connection
+    // goes straight back to the pool.
+    if (co.ok) pools_[node]->CheckIn(co.conn_id);
+    return;
+  }
+  PendingOp& op = it->second;
+  if (!co.ok) {
+    // waitQueueTimeoutMS fired: the pool is saturated. The failed
+    // checkout burns one retry, so an exhausted pool cannot spin an op
+    // forever — the retry budget / deadline still bound it.
+    ++counters_.checkout_timeouts;
+    RetryAttempt(op_id);
+    return;
+  }
+  op.conn_id = co.conn_id;
+  op.conn_node = node;
+  op.checkout_wait += co.wait;
+  ++counters_.checkouts;
+  counters_.checkout_wait_total += co.wait;
+  counters_.checkout_queue_peak = std::max(
+      counters_.checkout_queue_peak, pools_[node]->stats().max_queue_depth);
+  SendAttempt(op_id);
+}
+
+void MongoClient::SendAttempt(uint64_t op_id) {
+  auto it = pending_.find(op_id);
+  if (it == pending_.end()) return;
+  PendingOp& op = it->second;
+  const int node = op.target;
 
   proto::Command cmd;
   cmd.kind = op.is_read ? proto::CommandKind::kFind : proto::CommandKind::kWrite;
@@ -277,6 +356,8 @@ void MongoClient::StartAttempt(uint64_t op_id) {
   cmd.ctx.deadline = op.deadline;
   cmd.ctx.after_cluster_time = op.after;
   cmd.ctx.attempt = op.attempts_sent - 1;
+  cmd.ctx.conn_id = op.conn_id;
+  cmd.ctx.checkout_wait = op.checkout_wait;
   cmd.op_class = op.op_class;
   cmd.require_primary = !op.is_read || op.pref == ReadPreference::kPrimary;
   cmd.read_body = op.read_body;  // copies: the op outlives any one attempt
@@ -308,7 +389,16 @@ void MongoClient::OnReply(uint64_t op_id, const proto::Reply& reply) {
   if (reply.status == proto::ReplyStatus::kNotPrimary) {
     // Only the outstanding attempt's error triggers a retry; errors from
     // already-superseded attempts were handled when they were abandoned.
-    if (!reply.is_hedge && reply.node_index == op.target) RetryAttempt(op_id);
+    if (!reply.is_hedge && reply.node_index == op.target) {
+      // The connection answered — the socket is healthy even though the
+      // command failed, so it is reusable (unlike a timed-out attempt).
+      if (reply.conn_id != 0 && reply.conn_id == op.conn_id) {
+        pools_[op.conn_node]->CheckIn(op.conn_id);
+        op.conn_id = 0;
+        op.conn_node = kNoNode;
+      }
+      RetryAttempt(op_id);
+    }
     return;
   }
   CompleteOp(op_id, reply);
@@ -344,8 +434,36 @@ void MongoClient::OnHedgeTimer(uint64_t op_id) {
     }
   }
   if (target == kNoNode) return;  // nobody to hedge to
+  // Hedges check out of the hedge node's pool like any other attempt.
+  const int attempt = op.attempts_sent;
+  pools_[target]->CheckOut([this, op_id, target, attempt](
+                               const pool::ConnectionPool::Checkout& co) {
+    OnHedgeCheckout(op_id, target, attempt, co);
+  });
+}
+
+void MongoClient::OnHedgeCheckout(uint64_t op_id, int node, int attempt,
+                                  const pool::ConnectionPool::Checkout& co) {
+  auto it = pending_.find(op_id);
+  if (it == pending_.end() || it->second.attempts_sent != attempt ||
+      it->second.hedge_conn_id != 0) {
+    // Op finished or retried while the checkout queued: hedge abandoned.
+    if (co.ok) pools_[node]->CheckIn(co.conn_id);
+    return;
+  }
+  PendingOp& op = it->second;
+  if (!co.ok) {
+    // Saturated hedge-node pool: skip the hedge rather than burn the
+    // main attempt's retry budget on speculative traffic.
+    ++counters_.checkout_timeouts;
+    return;
+  }
+  op.hedge_conn_id = co.conn_id;
+  op.hedge_node = node;
   op.hedged = true;
   ++counters_.hedges_sent;
+  ++counters_.checkouts;
+  counters_.checkout_wait_total += co.wait;
   proto::Command cmd;
   cmd.kind = proto::CommandKind::kFind;
   cmd.ctx.op_id = op_id;
@@ -353,11 +471,13 @@ void MongoClient::OnHedgeTimer(uint64_t op_id) {
   cmd.ctx.after_cluster_time = op.after;
   cmd.ctx.attempt = op.attempts_sent - 1;
   cmd.ctx.is_hedge = true;
+  cmd.ctx.conn_id = co.conn_id;
+  cmd.ctx.checkout_wait = co.wait;
   cmd.op_class = op.op_class;
   cmd.read_body = op.read_body;
   cmd.reply_to = client_host_;
   cmd.on_reply = [this, op_id](const proto::Reply& r) { OnReply(op_id, r); };
-  bus_->Send(client_host_, servers_[target].host, std::move(cmd));
+  bus_->Send(client_host_, servers_[node].host, std::move(cmd));
 }
 
 void MongoClient::RetryAttempt(uint64_t op_id) {
@@ -367,6 +487,14 @@ void MongoClient::RetryAttempt(uint64_t op_id) {
   if (op.attempt_timer != 0) {
     loop_->Cancel(op.attempt_timer);
     op.attempt_timer = 0;
+  }
+  if (op.conn_id != 0) {
+    // The abandoned attempt's reply may still arrive after we stop
+    // listening — the socket is desynchronised, so destroy it (real
+    // drivers close the connection on a command timeout).
+    pools_[op.conn_node]->Discard(op.conn_id);
+    op.conn_id = 0;
+    op.conn_node = kNoNode;
   }
   op.last_target = op.target;
   op.target = kNoNode;
@@ -392,6 +520,7 @@ void MongoClient::CompleteOp(uint64_t op_id, const proto::Reply& reply) {
   PendingOp op = std::move(it->second);
   pending_.erase(it);
   CancelOpTimers(&op);
+  ReleaseOpConnections(&op, reply.conn_id);
   const sim::Duration latency = loop_->Now() - op.start;
   const int retries = std::max(0, op.attempts_sent - 1);
   ++counters_.ok;
@@ -413,6 +542,7 @@ void MongoClient::CompleteOp(uint64_t op_id, const proto::Reply& reply) {
   stats.node = reply.node_index;
   stats.used_secondary = !reply.from_primary;
   stats.record_latency = op.record_latency;
+  stats.checkout_wait = op.checkout_wait;
   if (observer_) observer_(stats);
 
   if (op.is_read) {
@@ -426,6 +556,7 @@ void MongoClient::CompleteOp(uint64_t op_id, const proto::Reply& reply) {
     result.retries = retries;
     result.hedged = op.hedged;
     result.hedge_won = reply.is_hedge;
+    result.checkout_wait = op.checkout_wait;
     if (op.read_done) op.read_done(result);
   } else {
     WriteResult result;
@@ -434,6 +565,7 @@ void MongoClient::CompleteOp(uint64_t op_id, const proto::Reply& reply) {
     result.operation_time = reply.operation_time;
     result.ok = true;
     result.retries = retries;
+    result.checkout_wait = op.checkout_wait;
     if (op.write_done) op.write_done(result);
   }
 }
@@ -444,6 +576,7 @@ void MongoClient::FailOp(uint64_t op_id, bool timed_out) {
   PendingOp op = std::move(it->second);
   pending_.erase(it);
   CancelOpTimers(&op);
+  ReleaseOpConnections(&op, /*healthy_conn=*/0);
   const sim::Duration latency = loop_->Now() - op.start;
   const int retries = std::max(0, op.attempts_sent - 1);
   if (timed_out) ++counters_.timed_out;
@@ -462,6 +595,7 @@ void MongoClient::FailOp(uint64_t op_id, bool timed_out) {
   stats.hedged = op.hedged;
   stats.node = op.target;
   stats.record_latency = op.record_latency;
+  stats.checkout_wait = op.checkout_wait;
   if (observer_) observer_(stats);
 
   if (op.is_read) {
@@ -473,6 +607,7 @@ void MongoClient::FailOp(uint64_t op_id, bool timed_out) {
     result.timed_out = timed_out;
     result.retries = retries;
     result.hedged = op.hedged;
+    result.checkout_wait = op.checkout_wait;
     if (op.read_done) op.read_done(result);
   } else {
     WriteResult result;
@@ -481,6 +616,7 @@ void MongoClient::FailOp(uint64_t op_id, bool timed_out) {
     result.ok = false;
     result.timed_out = timed_out;
     result.retries = retries;
+    result.checkout_wait = op.checkout_wait;
     if (op.write_done) op.write_done(result);
   }
 }
@@ -504,9 +640,42 @@ void MongoClient::CancelOpTimers(PendingOp* op) {
   }
 }
 
+void MongoClient::ReleaseOpConnections(PendingOp* op, uint64_t healthy_conn) {
+  if (op->conn_id != 0) {
+    if (op->conn_id == healthy_conn) {
+      pools_[op->conn_node]->CheckIn(op->conn_id);
+    } else {
+      // No reply ever arrived on it (op won via hedge / failed / timed
+      // out): the socket state is unknown, so it cannot be reused.
+      pools_[op->conn_node]->Discard(op->conn_id);
+    }
+    op->conn_id = 0;
+    op->conn_node = kNoNode;
+  }
+  if (op->hedge_conn_id != 0) {
+    if (op->hedge_conn_id == healthy_conn) {
+      pools_[op->hedge_node]->CheckIn(op->hedge_conn_id);
+    } else {
+      pools_[op->hedge_node]->Discard(op->hedge_conn_id);
+    }
+    op->hedge_conn_id = 0;
+    op->hedge_node = kNoNode;
+  }
+}
+
 void MongoClient::AbortAttemptsOn(int node) {
+  // Driver-spec pool.clear() on server-down: the generation bump ensures
+  // no later checkout reuses a socket that was open to the failed server.
+  pools_[node]->Clear();
   std::vector<uint64_t> affected;
-  for (const auto& [op_id, op] : pending_) {
+  for (auto& [op_id, op] : pending_) {
+    if (op.hedge_conn_id != 0 && op.hedge_node == node) {
+      // Hedge outstanding against the dead node: drop its connection but
+      // leave the op alone — the main attempt may still answer.
+      pools_[node]->Discard(op.hedge_conn_id);
+      op.hedge_conn_id = 0;
+      op.hedge_node = kNoNode;
+    }
     if (op.target == node) affected.push_back(op_id);
   }
   // RetryAttempt may erase ops (budget spent) and their callbacks may

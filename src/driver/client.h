@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <vector>
 
+#include "driver/pool/connection_pool.h"
 #include "driver/read_preference.h"
 #include "metrics/op_counters.h"
 #include "net/network.h"
@@ -84,6 +86,12 @@ struct ClientOptions {
   bool hedged_reads = false;
   double hedge_quantile = 0.9;
   sim::Duration hedge_min_delay = sim::Millis(1);
+
+  /// Per-node connection pool (maxPoolSize, minPoolSize,
+  /// waitQueueTimeoutMS, establishment cost, idle reaping). Defaults are
+  /// the unconstrained pool — synchronous checkouts, no extra events —
+  /// so pre-pool determinism goldens replay unchanged.
+  pool::PoolOptions pool;
 };
 
 /// Per-operation overrides (passed alongside a Read/Write call).
@@ -125,6 +133,10 @@ class MongoClient {
     /// Whether a hedge was sent, and whether it answered first.
     bool hedged = false;
     bool hedge_won = false;
+    /// Total time this op spent waiting for pool checkouts (queueing +
+    /// connection establishment), across all attempts. Included in
+    /// `latency` — it is client-observed time.
+    sim::Duration checkout_wait = 0;
   };
 
   struct WriteResult {
@@ -136,6 +148,7 @@ class MongoClient {
     bool ok = true;
     bool timed_out = false;
     int retries = 0;
+    sim::Duration checkout_wait = 0;
   };
 
   /// One record per completed op, delivered on the unified completion
@@ -152,6 +165,11 @@ class MongoClient {
     int node = -1;
     bool used_secondary = false;
     bool record_latency = true;
+    /// Pool checkout wait included in `latency` (see ReadResult). The
+    /// Read Balancer harvests `latency` whole, so a saturated pool on the
+    /// primary inflates its server-side-latency estimate and sheds load —
+    /// checkout wait *is* client-observed latency in the paper's sense.
+    sim::Duration checkout_wait = 0;
   };
   using OpObserver = std::function<void(const OpStats&)>;
 
@@ -223,6 +241,26 @@ class MongoClient {
 
   const metrics::OpCounters& op_counters() const { return counters_; }
 
+  /// Per-node connection pool (every command attempt checks out of the
+  /// target node's pool before it touches the wire).
+  pool::ConnectionPool& node_pool(int node) { return *pools_[node]; }
+  const pool::ConnectionPool& node_pool(int node) const {
+    return *pools_[node];
+  }
+
+  /// Clears one node's pool (driver-spec pool.clear(): generation bump,
+  /// idle connections dropped, in-flight ones perish at check-in). Called
+  /// internally on hello silence; exposed for the pool_clear fault.
+  void ClearPool(int node) { pools_[node]->Clear(); }
+
+  /// Pool stats summed across all nodes (checkouts, timeouts, queue
+  /// high-water marks) for experiment rows and CLI summaries.
+  pool::ConnectionPool::Stats PoolTotals() const;
+  /// Current total wait-queue depth across all node pools.
+  int PoolQueueDepth() const;
+  /// Connections currently checked out across all node pools.
+  int PoolCheckedOut() const;
+
   net::HostId client_host() const { return client_host_; }
   sim::EventLoop& loop() { return *loop_; }
 
@@ -254,6 +292,15 @@ class MongoClient {
     int attempts_sent = 0;
     int target = kNoNode;       // node of the outstanding attempt
     int last_target = kNoNode;  // excluded on re-selection
+    /// Connection of the outstanding attempt (0 = none checked out:
+    /// either between attempts or still queued in the pool).
+    uint64_t conn_id = 0;
+    int conn_node = kNoNode;
+    /// Connection carrying the hedge request, when one is outstanding.
+    uint64_t hedge_conn_id = 0;
+    int hedge_node = kNoNode;
+    /// Accumulated pool checkout wait across every attempt of this op.
+    sim::Duration checkout_wait = 0;
     bool hedged = false;
     sim::EventId attempt_timer = 0;
     sim::EventId deadline_timer = 0;
@@ -273,6 +320,16 @@ class MongoClient {
 
   uint64_t BeginOp(PendingOp op, OpOptions opts);
   void StartAttempt(uint64_t op_id);
+  /// Checkout completion for attempt number `attempt` targeting `node`;
+  /// sends the command, or retries on a wait-queue timeout. Returns the
+  /// connection unused when the op was superseded while queued.
+  void OnCheckout(uint64_t op_id, int node, int attempt,
+                  const pool::ConnectionPool::Checkout& co);
+  /// Ships the attempt's command over its checked-out connection and arms
+  /// the attempt/hedge timers.
+  void SendAttempt(uint64_t op_id);
+  void OnHedgeCheckout(uint64_t op_id, int node, int attempt,
+                       const pool::ConnectionPool::Checkout& co);
   void OnReply(uint64_t op_id, const proto::Reply& reply);
   void OnAttemptTimeout(uint64_t op_id);
   void OnDeadline(uint64_t op_id);
@@ -283,6 +340,10 @@ class MongoClient {
   void CompleteOp(uint64_t op_id, const proto::Reply& reply);
   void FailOp(uint64_t op_id, bool timed_out);
   void CancelOpTimers(PendingOp* op);
+  /// Returns every connection the op still holds: the winning reply's
+  /// connection is checked in healthy, abandoned ones are discarded.
+  /// `healthy_conn` names the connection that carried a reply (0 = none).
+  void ReleaseOpConnections(PendingOp* op, uint64_t healthy_conn);
   /// Connection-pool clear: fails over every attempt outstanding against
   /// a node that was just declared unreachable.
   void AbortAttemptsOn(int node);
@@ -302,6 +363,8 @@ class MongoClient {
   ClientOptions options_;
 
   std::vector<ServerDescription> servers_;
+  /// One connection pool per node, indexed like servers_.
+  std::vector<std::unique_ptr<pool::ConnectionPool>> pools_;
   int believed_primary_ = 0;
   uint64_t believed_term_ = 0;
   bool started_ = false;

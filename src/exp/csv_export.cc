@@ -35,10 +35,11 @@ bool WritePeriodsCsv(const Experiment& experiment, const std::string& path) {
       "start_s,reads,reads_secondary,writes,read_throughput,"
       "p80_latency_ms,secondary_pct,balance_fraction,est_staleness_s,"
       "stock_level,stock_level_p80_ms,ops_ok,ops_timed_out,ops_retried,"
-      "hedges_won");
+      "hedges_won,pool_checkout_timeouts,pool_checkout_wait_ms,"
+      "pool_queue_depth");
   for (const PeriodRow& row : experiment.rows()) {
     csv.Line("%.1f,%llu,%llu,%llu,%.2f,%.3f,%.2f,%.2f,%lld,%llu,%.3f,"
-             "%llu,%llu,%llu,%llu",
+             "%llu,%llu,%llu,%llu,%llu,%.3f,%d",
              sim::ToSeconds(row.start),
              static_cast<unsigned long long>(row.reads),
              static_cast<unsigned long long>(row.reads_secondary),
@@ -52,7 +53,9 @@ bool WritePeriodsCsv(const Experiment& experiment, const std::string& path) {
              static_cast<unsigned long long>(row.ops_ok),
              static_cast<unsigned long long>(row.ops_timed_out),
              static_cast<unsigned long long>(row.ops_retried),
-             static_cast<unsigned long long>(row.hedges_won));
+             static_cast<unsigned long long>(row.hedges_won),
+             static_cast<unsigned long long>(row.pool_checkout_timeouts),
+             row.pool_checkout_wait_ms, row.pool_queue_depth);
   }
   return true;
 }

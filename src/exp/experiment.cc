@@ -115,6 +115,9 @@ Experiment::Experiment(ExperimentConfig config)
 
   injector_ = std::make_unique<fault::FaultInjector>(&loop_, network_.get(),
                                                      rs_.get(), client_host);
+  // pool_clear faults reach the driver through this hook — the injector
+  // itself never sees client internals.
+  injector_->SetPoolClearHook([this](int node) { client_->ClearPool(node); });
 
   pool_ = std::make_unique<ClientPool>(
       &loop_, workload_.get(),
@@ -193,6 +196,13 @@ void Experiment::SampleStaleness() {
 void Experiment::ClosePeriod() {
   current_.end = loop_.Now();
   current_.balance_fraction = shared_state_.balance_fraction();
+  const driver::pool::ConnectionPool::Stats pool_now = client_->PoolTotals();
+  current_.pool_checkout_timeouts =
+      pool_now.checkout_timeouts - last_pool_totals_.checkout_timeouts;
+  current_.pool_checkout_wait_ms =
+      sim::ToMillis(pool_now.wait_total - last_pool_totals_.wait_total);
+  current_.pool_queue_depth = client_->PoolQueueDepth();
+  last_pool_totals_ = pool_now;
   rows_.push_back(std::move(current_));
   current_ = PeriodRow{};
   current_.start = loop_.Now();

@@ -98,6 +98,12 @@ struct PeriodRow {
   uint64_t ops_timed_out = 0;  // ops that failed their client deadline
   uint64_t ops_retried = 0;    // ops needing at least one retry
   uint64_t hedges_won = 0;     // reads answered by the hedge request
+  // Connection-pool columns: per-period deltas of the client's pool
+  // totals, plus the wait-queue depth at period end (all zero with the
+  // default unconstrained pool).
+  uint64_t pool_checkout_timeouts = 0;
+  double pool_checkout_wait_ms = 0;  // total checkout wait this period
+  int pool_queue_depth = 0;          // queued checkouts at period end
 
   double ReadThroughput() const;
   double SecondaryPercent() const;
@@ -196,6 +202,8 @@ class Experiment {
 
   std::vector<PeriodRow> rows_;
   PeriodRow current_;
+  /// Pool totals at the last period boundary (for per-period deltas).
+  driver::pool::ConnectionPool::Stats last_pool_totals_;
   std::vector<StalenessPoint> staleness_series_;
   std::vector<std::pair<sim::Time, double>> s_samples_;
 };

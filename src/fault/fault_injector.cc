@@ -27,6 +27,8 @@ std::string_view ToString(FaultType type) {
       return "skew";
     case FaultType::kCpuSlowdown:
       return "slowdown";
+    case FaultType::kPoolClear:
+      return "pool_clear";
   }
   return "unknown";
 }
@@ -48,7 +50,7 @@ bool ParseType(const std::string& token, FaultType* type) {
        {FaultType::kLatencySpike, FaultType::kPacketLoss,
         FaultType::kPartition, FaultType::kCrash, FaultType::kRestart,
         FaultType::kApplyThrottle, FaultType::kClockSkew,
-        FaultType::kCpuSlowdown}) {
+        FaultType::kCpuSlowdown, FaultType::kPoolClear}) {
     if (token == ToString(t)) {
       *type = t;
       return true;
@@ -164,6 +166,7 @@ bool ParseOneEvent(const std::string& token, FaultEvent* event,
     case FaultType::kPartition:
     case FaultType::kCrash:
     case FaultType::kRestart:
+    case FaultType::kPoolClear:
       break;
   }
   return true;
@@ -285,7 +288,8 @@ void FaultInjector::Arm(const FaultSchedule& schedule) {
     }
     loop_->ScheduleAt(event.start, [this, event] { Apply(event); });
     const bool instantaneous = event.type == FaultType::kCrash ||
-                               event.type == FaultType::kRestart;
+                               event.type == FaultType::kRestart ||
+                               event.type == FaultType::kPoolClear;
     if (event.end >= 0 && !instantaneous) {
       loop_->ScheduleAt(event.end, [this, event] { Heal(event); });
     }
@@ -392,6 +396,13 @@ void FaultInjector::Apply(const FaultEvent& event) {
         rs_->node(node).server().set_fault_slowdown(event.value);
       }
       break;
+    case FaultType::kPoolClear:
+      if (!pool_clear_hook_) {
+        LogEvent("skip", event);
+        return;
+      }
+      for (int node : event.nodes) pool_clear_hook_(node);
+      break;
   }
   ++events_applied_;
   LogEvent("apply", event);
@@ -451,6 +462,7 @@ void FaultInjector::Heal(const FaultEvent& event) {
       break;
     case FaultType::kCrash:
     case FaultType::kRestart:
+    case FaultType::kPoolClear:
       return;  // instantaneous; never scheduled for heal
   }
   ++events_healed_;

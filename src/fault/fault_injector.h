@@ -2,6 +2,7 @@
 #define DCG_FAULT_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,12 @@ enum class FaultType {
   /// Every service time on the targets is multiplied by `value` (degraded
   /// machine / noisy neighbour).
   kCpuSlowdown,
+  /// Clears the client's connection pool to the target nodes
+  /// (driver-spec pool.clear(): generation bump, idle sockets dropped,
+  /// in-flight ones perish at check-in). A client-side fault — it fires
+  /// through the hook installed with SetPoolClearHook and is skipped with
+  /// a log entry when no hook is set. Instantaneous; no heal.
+  kPoolClear,
 };
 
 std::string_view ToString(FaultType type);
@@ -99,7 +106,7 @@ struct FaultSchedule {
 ///
 ///   event  := type '@' start [ '-' end ] ( ':' key '=' value )*
 ///   type   := latency | loss | partition | crash | restart | throttle |
-///             skew | slowdown
+///             skew | slowdown | pool_clear
 ///   keys   := nodes=1+2  (or node=1) — target replica-node indexes
 ///             x=FLOAT    — multiplier / factor (latency, throttle, slowdown)
 ///             p=FLOAT    — drop probability (loss)
@@ -140,6 +147,13 @@ class FaultInjector {
   /// Schedules every event in `schedule`. May be called once per run.
   void Arm(const FaultSchedule& schedule);
 
+  /// Installs the client-side hook kPoolClear fires through (node index →
+  /// clear that node's connection pool). The injector cannot see driver
+  /// internals, so the experiment wires this to MongoClient::ClearPool.
+  void SetPoolClearHook(std::function<void(int)> hook) {
+    pool_clear_hook_ = std::move(hook);
+  }
+
   uint64_t events_applied() const { return events_applied_; }
   uint64_t events_healed() const { return events_healed_; }
 
@@ -157,6 +171,7 @@ class FaultInjector {
   net::Network* network_;
   repl::ReplicaSet* rs_;
   net::HostId client_host_;
+  std::function<void(int)> pool_clear_hook_;
   uint64_t events_applied_ = 0;
   uint64_t events_healed_ = 0;
   std::vector<std::string> log_;

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "sim/time.h"
+
 namespace dcg::metrics {
 
 /// Per-operation outcome counters maintained by the driver's unified
@@ -22,6 +24,15 @@ struct OpCounters {
   uint64_t hedges_sent = 0;
   /// Hedged reads where the hedge replied before the primary attempt.
   uint64_t hedges_won = 0;
+  /// Connection-pool checkouts delivered to command attempts.
+  uint64_t checkouts = 0;
+  /// Checkouts that sat in a pool's wait queue past waitQueueTimeoutMS
+  /// (each burns one retry on the owning op).
+  uint64_t checkout_timeouts = 0;
+  /// Total time attempts spent waiting for pool checkouts.
+  sim::Duration checkout_wait_total = 0;
+  /// High-water mark of any single pool's checkout wait queue.
+  uint64_t checkout_queue_peak = 0;
 
   OpCounters& operator+=(const OpCounters& other) {
     ok += other.ok;
@@ -30,6 +41,12 @@ struct OpCounters {
     retries_total += other.retries_total;
     hedges_sent += other.hedges_sent;
     hedges_won += other.hedges_won;
+    checkouts += other.checkouts;
+    checkout_timeouts += other.checkout_timeouts;
+    checkout_wait_total += other.checkout_wait_total;
+    if (other.checkout_queue_peak > checkout_queue_peak) {
+      checkout_queue_peak = other.checkout_queue_peak;
+    }
     return *this;
   }
 };

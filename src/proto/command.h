@@ -84,6 +84,9 @@ struct Reply {
   /// Copied from the request's OpContext, so the client can tell which
   /// arm of a hedged read answered first.
   bool is_hedge = false;
+  /// Copied from the request's OpContext: the pool connection the attempt
+  /// rode, so the client checks the right one back in.
+  uint64_t conn_id = 0;
   ServerStatusReply server_status;  // kServerStatus only
   HelloReply hello;                 // kHello only
 };

@@ -33,6 +33,18 @@ struct OpContext {
 
   /// True for the speculative second request of a hedged read.
   bool is_hedge = false;
+
+  /// Pool connection carrying this attempt (echoed in the reply, so the
+  /// client can tell which of an op's checked-out connections a reply
+  /// actually rode — the one that may be reused). 0 = pool-less traffic
+  /// (hello/ping/serverStatus bypass the pool, like monitoring sockets in
+  /// real drivers).
+  uint64_t conn_id = 0;
+
+  /// Pool checkout wait (queueing + establishment) the operation had
+  /// accumulated, across attempts, when this attempt reached the wire.
+  /// Tracing/diagnostics.
+  sim::Duration checkout_wait = 0;
 };
 
 }  // namespace dcg::proto

@@ -145,6 +145,7 @@ void CommandService::SendReply(const proto::Command& command,
   reply.kind = command.kind;
   reply.node_index = node_;
   reply.is_hedge = command.ctx.is_hedge;
+  reply.conn_id = command.ctx.conn_id;
   // Every reply piggybacks a hello snapshot, so drivers refresh their
   // topology view from whatever traffic flows (a kNotPrimary reply names
   // the real primary, accelerating failover recovery).

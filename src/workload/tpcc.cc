@@ -252,6 +252,7 @@ void TpccWorkload::DoStockLevel(Done done) {
         outcome.retries = r.retries;
         outcome.hedged = r.hedged;
         outcome.hedge_won = r.hedge_won;
+        outcome.checkout_wait = r.checkout_wait;
         done(outcome);
       });
 }
@@ -337,6 +338,7 @@ void TpccWorkload::DoNewOrder(Done done) {
         outcome.ok = r.ok;
         outcome.timed_out = r.timed_out;
         outcome.retries = r.retries;
+        outcome.checkout_wait = r.checkout_wait;
         done(outcome);
       });
 }
@@ -381,6 +383,7 @@ void TpccWorkload::DoPayment(Done done) {
         outcome.ok = r.ok;
         outcome.timed_out = r.timed_out;
         outcome.retries = r.retries;
+        outcome.checkout_wait = r.checkout_wait;
         done(outcome);
       });
 }
@@ -422,6 +425,7 @@ void TpccWorkload::DoOrderStatus(Done done) {
         outcome.retries = r.retries;
         outcome.hedged = r.hedged;
         outcome.hedge_won = r.hedge_won;
+        outcome.checkout_wait = r.checkout_wait;
         done(outcome);
       });
 }
@@ -488,6 +492,7 @@ void TpccWorkload::DoDelivery(Done done) {
         outcome.ok = r.ok;
         outcome.timed_out = r.timed_out;
         outcome.retries = r.retries;
+        outcome.checkout_wait = r.checkout_wait;
         done(outcome);
       });
 }

@@ -38,6 +38,9 @@ struct OpOutcome {
   /// Hedged-read bookkeeping: whether a hedge was sent / answered first.
   bool hedged = false;
   bool hedge_won = false;
+  /// Pool checkout wait included in `latency` (queueing + connection
+  /// establishment across all attempts of the op).
+  sim::Duration checkout_wait = 0;
 };
 
 /// A closed-loop workload generator: `Issue` starts one operation for a

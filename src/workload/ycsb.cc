@@ -85,6 +85,7 @@ void YcsbWorkload::IssueRead(Done done) {
         outcome.retries = r.retries;
         outcome.hedged = r.hedged;
         outcome.hedge_won = r.hedge_won;
+        outcome.checkout_wait = r.checkout_wait;
         done(outcome);
       });
 }
@@ -112,6 +113,7 @@ void YcsbWorkload::IssueUpdate(Done done) {
         outcome.ok = r.ok;
         outcome.timed_out = r.timed_out;
         outcome.retries = r.retries;
+        outcome.checkout_wait = r.checkout_wait;
         done(outcome);
       });
 }

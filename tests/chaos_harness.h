@@ -83,6 +83,12 @@ struct ChaosReport {
 ///   5. Drain: after stopping the clients, every in-flight operation
 ///      completes and (with all nodes alive) replicas converge to
 ///      identical fingerprints — no stuck callbacks anywhere.
+///   6. Pool generation: no command ever rides a connection checked out
+///      under an older pool generation than the current one (no post-clear
+///      command on a pre-clear socket), on any node's pool.
+///   7. Pool drain: after quiesce, every pool's wait queue is empty and
+///      every connection is returned — a cleared/saturated pool recovers
+///      in bounded time instead of leaking checkouts.
 inline ChaosReport RunChaos(const ChaosOptions& options) {
   ChaosReport report;
   auto violation = [&report](const std::string& v) {
@@ -202,6 +208,24 @@ inline ChaosReport RunChaos(const ChaosOptions& options) {
                   experiment.pool().running());
     violation(buf);
   }
+  // --- Invariant 6: pool generation (no stale-generation handouts). ---
+  for (int i = 0; i < rs.node_count(); ++i) {
+    const uint64_t stale = experiment.client().node_pool(i).stale_handouts();
+    if (stale != 0) {
+      violation("pool: node " + std::to_string(i) + " handed out " +
+                std::to_string(stale) + " stale-generation connections");
+    }
+  }
+  // --- Invariant 7: pools fully drained after quiesce. ---
+  if (experiment.client().PoolQueueDepth() != 0) {
+    violation("pool: " + std::to_string(experiment.client().PoolQueueDepth()) +
+              " checkouts still queued after quiesce");
+  }
+  if (experiment.client().PoolCheckedOut() != 0) {
+    violation("pool: " +
+              std::to_string(experiment.client().PoolCheckedOut()) +
+              " connections still checked out after quiesce");
+  }
   bool all_alive = true;
   for (int i = 0; i < rs.node_count(); ++i) all_alive &= rs.IsAlive(i);
   if (all_alive) {
@@ -260,6 +284,19 @@ inline ChaosReport RunChaos(const ChaosOptions& options) {
                 static_cast<unsigned long long>(ops.retries_total),
                 static_cast<unsigned long long>(ops.hedges_won),
                 static_cast<unsigned long long>(ops.hedges_sent));
+  trace += line;
+  const driver::pool::ConnectionPool::Stats pool_totals =
+      experiment.client().PoolTotals();
+  std::snprintf(line, sizeof(line),
+                "pool co=%llu to=%llu est=%llu destroyed=%llu clears=%llu "
+                "peakq=%llu wait_ms=%.3f\n",
+                static_cast<unsigned long long>(pool_totals.checkouts),
+                static_cast<unsigned long long>(pool_totals.checkout_timeouts),
+                static_cast<unsigned long long>(pool_totals.established),
+                static_cast<unsigned long long>(pool_totals.destroyed),
+                static_cast<unsigned long long>(pool_totals.clears),
+                static_cast<unsigned long long>(pool_totals.max_queue_depth),
+                sim::ToMillis(pool_totals.wait_total));
   trace += line;
   for (int i = 0; i < rs.node_count(); ++i) {
     std::snprintf(line, sizeof(line), "node%d fp=%llx alive=%d\n", i,

@@ -329,6 +329,52 @@ TEST(ChaosTest, IdenticalSeedsProduceIdenticalTraces) {
   EXPECT_EQ(first.trace, second.trace);
 }
 
+// Schedule 10 — repeated pool_clear storms against a constrained pool
+// while commands are in flight. The generation invariant (no post-clear
+// command rides a pre-clear connection) and bounded drain after the last
+// clear are the chaos-harness pool invariants; this schedule is designed
+// to hit the clear-while-establishing and clear-while-checked-out races.
+TEST(ChaosTest, PoolClearStormKeepsGenerationInvariant) {
+  ChaosOptions options;
+  options.seed = 1010;
+  options.client_options.pool.max_pool_size = 4;
+  options.client_options.pool.establish_cost = sim::Millis(2);
+  options.client_options.pool.wait_queue_timeout = sim::Millis(500);
+  // Clears land on every node, in bursts, including back-to-back ones.
+  for (double at : {60.0, 60.5, 90.0, 120.0, 150.0, 150.1}) {
+    options.schedule.Add(Event(FaultType::kPoolClear, at, -1, {0, 1, 2}));
+  }
+  const ChaosReport first = RunChaos(options);
+  EXPECT_TRUE(first.ok()) << first.ViolationText();
+  EXPECT_GT(first.secondary_reads, 0u);
+  // The clears really happened and forced re-establishment.
+  EXPECT_NE(first.trace.find("apply pool_clear"), std::string::npos);
+  EXPECT_NE(first.trace.find("clears=18"), std::string::npos);
+  // Same-seed pool chaos is bit-identical, like every other fault type.
+  const ChaosReport second = RunChaos(options);
+  EXPECT_EQ(first.trace, second.trace);
+}
+
+// Schedule 11 — pool clear combined with a node partition: the hello
+// watchdog clears the pool again on silence, ops retry across nodes, and
+// every connection must still drain cleanly after the heal.
+TEST(ChaosTest, PoolClearDuringPartitionStillDrains) {
+  ChaosOptions options;
+  options.seed = 1011;
+  options.client_options.pool.max_pool_size = 3;
+  options.client_options.pool.establish_cost = sim::Millis(1);
+  options.client_options.pool.wait_queue_timeout = sim::Millis(300);
+  {
+    FaultEvent partition = Event(FaultType::kPartition, 80, 130, {1});
+    partition.include_client = true;
+    options.schedule.Add(partition);
+  }
+  options.schedule.Add(Event(FaultType::kPoolClear, 100, -1, {0, 2}));
+  const ChaosReport report = RunChaos(options);
+  EXPECT_TRUE(report.ok()) << report.ViolationText();
+  EXPECT_GT(report.ops_retried, 0u);
+}
+
 // Different seeds must not produce the same trace (the trace actually
 // carries run-specific content).
 TEST(ChaosTest, DifferentSeedsDiverge) {

@@ -140,6 +140,29 @@ TEST(DeterminismTest, SameSeedSameTraceUnderFaults) {
   EXPECT_EQ(first, second);
 }
 
+// The connection-pool layer at default settings must be invisible: the
+// golden-fingerprint tests above prove that (they pre-date the pool).
+// With the pool *constrained* — queueing, establishment costs, wait-queue
+// timeouts, a pool_clear fault — runs must still be bit-identical per
+// seed: the pool draws no randomness and schedules deterministically.
+TEST(DeterminismTest, SameSeedSameTraceWithConstrainedPool) {
+  auto config = SmallConfig(42);
+  config.run_s_workload = false;
+  config.client_options.pool.max_pool_size = 3;
+  config.client_options.pool.establish_cost = sim::Millis(1);
+  config.client_options.pool.wait_queue_timeout = sim::Millis(250);
+  config.client_options.pool.min_pool_size = 1;
+  config.client_options.pool.max_idle_time = sim::Seconds(5);
+  std::string error;
+  ASSERT_TRUE(fault::ParseFaultSpec("pool_clear@30:nodes=0+1+2",
+                                    &config.faults, &error))
+      << error;
+  const std::string first = RunTrace(config);
+  const std::string second = RunTrace(config);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
 TEST(DeterminismTest, TpccSameSeedSameTrace) {
   auto config = SmallConfig(7);
   config.kind = exp::WorkloadKind::kTpcc;
