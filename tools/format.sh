@@ -1,0 +1,9 @@
+#!/bin/sh
+# Reformat the tree in place with the committed .clang-format — the same
+# file set the CI lint job dry-runs with --Werror. Run before sending a
+# change if your editor doesn't format on save.
+set -e
+cd "$(dirname "$0")/.."
+find src tests bench examples \
+  \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) -print0 |
+  xargs -0 clang-format -i
