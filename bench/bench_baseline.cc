@@ -35,6 +35,7 @@
 #include "driver/pool/connection_pool.h"
 #include "exp/experiment.h"
 #include "net/network.h"
+#include "obs/trace.h"
 #include "repl/replica_set.h"
 #include "sim/event_loop.h"
 #include "sim/random.h"
@@ -355,6 +356,39 @@ int BenchMain(int argc, char** argv) {
     auto rig = std::make_shared<CommandRig>(driver::ClientOptions{});
     run("command_round_trip", [rig] {
       return rig->RunReads(1000, driver::ReadPreference::kPrimary);
+    });
+  }
+
+  {
+    // Tracing, disabled path: same closed loop as command_round_trip but
+    // with a tracer attached the way Experiment always attaches one and
+    // left disabled. The gap to command_round_trip is the cost of every
+    // probe site's `enabled` branch — the "≤2% when off" claim.
+    auto rig = std::make_shared<CommandRig>(driver::ClientOptions{});
+    auto tracer = std::make_shared<obs::Tracer>();
+    rig->rs->SetTracer(tracer.get());
+    rig->client->SetTracer(tracer.get());
+    run("trace_overhead_off", [rig, tracer] {
+      const uint64_t n = rig->RunReads(1000, driver::ReadPreference::kPrimary);
+      if (!tracer->spans().empty()) std::abort();  // disabled must record 0
+      return n;
+    });
+  }
+
+  {
+    // Tracing, enabled: every read records its full span tree (op,
+    // attempt, checkout, two wire legs, server service). Cleared per
+    // batch so memory stays bounded while the record cost is paid.
+    auto rig = std::make_shared<CommandRig>(driver::ClientOptions{});
+    auto tracer = std::make_shared<obs::Tracer>();
+    rig->rs->SetTracer(tracer.get());
+    rig->client->SetTracer(tracer.get());
+    tracer->Enable();
+    run("trace_overhead_on", [rig, tracer] {
+      const uint64_t n = rig->RunReads(1000, driver::ReadPreference::kPrimary);
+      if (tracer->spans().size() < 1000) std::abort();  // spans must flow
+      tracer->Clear();
+      return n;
     });
   }
 

@@ -10,6 +10,8 @@
 //           [--kill-primary-at=SECONDS] [--faults=SPEC] [--chaos-seed=N]
 //           [--hedged-reads] [--op-deadline=MS] [--max-pool-size=N]
 //           [--wait-queue-timeout=MS] [--csv-prefix=PATH] [--quiet]
+//           [--trace-out=PATH] [--trace-max-spans=N] [--metrics-out=PATH]
+//           [--explain-balancer]
 //
 // --faults takes a semicolon-separated fault timeline (times in seconds):
 //   type@start[-end][:key=value]*   with type one of latency | loss |
@@ -25,6 +27,16 @@
 //   a checkout may wait for a free connection, in milliseconds (0 = wait
 //   forever). A constrained pool surfaces checkout queueing in client
 //   latency, which the Read Balancer then sheds to secondaries.
+// --trace-out enables per-op span tracing and writes a Chrome trace-event
+//   JSON (load it at https://ui.perfetto.dev) decomposing every op into
+//   checkout / wire / server / parking / commit-wait spans;
+//   --trace-max-spans caps the buffer (default 1M spans).
+// --metrics-out writes every registered metric series (counters, gauges,
+//   latency histograms per Read Preference), sampled once per report
+//   period, as JSON.
+// --explain-balancer prints the Balancer decision log: every fraction
+//   move with its Algorithm 1 inputs and reason. The decision log also
+//   lands in <csv-prefix>_decisions.csv with --csv-prefix.
 //
 // Examples:
 //   sim_cli --workload=ycsb-b --clients=45 --duration=300
@@ -44,6 +56,8 @@
 #include "exp/csv_export.h"
 #include "exp/experiment.h"
 #include "fault/fault_injector.h"
+#include "obs/decision_log.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -75,10 +89,13 @@ int main(int argc, char** argv) {
   std::string controller = "step";
   std::string csv_prefix;
   std::string fault_spec;
+  std::string trace_out;
+  std::string metrics_out;
   double kill_primary_at = -1;
   uint64_t chaos_seed = 0;
   bool chaos = false;
   bool quiet = false;
+  bool explain_balancer = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -115,6 +132,20 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "wait-queue-timeout", &value)) {
       config.client_options.pool.wait_queue_timeout =
           sim::Millis(std::atof(value.c_str()));
+    } else if (ParseFlag(argv[i], "trace-out", &value)) {
+      if (value.empty()) Usage("--trace-out needs a path");
+      trace_out = value;
+      config.trace = true;
+    } else if (ParseFlag(argv[i], "trace-max-spans", &value)) {
+      config.trace_max_spans = std::strtoull(value.c_str(), nullptr, 10);
+      if (config.trace_max_spans == 0) {
+        Usage("--trace-max-spans needs a positive count");
+      }
+    } else if (ParseFlag(argv[i], "metrics-out", &value)) {
+      if (value.empty()) Usage("--metrics-out needs a path");
+      metrics_out = value;
+    } else if (std::strcmp(argv[i], "--explain-balancer") == 0) {
+      explain_balancer = true;
     } else if (std::strcmp(argv[i], "--hedged-reads") == 0) {
       config.client_options.hedged_reads = true;
     } else if (std::strcmp(argv[i], "--no-s-workload") == 0) {
@@ -191,19 +222,28 @@ int main(int argc, char** argv) {
 
   const bool tpcc = config.kind == exp::WorkloadKind::kTpcc;
   if (!quiet) {
-    std::printf("\n%8s %12s %10s %8s %10s %7s\n", "time(s)",
+    std::printf("\n%8s %12s %10s %8s %10s %7s  %s\n", "time(s)",
                 tpcc ? "SL txn/s" : "reads/s", "p80(ms)", "sec(%)",
-                "fraction", "est(s)");
+                "fraction", "est(s)", "balancer");
     for (const auto& row : experiment.rows()) {
       const double throughput =
           tpcc ? static_cast<double>(row.stock_level) /
                      sim::ToSeconds(row.end - row.start)
                : row.ReadThroughput();
-      std::printf("%8.0f %12.0f %10.2f %8.1f %10.2f %7lld\n",
+      // One-line balancer summary: "0.40→0.50 latency_ratio_up", or "-"
+      // when no control tick fell inside the period.
+      char balancer_col[64] = "-";
+      if (row.balance_decided) {
+        std::snprintf(balancer_col, sizeof(balancer_col),
+                      "%.2f→%.2f %s", row.balance_from, row.balance_to,
+                      std::string(obs::ToString(row.balance_reason)).c_str());
+      }
+      std::printf("%8.0f %12.0f %10.2f %8.1f %10.2f %7lld  %s\n",
                   sim::ToSeconds(row.start), throughput,
                   row.P80ReadLatencyMs(), row.SecondaryPercent(),
                   row.balance_fraction,
-                  static_cast<long long>(row.est_staleness_max_s));
+                  static_cast<long long>(row.est_staleness_max_s),
+                  balancer_col);
     }
   }
 
@@ -252,11 +292,68 @@ int main(int argc, char** argv) {
         sim::ToMillis(pool.wait_total));
   }
 
+  if (explain_balancer) {
+    const obs::DecisionLog* log = experiment.balancer_decisions();
+    if (log == nullptr) {
+      std::printf("\nbalancer decisions: none (system=%s has no balancer)\n",
+                  system.c_str());
+    } else {
+      uint64_t reason_counts[8] = {};
+      std::printf("\nbalancer decisions (%llu):\n",
+                  static_cast<unsigned long long>(log->size()));
+      for (const obs::BalanceDecision& d : log->entries()) {
+        ++reason_counts[static_cast<size_t>(d.reason)];
+        std::printf(
+            "  t=%6.0fs fraction %.2f→%.2f (published %.2f) "
+            "reason=%s ratio=%.3f%s lss=%.2f/%.2fms est=%llds bound=%llds\n",
+            sim::ToSeconds(d.at), d.from_fraction, d.to_fraction,
+            d.published_fraction, std::string(obs::ToString(d.reason)).c_str(),
+            d.ratio, d.ratio_valid ? "" : " (invalid)",
+            sim::ToMillis(d.lss_primary), sim::ToMillis(d.lss_secondary),
+            static_cast<long long>(d.staleness_estimate_s),
+            static_cast<long long>(d.stale_bound_s));
+      }
+      std::printf("  by reason:");
+      for (size_t r = 0; r < 8; ++r) {
+        if (reason_counts[r] == 0) continue;
+        std::printf(" %s=%llu",
+                    std::string(
+                        obs::ToString(static_cast<obs::BalanceReason>(r)))
+                        .c_str(),
+                    static_cast<unsigned long long>(reason_counts[r]));
+      }
+      std::printf("\n");
+    }
+  }
+
+  if (!trace_out.empty()) {
+    const obs::Tracer& tracer = experiment.tracer();
+    const bool ok = obs::WriteChromeTrace(
+        tracer, experiment.balancer_decisions(), trace_out);
+    std::printf("trace export to %s: %s (%llu spans, %llu dropped)\n",
+                trace_out.c_str(), ok ? "ok" : "FAILED",
+                static_cast<unsigned long long>(tracer.spans().size()),
+                static_cast<unsigned long long>(tracer.dropped()));
+    if (!ok) return 1;
+  }
+
+  if (!metrics_out.empty()) {
+    const bool ok = experiment.metrics_registry().WriteJson(metrics_out);
+    std::printf("metrics export to %s: %s (%llu series, %llu samples)\n",
+                metrics_out.c_str(), ok ? "ok" : "FAILED",
+                static_cast<unsigned long long>(
+                    experiment.metrics_registry().series_count()),
+                static_cast<unsigned long long>(
+                    experiment.metrics_registry().samples_taken()));
+    if (!ok) return 1;
+  }
+
   if (!csv_prefix.empty()) {
     const bool ok =
         exp::WritePeriodsCsv(experiment, csv_prefix + "_periods.csv") &&
         exp::WriteStalenessCsv(experiment, csv_prefix + "_staleness.csv") &&
-        exp::WriteSamplesCsv(experiment, csv_prefix + "_samples.csv");
+        exp::WriteSamplesCsv(experiment, csv_prefix + "_samples.csv") &&
+        exp::WriteDecisionsCsv(experiment, csv_prefix + "_decisions.csv");
     std::printf("csv export to %s_*.csv: %s\n", csv_prefix.c_str(),
                 ok ? "ok" : "FAILED");
     if (!ok) return 1;

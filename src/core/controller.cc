@@ -4,36 +4,59 @@
 
 namespace dcg::core {
 
+namespace {
+void SetReason(obs::BalanceReason* out, obs::BalanceReason value) {
+  if (out != nullptr) *out = value;
+}
+}  // namespace
+
 double StepController::NextFraction(const ControlInputs& inputs,
-                                    const BalancerConfig& config) {
+                                    const BalancerConfig& config,
+                                    obs::BalanceReason* reason) {
   const double latest = inputs.latest_fraction;
-  if (!inputs.ratio_valid) return latest;  // no evidence: hold
+  if (!inputs.ratio_valid) {
+    // No evidence: hold.
+    SetReason(reason, obs::BalanceReason::kNoEvidence);
+    return latest;
+  }
   if (inputs.ratio > config.high_ratio) {
     // Primary congested: shift reads toward the secondaries.
+    SetReason(reason, obs::BalanceReason::kLatencyRatioUp);
     return std::min(latest + config.delta, config.high_bal);
   }
   if (inputs.ratio < config.low_ratio) {
     // Secondaries congested: shift reads back to the primary.
+    SetReason(reason, obs::BalanceReason::kLatencyRatioDown);
     return std::max(latest - config.delta, config.low_bal);
   }
   if (config.downward_probe && inputs.history_flat) {
     // Stable for the whole history: probe downward to favour fresh
     // primary reads when they are free (§3.3).
+    SetReason(reason, obs::BalanceReason::kDownwardProbe);
     return std::max(latest - config.delta, config.low_bal);
   }
+  SetReason(reason, obs::BalanceReason::kHold);
   return latest;
 }
 
 double ProportionalController::NextFraction(const ControlInputs& inputs,
-                                            const BalancerConfig& config) {
+                                            const BalancerConfig& config,
+                                            obs::BalanceReason* reason) {
   const double latest = inputs.latest_fraction;
-  if (!inputs.ratio_valid) return latest;
+  if (!inputs.ratio_valid) {
+    SetReason(reason, obs::BalanceReason::kNoEvidence);
+    return latest;
+  }
   double step;
   if (inputs.ratio >= config.low_ratio && inputs.ratio <= config.high_ratio) {
     // Inside the dead band: drift gently toward the fresh primary.
     step = config.downward_probe ? -drift_ : 0.0;
+    SetReason(reason, config.downward_probe ? obs::BalanceReason::kDownwardProbe
+                                            : obs::BalanceReason::kHold);
   } else {
     step = std::clamp(gain_ * (inputs.ratio - 1.0), -max_step_, max_step_);
+    SetReason(reason, step > 0.0 ? obs::BalanceReason::kLatencyRatioUp
+                                 : obs::BalanceReason::kLatencyRatioDown);
   }
   return std::clamp(latest + step, config.low_bal, config.high_bal);
 }

@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "core/balancer_config.h"
+#include "obs/decision_log.h"
 
 namespace dcg::core {
 
@@ -31,8 +32,12 @@ class FractionController {
   virtual ~FractionController() = default;
 
   /// Returns the next fraction, within [config.low_bal, config.high_bal].
+  /// When `reason` is non-null the controller writes which of its branches
+  /// fired — the Read Balancer's decision log records it so every fraction
+  /// move is explainable after the fact.
   virtual double NextFraction(const ControlInputs& inputs,
-                              const BalancerConfig& config) = 0;
+                              const BalancerConfig& config,
+                              obs::BalanceReason* reason = nullptr) = 0;
 
   virtual std::string_view name() const = 0;
 };
@@ -41,8 +46,8 @@ class FractionController {
 /// downward probe when the history has been flat, hold otherwise.
 class StepController : public FractionController {
  public:
-  double NextFraction(const ControlInputs& inputs,
-                      const BalancerConfig& config) override;
+  double NextFraction(const ControlInputs& inputs, const BalancerConfig& config,
+                      obs::BalanceReason* reason = nullptr) override;
   std::string_view name() const override { return "step"; }
 };
 
@@ -57,8 +62,8 @@ class ProportionalController : public FractionController {
                                   double drift = 0.02)
       : gain_(gain), max_step_(max_step), drift_(drift) {}
 
-  double NextFraction(const ControlInputs& inputs,
-                      const BalancerConfig& config) override;
+  double NextFraction(const ControlInputs& inputs, const BalancerConfig& config,
+                      obs::BalanceReason* reason = nullptr) override;
   std::string_view name() const override { return "proportional"; }
 
  private:

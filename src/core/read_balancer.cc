@@ -21,13 +21,15 @@ ReadBalancer::ReadBalancer(driver::MongoClient* client, SharedState* state,
   // at LOWBAL too (§3.3: initial Balance Fraction is 10 %).
   recent_bal_.assign(config_.recent_history, config_.low_bal);
   rtt_samples_.resize(client_->node_count());
+  secondary_staleness_s_.assign(static_cast<size_t>(client_->node_count()),
+                                -1);
   state_->set_balance_fraction(config_.stale_bound_seconds == 0
                                    ? 0.0
                                    : config_.low_bal);
   // Harvest latencies from the driver's unified completion path: one
   // record per successful application read, regardless of which workload
   // issued it. Probe/control reads opt out via record_latency.
-  client_->SetOpObserver([this](const driver::MongoClient::OpStats& stats) {
+  client_->AddOpObserver([this](const driver::MongoClient::OpStats& stats) {
     if (!stats.is_read || !stats.ok || !stats.record_latency) return;
     state_->RecordLatency(stats.requested, stats.latency);
   });
@@ -76,15 +78,48 @@ void ReadBalancer::ServerStatusLoop() {
 // Algorithm 1, Rcv-ServerStatus.
 void ReadBalancer::OnServerStatus(const proto::ServerStatusReply& reply) {
   staleness_estimate_ = proto::MaxStalenessSeconds(reply);
+  // Per-secondary breakdown for the decision log: which replica is the
+  // one holding the estimate up. Same arithmetic as MaxStalenessSeconds.
+  std::fill(secondary_staleness_s_.begin(), secondary_staleness_s_.end(), -1);
+  for (size_t i = 0; i < reply.secondary_nodes.size(); ++i) {
+    const auto node = static_cast<size_t>(reply.secondary_nodes[i]);
+    if (node >= secondary_staleness_s_.size()) continue;
+    const repl::OpTime& sec = reply.secondary_last_applied[i];
+    const sim::Duration gap =
+        sec.seq >= reply.primary_last_applied.seq
+            ? 0
+            : reply.primary_last_applied.wall - sec.wall;
+    secondary_staleness_s_[node] = gap / sim::kSecond;
+  }
   PublishFraction();
+}
+
+void ReadBalancer::RecordGateTransition(obs::BalanceReason reason) {
+  obs::BalanceDecision decision;
+  decision.at = client_->loop().Now();
+  decision.from_fraction = recent_bal_.back();
+  decision.to_fraction = recent_bal_.back();
+  decision.published_fraction = state_->balance_fraction();
+  decision.reason = reason;
+  decision.staleness_estimate_s = staleness_estimate_;
+  decision.stale_bound_s = config_.stale_bound_seconds;
+  decision.secondary_staleness_s = secondary_staleness_s_;
+  decisions_.Record(std::move(decision));
 }
 
 void ReadBalancer::PublishFraction() {
   const bool blocked = config_.stale_bound_seconds == 0 ||
                        staleness_estimate_ > config_.stale_bound_seconds;
-  if (blocked && !stale_blocked_) ++stale_zero_events_;
+  const bool was_blocked = stale_blocked_;
+  if (blocked && !was_blocked) ++stale_zero_events_;
   stale_blocked_ = blocked;
   state_->set_balance_fraction(blocked ? 0.0 : recent_bal_.back());
+  // Log gate transitions only (not every refresh): the interesting events
+  // are "fraction forced to zero" and "fraction restored".
+  if (blocked != was_blocked) {
+    RecordGateTransition(blocked ? obs::BalanceReason::kStaleGateZero
+                                 : obs::BalanceReason::kStaleGateRelease);
+  }
 }
 
 sim::Duration ReadBalancer::MedianRttPrimary() const {
@@ -139,16 +174,36 @@ void ReadBalancer::OnPeriodEnd() {
   // the controller holds the previous decision (this happens while the
   // staleness gate has zeroed the fraction, or under very light read
   // load).
-  const double new_bal = controller_->NextFraction(inputs, config_);
+  obs::BalanceReason reason = obs::BalanceReason::kNone;
+  const double new_bal = controller_->NextFraction(inputs, config_, &reason);
 
   recent_bal_.pop_front();
   recent_bal_.push_back(new_bal);
   PublishFraction();
 
   ++periods_completed_;
+  stats.previous_fraction = latest;
   stats.new_fraction = new_bal;
   stats.published_fraction = state_->balance_fraction();
   stats.staleness_estimate_s = staleness_estimate_;
+  stats.reason = reason;
+
+  obs::BalanceDecision decision;
+  decision.at = stats.at;
+  decision.from_fraction = latest;
+  decision.to_fraction = new_bal;
+  decision.published_fraction = stats.published_fraction;
+  decision.reason = reason;
+  decision.ratio = stats.ratio;
+  decision.ratio_valid = stats.ratio_valid;
+  decision.lss_primary = stats.lss_primary;
+  decision.lss_secondary = stats.lss_secondary;
+  decision.history_flat = inputs.history_flat;
+  decision.staleness_estimate_s = staleness_estimate_;
+  decision.stale_bound_s = config_.stale_bound_seconds;
+  decision.secondary_staleness_s = secondary_staleness_s_;
+  decisions_.Record(std::move(decision));
+
   if (period_cb_) period_cb_(stats);
 
   client_->loop().ScheduleAfter(config_.period, [this] { OnPeriodEnd(); });

@@ -10,6 +10,7 @@
 #include "core/controller.h"
 #include "core/shared_state.h"
 #include "driver/client.h"
+#include "obs/decision_log.h"
 #include "sim/random.h"
 
 namespace dcg::core {
@@ -41,9 +42,12 @@ class ReadBalancer {
     sim::Duration lss_secondary = 0;
     double ratio = 0.0;          // Lss,primary / Lss,secondary
     bool ratio_valid = false;    // false when a latency list was empty
+    double previous_fraction = 0.0;  // RecentBal.latest() before the update
     double new_fraction = 0.0;   // RecentBal.latest() after the update
     double published_fraction = 0.0;  // what clients see (0 when stale)
     int64_t staleness_estimate_s = 0;
+    /// Which controller branch produced new_fraction this period.
+    obs::BalanceReason reason = obs::BalanceReason::kNone;
   };
 
   ReadBalancer(driver::MongoClient* client, SharedState* state,
@@ -66,6 +70,11 @@ class ReadBalancer {
 
   uint64_t periods_completed() const { return periods_completed_; }
   uint64_t stale_zero_events() const { return stale_zero_events_; }
+
+  /// Every fraction decision and staleness-gate transition, in order.
+  /// Always on: a decision is a few dozen bytes once per control period,
+  /// so a day-long simulated run logs a few thousand entries.
+  const obs::DecisionLog& decisions() const { return decisions_; }
 
   const BalancerConfig& config() const { return config_; }
 
@@ -95,6 +104,9 @@ class ReadBalancer {
   sim::Duration MedianRttPrimary() const;
   sim::Duration MedianRttSecondaries() const;
   void RecordRtt(int node, sim::Duration rtt);
+  /// Records a staleness-gate transition (zero / release) in the
+  /// decision log. `reason` is kStaleGateZero or kStaleGateRelease.
+  void RecordGateTransition(obs::BalanceReason reason);
 
   driver::MongoClient* client_;
   SharedState* state_;
@@ -104,6 +116,10 @@ class ReadBalancer {
 
   std::deque<double> recent_bal_;  // RecentBal, newest at the back
   std::vector<std::deque<sim::Duration>> rtt_samples_;  // per node
+  obs::DecisionLog decisions_;
+  /// Per-node staleness (whole seconds) from the latest serverStatus;
+  /// -1 for the primary and for nodes the reply did not cover.
+  std::vector<int64_t> secondary_staleness_s_;
   int64_t staleness_estimate_ = 0;
   bool stale_blocked_ = false;
   uint64_t periods_completed_ = 0;

@@ -263,6 +263,7 @@ void MongoClient::Write(server::OpClass op_class, proto::TxnBody body,
 uint64_t MongoClient::BeginOp(PendingOp op, OpOptions opts) {
   const uint64_t op_id = next_op_id_++;
   op.start = loop_->Now();
+  if (tracing()) op.op_span = tracer_->NewSpanId();
   op.max_retries =
       opts.max_retries == -2 ? options_.max_retries : opts.max_retries;
   op.hedge_eligible = opts.hedge_eligible;
@@ -303,6 +304,11 @@ void MongoClient::StartAttempt(uint64_t op_id) {
   }
   op.target = node;
   ++op.attempts_sent;
+  if (tracing()) {
+    op.attempt_span = tracer_->NewSpanId();
+    op.attempt_start = loop_->Now();
+    op.checkout_start = loop_->Now();
+  }
   // Every attempt checks a connection out of the target node's pool
   // before it may touch the wire. With default pool options the checkout
   // completes synchronously (no queueing, no events), so the event
@@ -326,6 +332,19 @@ void MongoClient::OnCheckout(uint64_t op_id, int node, int attempt,
     return;
   }
   PendingOp& op = it->second;
+  if (tracing() && op.attempt_span != 0) {
+    obs::SpanRecord span;
+    span.trace_id = op_id;
+    span.span_id = tracer_->NewSpanId();
+    span.parent_span_id = op.attempt_span;
+    span.kind = obs::SpanKind::kCheckout;
+    span.start = op.checkout_start;
+    span.end = loop_->Now();
+    span.node = node;
+    span.attempt = attempt - 1;
+    span.ok = co.ok;
+    tracer_->Record(span);
+  }
   if (!co.ok) {
     // waitQueueTimeoutMS fired: the pool is saturated. The failed
     // checkout burns one retry, so an exhausted pool cannot spin an op
@@ -358,6 +377,10 @@ void MongoClient::SendAttempt(uint64_t op_id) {
   cmd.ctx.attempt = op.attempts_sent - 1;
   cmd.ctx.conn_id = op.conn_id;
   cmd.ctx.checkout_wait = op.checkout_wait;
+  if (tracing()) {
+    cmd.ctx.parent_span = op.attempt_span;
+    cmd.ctx.sent_at = loop_->Now();
+  }
   cmd.op_class = op.op_class;
   cmd.require_primary = !op.is_read || op.pref == ReadPreference::kPrimary;
   cmd.read_body = op.read_body;  // copies: the op outlives any one attempt
@@ -386,6 +409,31 @@ void MongoClient::OnReply(uint64_t op_id, const proto::Reply& reply) {
   auto it = pending_.find(op_id);
   if (it == pending_.end()) return;  // hedge loser / superseded attempt
   PendingOp& op = it->second;
+  if (tracing() && reply.conn_id != 0 &&
+      (reply.conn_id == op.conn_id || reply.conn_id == op.hedge_conn_id)) {
+    // Reply wire transit, parented under whichever arm the reply rode.
+    // Replies from superseded attempts are skipped — their arm's span is
+    // already closed. The pool can recycle a conn id to a later attempt,
+    // so additionally require the server's send instant to fall inside
+    // the current arm (a genuine reply always starts after its arm did).
+    const bool rode_hedge =
+        reply.conn_id == op.hedge_conn_id && op.hedge_span != 0;
+    const uint64_t parent = rode_hedge ? op.hedge_span : op.attempt_span;
+    const sim::Time arm_start = rode_hedge ? op.hedge_start : op.attempt_start;
+    if (parent != 0 && reply.sent_at >= arm_start) {
+      obs::SpanRecord span;
+      span.trace_id = op_id;
+      span.span_id = tracer_->NewSpanId();
+      span.parent_span_id = parent;
+      span.kind = obs::SpanKind::kWire;
+      span.start = reply.sent_at;
+      span.end = loop_->Now();
+      span.node = reply.node_index;
+      span.attempt = std::max(0, op.attempts_sent - 1);
+      span.is_hedge = reply.is_hedge;
+      tracer_->Record(span);
+    }
+  }
   if (reply.status == proto::ReplyStatus::kNotPrimary) {
     // Only the outstanding attempt's error triggers a retry; errors from
     // already-superseded attempts were handled when they were abandoned.
@@ -434,6 +482,10 @@ void MongoClient::OnHedgeTimer(uint64_t op_id) {
     }
   }
   if (target == kNoNode) return;  // nobody to hedge to
+  if (tracing()) {
+    op.hedge_span = tracer_->NewSpanId();
+    op.hedge_start = loop_->Now();
+  }
   // Hedges check out of the hedge node's pool like any other attempt.
   const int attempt = op.attempts_sent;
   pools_[target]->CheckOut([this, op_id, target, attempt](
@@ -452,10 +504,41 @@ void MongoClient::OnHedgeCheckout(uint64_t op_id, int node, int attempt,
     return;
   }
   PendingOp& op = it->second;
+  if (tracing() && op.hedge_span != 0) {
+    obs::SpanRecord span;
+    span.trace_id = op_id;
+    span.span_id = tracer_->NewSpanId();
+    span.parent_span_id = op.hedge_span;
+    span.kind = obs::SpanKind::kCheckout;
+    span.start = op.hedge_start;
+    span.end = loop_->Now();
+    span.node = node;
+    span.attempt = attempt - 1;
+    span.is_hedge = true;
+    span.ok = co.ok;
+    tracer_->Record(span);
+  }
   if (!co.ok) {
     // Saturated hedge-node pool: skip the hedge rather than burn the
     // main attempt's retry budget on speculative traffic.
     ++counters_.checkout_timeouts;
+    if (op.hedge_span != 0) {
+      // The arm dies here — close its span so the checkout child above
+      // still has a recorded parent.
+      obs::SpanRecord span;
+      span.trace_id = op_id;
+      span.span_id = op.hedge_span;
+      span.parent_span_id = op.op_span;
+      span.kind = obs::SpanKind::kHedge;
+      span.start = op.hedge_start;
+      span.end = loop_->Now();
+      span.node = node;
+      span.attempt = attempt - 1;
+      span.is_hedge = true;
+      span.ok = false;
+      tracer_->Record(span);
+      op.hedge_span = 0;
+    }
     return;
   }
   op.hedge_conn_id = co.conn_id;
@@ -473,6 +556,10 @@ void MongoClient::OnHedgeCheckout(uint64_t op_id, int node, int attempt,
   cmd.ctx.is_hedge = true;
   cmd.ctx.conn_id = co.conn_id;
   cmd.ctx.checkout_wait = co.wait;
+  if (tracing()) {
+    cmd.ctx.parent_span = op.hedge_span;
+    cmd.ctx.sent_at = loop_->Now();
+  }
   cmd.op_class = op.op_class;
   cmd.read_body = op.read_body;
   cmd.reply_to = client_host_;
@@ -496,6 +583,21 @@ void MongoClient::RetryAttempt(uint64_t op_id) {
     op.conn_id = 0;
     op.conn_node = kNoNode;
   }
+  if (tracing() && op.attempt_span != 0) {
+    // The attempt is abandoned here; the next one opens its own span.
+    obs::SpanRecord span;
+    span.trace_id = op_id;
+    span.span_id = op.attempt_span;
+    span.parent_span_id = op.op_span;
+    span.kind = obs::SpanKind::kAttempt;
+    span.start = op.attempt_start;
+    span.end = loop_->Now();
+    span.node = op.target;
+    span.attempt = op.attempts_sent - 1;
+    span.ok = false;
+    tracer_->Record(span);
+    op.attempt_span = 0;
+  }
   op.last_target = op.target;
   op.target = kNoNode;
   if (op.max_retries >= 0 && op.attempts_sent > op.max_retries) {
@@ -514,12 +616,58 @@ void MongoClient::RetryAttempt(uint64_t op_id) {
       loop_->ScheduleAfter(backoff, [this, op_id] { StartAttempt(op_id); });
 }
 
+void MongoClient::CloseOpSpans(const PendingOp& op, uint64_t op_id, bool ok,
+                               const proto::Reply* reply) {
+  if (!tracing() || op.op_span == 0) return;
+  const sim::Time now = loop_->Now();
+  const bool hedge_won = reply != nullptr && reply->is_hedge;
+  const int attempt = std::max(0, op.attempts_sent - 1);
+  if (op.attempt_span != 0) {
+    obs::SpanRecord span;
+    span.trace_id = op_id;
+    span.span_id = op.attempt_span;
+    span.parent_span_id = op.op_span;
+    span.kind = obs::SpanKind::kAttempt;
+    span.start = op.attempt_start;
+    span.end = now;
+    span.node = op.target;
+    span.attempt = attempt;
+    span.ok = ok && !hedge_won;
+    tracer_->Record(span);
+  }
+  if (op.hedge_span != 0) {
+    obs::SpanRecord span;
+    span.trace_id = op_id;
+    span.span_id = op.hedge_span;
+    span.parent_span_id = op.op_span;
+    span.kind = obs::SpanKind::kHedge;
+    span.start = op.hedge_start;
+    span.end = now;
+    span.node = op.hedge_node;
+    span.attempt = attempt;
+    span.is_hedge = true;
+    span.ok = ok && hedge_won;
+    tracer_->Record(span);
+  }
+  obs::SpanRecord span;
+  span.trace_id = op_id;
+  span.span_id = op.op_span;
+  span.kind = obs::SpanKind::kOp;
+  span.start = op.start;
+  span.end = now;
+  span.node = reply != nullptr ? reply->node_index : op.target;
+  span.attempt = attempt;
+  span.ok = ok;
+  tracer_->Record(span);
+}
+
 void MongoClient::CompleteOp(uint64_t op_id, const proto::Reply& reply) {
   auto it = pending_.find(op_id);
   if (it == pending_.end()) return;
   PendingOp op = std::move(it->second);
   pending_.erase(it);
   CancelOpTimers(&op);
+  CloseOpSpans(op, op_id, /*ok=*/true, &reply);
   ReleaseOpConnections(&op, reply.conn_id);
   const sim::Duration latency = loop_->Now() - op.start;
   const int retries = std::max(0, op.attempts_sent - 1);
@@ -543,7 +691,7 @@ void MongoClient::CompleteOp(uint64_t op_id, const proto::Reply& reply) {
   stats.used_secondary = !reply.from_primary;
   stats.record_latency = op.record_latency;
   stats.checkout_wait = op.checkout_wait;
-  if (observer_) observer_(stats);
+  for (const OpObserver& o : observers_) o(stats);
 
   if (op.is_read) {
     ReadResult result;
@@ -576,6 +724,7 @@ void MongoClient::FailOp(uint64_t op_id, bool timed_out) {
   PendingOp op = std::move(it->second);
   pending_.erase(it);
   CancelOpTimers(&op);
+  CloseOpSpans(op, op_id, /*ok=*/false, nullptr);
   ReleaseOpConnections(&op, /*healthy_conn=*/0);
   const sim::Duration latency = loop_->Now() - op.start;
   const int retries = std::max(0, op.attempts_sent - 1);
@@ -596,7 +745,7 @@ void MongoClient::FailOp(uint64_t op_id, bool timed_out) {
   stats.node = op.target;
   stats.record_latency = op.record_latency;
   stats.checkout_wait = op.checkout_wait;
-  if (observer_) observer_(stats);
+  for (const OpObserver& o : observers_) o(stats);
 
   if (op.is_read) {
     ReadResult result;

@@ -11,6 +11,7 @@
 #include "driver/read_preference.h"
 #include "metrics/op_counters.h"
 #include "net/network.h"
+#include "obs/trace.h"
 #include "proto/command.h"
 #include "sim/event_loop.h"
 #include "sim/random.h"
@@ -236,8 +237,18 @@ class MongoClient {
   /// Whether the driver currently believes the node is reachable.
   bool NodeReachable(int node) const { return servers_[node].reachable; }
 
-  /// Installs the unified-completion-path observer (one per client).
-  void SetOpObserver(OpObserver observer) { observer_ = std::move(observer); }
+  /// Registers an observer on the unified completion path. Multicast:
+  /// the Read Balancer harvests latencies and the experiment's metrics
+  /// registry feeds per-preference histograms off the same records.
+  void AddOpObserver(OpObserver observer) {
+    observers_.push_back(std::move(observer));
+  }
+
+  /// Attaches the run's span tracer (nullptr detaches). Client-side spans
+  /// — op, attempt, pool checkout, hedge arm, reply wire transit — are
+  /// recorded here; the op id doubles as the trace id, and every command
+  /// ships its attempt span id so server-side spans link causally.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   const metrics::OpCounters& op_counters() const { return counters_; }
 
@@ -306,6 +317,15 @@ class MongoClient {
     sim::EventId deadline_timer = 0;
     sim::EventId backoff_timer = 0;
     sim::EventId hedge_timer = 0;
+    /// Tracing bookkeeping (all zero when the tracer is off). Span ids
+    /// are allocated when the interval opens; the record is written once,
+    /// when it closes.
+    uint64_t op_span = 0;
+    uint64_t attempt_span = 0;
+    sim::Time attempt_start = 0;
+    sim::Time checkout_start = 0;
+    uint64_t hedge_span = 0;
+    sim::Time hedge_start = 0;
     std::function<void(const ReadResult&)> read_done;
     std::function<void(const WriteResult&)> write_done;
   };
@@ -349,6 +369,12 @@ class MongoClient {
   void AbortAttemptsOn(int node);
   /// Merges a reply's hello piggyback into the topology view.
   void AdoptTopology(const proto::HelloReply& hello);
+  /// One branch per probe site: tracing must be free when off.
+  bool tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
+  /// Writes the op's attempt / hedge / op spans at completion. `reply` is
+  /// null when the op failed (deadline, retry budget).
+  void CloseOpSpans(const PendingOp& op, uint64_t op_id, bool ok,
+                    const proto::Reply* reply);
   void MarkHeard(int node);
   /// Current hedge delay: the configured quantile of recent read
   /// latencies (floored at hedge_min_delay).
@@ -374,7 +400,8 @@ class MongoClient {
   uint64_t next_op_id_ = 1;
 
   metrics::OpCounters counters_;
-  OpObserver observer_;
+  std::vector<OpObserver> observers_;
+  obs::Tracer* tracer_ = nullptr;
 
   /// Ring of recent completed-read latencies driving the hedge delay.
   std::vector<sim::Duration> read_latency_ring_;

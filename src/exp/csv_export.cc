@@ -2,6 +2,7 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <string>
 
 namespace dcg::exp {
 namespace {
@@ -32,14 +33,23 @@ bool WritePeriodsCsv(const Experiment& experiment, const std::string& path) {
   CsvFile csv(path);
   if (!csv.ok()) return false;
   csv.Line(
+      "# units: start_s=seconds reads=count reads_secondary=count "
+      "writes=count read_throughput=ops/s p80_latency_ms=ms "
+      "secondary_pct=percent balance_fraction=fraction "
+      "est_staleness_s=seconds stock_level=count stock_level_p80_ms=ms "
+      "ops_ok=count ops_timed_out=count ops_retried=count hedges_won=count "
+      "pool_checkout_timeouts=count pool_checkout_wait_ms=ms "
+      "pool_queue_depth=count balance_from=fraction balance_to=fraction "
+      "balance_reason=enum");
+  csv.Line(
       "start_s,reads,reads_secondary,writes,read_throughput,"
       "p80_latency_ms,secondary_pct,balance_fraction,est_staleness_s,"
       "stock_level,stock_level_p80_ms,ops_ok,ops_timed_out,ops_retried,"
       "hedges_won,pool_checkout_timeouts,pool_checkout_wait_ms,"
-      "pool_queue_depth");
+      "pool_queue_depth,balance_from,balance_to,balance_reason");
   for (const PeriodRow& row : experiment.rows()) {
     csv.Line("%.1f,%llu,%llu,%llu,%.2f,%.3f,%.2f,%.2f,%lld,%llu,%.3f,"
-             "%llu,%llu,%llu,%llu,%llu,%.3f,%d",
+             "%llu,%llu,%llu,%llu,%llu,%.3f,%d,%.2f,%.2f,%s",
              sim::ToSeconds(row.start),
              static_cast<unsigned long long>(row.reads),
              static_cast<unsigned long long>(row.reads_secondary),
@@ -55,7 +65,11 @@ bool WritePeriodsCsv(const Experiment& experiment, const std::string& path) {
              static_cast<unsigned long long>(row.ops_retried),
              static_cast<unsigned long long>(row.hedges_won),
              static_cast<unsigned long long>(row.pool_checkout_timeouts),
-             row.pool_checkout_wait_ms, row.pool_queue_depth);
+             row.pool_checkout_wait_ms, row.pool_queue_depth,
+             row.balance_from, row.balance_to,
+             row.balance_decided
+                 ? std::string(obs::ToString(row.balance_reason)).c_str()
+                 : "-");
   }
   return true;
 }
@@ -63,6 +77,8 @@ bool WritePeriodsCsv(const Experiment& experiment, const std::string& path) {
 bool WriteStalenessCsv(const Experiment& experiment, const std::string& path) {
   CsvFile csv(path);
   if (!csv.ok()) return false;
+  csv.Line(
+      "# units: time_s=seconds estimate_s=seconds true_max_s=seconds");
   csv.Line("time_s,estimate_s,true_max_s");
   for (const StalenessPoint& p : experiment.staleness_series()) {
     csv.Line("%.1f,%.1f,%.3f", sim::ToSeconds(p.at), p.estimate_s,
@@ -74,9 +90,43 @@ bool WriteStalenessCsv(const Experiment& experiment, const std::string& path) {
 bool WriteSamplesCsv(const Experiment& experiment, const std::string& path) {
   CsvFile csv(path);
   if (!csv.ok()) return false;
+  csv.Line("# units: time_s=seconds observed_staleness_s=seconds");
   csv.Line("time_s,observed_staleness_s");
   for (const auto& [at, staleness] : experiment.s_samples()) {
     csv.Line("%.3f,%.3f", sim::ToSeconds(at), staleness);
+  }
+  return true;
+}
+
+bool WriteDecisionsCsv(const Experiment& experiment, const std::string& path) {
+  const obs::DecisionLog* log = experiment.balancer_decisions();
+  CsvFile csv(path);
+  if (!csv.ok()) return false;
+  csv.Line(
+      "# units: time_s=seconds from_fraction=fraction to_fraction=fraction "
+      "published_fraction=fraction reason=enum ratio=ratio ratio_valid=bool "
+      "lss_primary_ms=ms lss_secondary_ms=ms history_flat=bool "
+      "est_staleness_s=seconds stale_bound_s=seconds "
+      "secondary_staleness_s=seconds(|-joined,-1=unknown)");
+  csv.Line(
+      "time_s,from_fraction,to_fraction,published_fraction,reason,ratio,"
+      "ratio_valid,lss_primary_ms,lss_secondary_ms,history_flat,"
+      "est_staleness_s,stale_bound_s,secondary_staleness_s");
+  if (log == nullptr) return true;
+  for (const obs::BalanceDecision& d : log->entries()) {
+    std::string per_node;
+    for (size_t i = 0; i < d.secondary_staleness_s.size(); ++i) {
+      if (i > 0) per_node += '|';
+      per_node += std::to_string(d.secondary_staleness_s[i]);
+    }
+    csv.Line("%.1f,%.2f,%.2f,%.2f,%s,%.3f,%d,%.3f,%.3f,%d,%lld,%lld,%s",
+             sim::ToSeconds(d.at), d.from_fraction, d.to_fraction,
+             d.published_fraction,
+             std::string(obs::ToString(d.reason)).c_str(), d.ratio,
+             d.ratio_valid ? 1 : 0, sim::ToMillis(d.lss_primary),
+             sim::ToMillis(d.lss_secondary), d.history_flat ? 1 : 0,
+             static_cast<long long>(d.staleness_estimate_s),
+             static_cast<long long>(d.stale_bound_s), per_node.c_str());
   }
   return true;
 }

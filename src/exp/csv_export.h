@@ -19,6 +19,11 @@ bool WriteStalenessCsv(const Experiment& experiment, const std::string& path);
 /// Writes the individual S-workload staleness samples.
 bool WriteSamplesCsv(const Experiment& experiment, const std::string& path);
 
+/// Writes the Balancer decision log — one row per control tick or
+/// staleness-gate transition, with every Algorithm 1 input and the reason
+/// for the move. Header-only for the fixed-preference baselines.
+bool WriteDecisionsCsv(const Experiment& experiment, const std::string& path);
+
 }  // namespace dcg::exp
 
 #endif  // DCG_EXP_CSV_EXPORT_H_

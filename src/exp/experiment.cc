@@ -68,6 +68,12 @@ Experiment::Experiment(ExperimentConfig config)
                                                   client_host,
                                                   config_.client_options);
 
+  // The tracer is attached unconditionally (so its disabled cost is what
+  // production runs pay) and enabled only on request.
+  rs_->SetTracer(&tracer_);
+  client_->SetTracer(&tracer_);
+  if (config_.trace) tracer_.Enable(config_.trace_max_spans);
+
   // --- Routing policy / system under test. ---
   switch (config_.system) {
     case SystemType::kDecongestant:
@@ -146,9 +152,77 @@ Experiment::Experiment(ExperimentConfig config)
           s_samples_.emplace_back(loop_.Now(), staleness_s);
         });
   }
+
+  // Per-Read-Preference latency histograms, off the same completion path
+  // the Read Balancer harvests (observers are multicast).
+  client_->AddOpObserver([this](const driver::MongoClient::OpStats& stats) {
+    if (!stats.is_read || !stats.ok || !stats.record_latency) return;
+    pref_read_latency_[static_cast<size_t>(stats.requested)].Add(
+        static_cast<double>(stats.latency));
+  });
+  RegisterMetrics();
 }
 
 Experiment::~Experiment() = default;
+
+void Experiment::RegisterMetrics() {
+  // Control-plane gauges.
+  registry_.RegisterGauge("balance_fraction", "fraction", {},
+                          [this] { return shared_state_.balance_fraction(); });
+  registry_.RegisterGauge("true_staleness_max", "seconds", {}, [this] {
+    return sim::ToSeconds(rs_->MaxTrueStaleness());
+  });
+  if (balancer_ != nullptr) {
+    registry_.RegisterGauge("staleness_estimate", "seconds", {}, [this] {
+      return static_cast<double>(balancer_->staleness_estimate_seconds());
+    });
+  }
+
+  // Per-op outcome counters (cumulative; consumers diff across samples).
+  const metrics::OpCounters& counters = client_->op_counters();
+  registry_.RegisterCounter("ops_ok", "ops", {},
+                            [&counters] { return double(counters.ok); });
+  registry_.RegisterCounter("ops_timed_out", "ops", {}, [&counters] {
+    return double(counters.timed_out);
+  });
+  registry_.RegisterCounter("ops_retried", "ops", {}, [&counters] {
+    return double(counters.retried);
+  });
+  registry_.RegisterCounter("retries_total", "attempts", {}, [&counters] {
+    return double(counters.retries_total);
+  });
+  registry_.RegisterCounter("hedges_sent", "ops", {}, [&counters] {
+    return double(counters.hedges_sent);
+  });
+  registry_.RegisterCounter("hedges_won", "ops", {}, [&counters] {
+    return double(counters.hedges_won);
+  });
+  registry_.RegisterCounter("pool_checkouts", "checkouts", {}, [&counters] {
+    return double(counters.checkouts);
+  });
+  registry_.RegisterCounter("pool_checkout_timeouts", "checkouts", {},
+                            [&counters] {
+                              return double(counters.checkout_timeouts);
+                            });
+  registry_.RegisterGauge("pool_queue_depth", "checkouts", {},
+                          [this] { return double(client_->PoolQueueDepth()); });
+
+  // Per-node RTT estimates, as the driver's server selection sees them.
+  for (int node = 0; node < client_->node_count(); ++node) {
+    registry_.RegisterGauge(
+        "rtt_ewma", "ms", {{"node", std::to_string(node)}},
+        [this, node] { return sim::ToMillis(client_->RttEstimate(node)); });
+  }
+
+  // Read latency distribution per requested Read Preference (ns → ms).
+  for (size_t pref = 0; pref < 5; ++pref) {
+    registry_.RegisterHistogram(
+        "read_latency", "ms",
+        {{"pref",
+          std::string(ToString(static_cast<driver::ReadPreference>(pref)))}},
+        &pref_read_latency_[pref], 1.0 / sim::kMillisecond);
+  }
+}
 
 void Experiment::OnOp(const workload::OpOutcome& outcome) {
   if (outcome.ok) {
@@ -203,6 +277,24 @@ void Experiment::ClosePeriod() {
       sim::ToMillis(pool_now.wait_total - last_pool_totals_.wait_total);
   current_.pool_queue_depth = client_->PoolQueueDepth();
   last_pool_totals_ = pool_now;
+  if (balancer_ != nullptr) {
+    // Fold this period's balancer decisions into the row: control ticks
+    // win over gate transitions (a gate event carries no fraction move).
+    const auto& entries = balancer_->decisions().entries();
+    bool tick_seen = false;
+    for (; decision_cursor_ < entries.size(); ++decision_cursor_) {
+      const obs::BalanceDecision& d = entries[decision_cursor_];
+      const bool gate = d.reason == obs::BalanceReason::kStaleGateZero ||
+                        d.reason == obs::BalanceReason::kStaleGateRelease;
+      if (gate && tick_seen) continue;
+      tick_seen = tick_seen || !gate;
+      current_.balance_decided = true;
+      current_.balance_from = d.from_fraction;
+      current_.balance_to = d.to_fraction;
+      current_.balance_reason = d.reason;
+    }
+  }
+  registry_.Sample(loop_.Now());
   rows_.push_back(std::move(current_));
   current_ = PeriodRow{};
   current_.start = loop_.Now();

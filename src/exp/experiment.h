@@ -13,6 +13,8 @@
 #include "fault/fault_injector.h"
 #include "metrics/histogram.h"
 #include "net/network.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "repl/replica_set.h"
 #include "sim/event_loop.h"
 #include "workload/s_workload.h"
@@ -71,6 +73,12 @@ struct ExperimentConfig {
   /// sim_cli string form.
   fault::FaultSchedule faults;
 
+  /// Enables per-op span tracing (sim_cli --trace-out). The tracer is
+  /// always *attached* to the stack — off by default, so the disabled-path
+  /// overhead is exactly what bench_baseline's trace_overhead_off measures.
+  bool trace = false;
+  size_t trace_max_spans = obs::Tracer::kDefaultMaxSpans;
+
   /// Client-to-node base RTTs (availability-zone layout: the client host
   /// shares AZ-a with node 0).
   std::vector<sim::Duration> client_node_rtt = {
@@ -104,6 +112,13 @@ struct PeriodRow {
   uint64_t pool_checkout_timeouts = 0;
   double pool_checkout_wait_ms = 0;  // total checkout wait this period
   int pool_queue_depth = 0;          // queued checkouts at period end
+  // Balancer decision summary for the period (Decongestant only): the
+  // last control-tick move and its Algorithm 1 reason. balance_decided is
+  // false when no tick fell inside the period.
+  bool balance_decided = false;
+  double balance_from = 0.0;
+  double balance_to = 0.0;
+  obs::BalanceReason balance_reason = obs::BalanceReason::kNone;
 
   double ReadThroughput() const;
   double SecondaryPercent() const;
@@ -178,10 +193,22 @@ class Experiment {
   ClientPool& pool() { return *pool_; }
   const ExperimentConfig& config() const { return config_; }
 
+  /// The run's span tracer — attached to driver + replica set whether or
+  /// not config.trace enabled it. Export with obs::WriteChromeTrace.
+  const obs::Tracer& tracer() const { return tracer_; }
+  obs::Tracer& tracer() { return tracer_; }
+  /// Unified metric series, sampled once per report period.
+  const obs::MetricsRegistry& metrics_registry() const { return registry_; }
+  /// Balancer decision log; null for the fixed-preference baselines.
+  const obs::DecisionLog* balancer_decisions() const {
+    return balancer_ == nullptr ? nullptr : &balancer_->decisions();
+  }
+
  private:
   void OnOp(const workload::OpOutcome& outcome);
   void ClosePeriod();
   void SampleStaleness();
+  void RegisterMetrics();
 
   ExperimentConfig config_;
   sim::EventLoop loop_;
@@ -199,6 +226,14 @@ class Experiment {
   std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<ClientPool> pool_;
   std::function<void(const workload::OpOutcome&)> op_observer_;
+
+  obs::Tracer tracer_;
+  obs::MetricsRegistry registry_;
+  /// Cumulative read latency per requested Read Preference, fed from the
+  /// driver's completion path; registered as histogram series.
+  metrics::Histogram pref_read_latency_[5];
+  /// First balancer decision not yet folded into a PeriodRow.
+  size_t decision_cursor_ = 0;
 
   std::vector<PeriodRow> rows_;
   PeriodRow current_;

@@ -42,7 +42,12 @@ double Histogram::mean() const {
 
 double Histogram::Percentile(double p) const {
   if (count_ == 0) return 0;
-  p = std::clamp(p, 0.0, 100.0);
+  // The extrema are exact; the bucket scan below is not. At p=0 the scan
+  // would stop at the first non-empty bucket's *upper* bound (for values
+  // below 1.0 that is bucket 0's bound of 1.0, clamped to max_ — wrong
+  // side entirely), so answer from the tracked extrema directly.
+  if (p <= 0) return min_;
+  if (p >= 100) return max_;
   const double target = p / 100.0 * static_cast<double>(count_);
   uint64_t cumulative = 0;
   for (int i = 0; i < kBuckets; ++i) {

@@ -1,0 +1,85 @@
+#include "obs/metrics_registry.h"
+
+#include <cstdio>
+
+namespace dcg::obs {
+
+namespace {
+
+void WriteLabels(std::FILE* f, const std::vector<Label>& labels) {
+  std::fputs("{", f);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    std::fprintf(f, "%s\"%s\":\"%s\"", i == 0 ? "" : ",",
+                 labels[i].first.c_str(), labels[i].second.c_str());
+  }
+  std::fputs("}", f);
+}
+
+}  // namespace
+
+void MetricsRegistry::Sample(sim::Time now) {
+  for (ScalarSeries& series : scalars_) {
+    series.samples.emplace_back(now, series.source());
+  }
+  for (HistogramSeries& series : histograms_) {
+    const metrics::Histogram& h = *series.histogram;
+    HistogramSample sample;
+    sample.at = now;
+    sample.count = h.count();
+    sample.mean = h.mean() * series.scale;
+    sample.p50 = h.Percentile(50) * series.scale;
+    sample.p80 = h.Percentile(80) * series.scale;
+    sample.p99 = h.Percentile(99) * series.scale;
+    sample.max = h.max() * series.scale;
+    series.samples.push_back(sample);
+  }
+  ++samples_taken_;
+}
+
+bool MetricsRegistry::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs("{\"series\":[", f);
+  bool first = true;
+  for (const ScalarSeries& series : scalars_) {
+    std::fprintf(f, "%s\n{\"name\":\"%s\",\"type\":\"%s\",\"unit\":\"%s\","
+                 "\"labels\":",
+                 first ? "" : ",", series.name.c_str(), series.type,
+                 series.unit.c_str());
+    first = false;
+    WriteLabels(f, series.labels);
+    // Samples as [time_s, value] pairs.
+    std::fputs(",\"samples\":[", f);
+    for (size_t i = 0; i < series.samples.size(); ++i) {
+      std::fprintf(f, "%s[%.1f,%.6g]", i == 0 ? "" : ",",
+                   sim::ToSeconds(series.samples[i].first),
+                   series.samples[i].second);
+    }
+    std::fputs("]}", f);
+  }
+  for (const HistogramSeries& series : histograms_) {
+    std::fprintf(f,
+                 "%s\n{\"name\":\"%s\",\"type\":\"histogram\",\"unit\":\"%s\","
+                 "\"labels\":",
+                 first ? "" : ",", series.name.c_str(), series.unit.c_str());
+    first = false;
+    WriteLabels(f, series.labels);
+    std::fputs(",\"samples\":[", f);
+    for (size_t i = 0; i < series.samples.size(); ++i) {
+      const HistogramSample& s = series.samples[i];
+      std::fprintf(f,
+                   "%s{\"t\":%.1f,\"count\":%llu,\"mean\":%.6g,\"p50\":%.6g,"
+                   "\"p80\":%.6g,\"p99\":%.6g,\"max\":%.6g}",
+                   i == 0 ? "" : ",", sim::ToSeconds(s.at),
+                   static_cast<unsigned long long>(s.count), s.mean, s.p50,
+                   s.p80, s.p99, s.max);
+    }
+    std::fputs("]}", f);
+  }
+  std::fputs("\n]}\n", f);
+  const bool ok = std::fflush(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace dcg::obs

@@ -1,0 +1,98 @@
+#ifndef DCG_OBS_METRICS_REGISTRY_H_
+#define DCG_OBS_METRICS_REGISTRY_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "metrics/histogram.h"
+#include "sim/time.h"
+
+namespace dcg::obs {
+
+/// One "key=value" label on a series (e.g. node=2, pref=secondary).
+using Label = std::pair<std::string, std::string>;
+
+/// Unifies the run's counters, gauges, and metrics::Histograms into named,
+/// labeled series. Sources are callbacks over live state — registering a
+/// metric costs nothing per operation; the registry only touches sources
+/// when Sample() runs (once per control period). Exported as JSON next to
+/// the CSVs.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Monotone cumulative value (sampled as-is; consumers diff).
+  void RegisterCounter(std::string name, std::string unit,
+                       std::vector<Label> labels,
+                       std::function<double()> source) {
+    scalars_.push_back({std::move(name), "counter", std::move(unit),
+                        std::move(labels), std::move(source), {}});
+  }
+
+  /// Point-in-time value.
+  void RegisterGauge(std::string name, std::string unit,
+                     std::vector<Label> labels,
+                     std::function<double()> source) {
+    scalars_.push_back({std::move(name), "gauge", std::move(unit),
+                        std::move(labels), std::move(source), {}});
+  }
+
+  /// Distribution: each Sample() snapshots count/mean/p50/p80/p99/max of
+  /// the live histogram (cumulative over the run). `scale` converts the
+  /// histogram's native unit into `unit` (e.g. 1/1e6 for ns → ms).
+  void RegisterHistogram(std::string name, std::string unit,
+                         std::vector<Label> labels,
+                         const metrics::Histogram* histogram,
+                         double scale = 1.0) {
+    histograms_.push_back({std::move(name), std::move(unit),
+                           std::move(labels), histogram, scale, {}});
+  }
+
+  /// Samples every registered series at time `now` (call once per control
+  /// period).
+  void Sample(sim::Time now);
+
+  size_t series_count() const { return scalars_.size() + histograms_.size(); }
+  size_t samples_taken() const { return samples_taken_; }
+
+  /// Writes all series with their samples as JSON. Returns false on I/O
+  /// failure.
+  bool WriteJson(const std::string& path) const;
+
+ private:
+  struct ScalarSeries {
+    std::string name;
+    const char* type;  // "counter" | "gauge"
+    std::string unit;
+    std::vector<Label> labels;
+    std::function<double()> source;
+    std::vector<std::pair<sim::Time, double>> samples;
+  };
+
+  struct HistogramSample {
+    sim::Time at = 0;
+    uint64_t count = 0;
+    double mean = 0, p50 = 0, p80 = 0, p99 = 0, max = 0;
+  };
+
+  struct HistogramSeries {
+    std::string name;
+    std::string unit;
+    std::vector<Label> labels;
+    const metrics::Histogram* histogram;
+    double scale;
+    std::vector<HistogramSample> samples;
+  };
+
+  std::vector<ScalarSeries> scalars_;
+  std::vector<HistogramSeries> histograms_;
+  size_t samples_taken_ = 0;
+};
+
+}  // namespace dcg::obs
+
+#endif  // DCG_OBS_METRICS_REGISTRY_H_

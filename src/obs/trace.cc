@@ -1,0 +1,98 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "obs/decision_log.h"
+
+namespace dcg::obs {
+
+std::string_view ToString(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kOp:
+      return "op";
+    case SpanKind::kAttempt:
+      return "attempt";
+    case SpanKind::kCheckout:
+      return "checkout";
+    case SpanKind::kWire:
+      return "wire";
+    case SpanKind::kServerService:
+      return "server_service";
+    case SpanKind::kServerParking:
+      return "server_parking";
+    case SpanKind::kHedge:
+      return "hedge";
+    case SpanKind::kCommitWait:
+      return "commit_wait";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Category shown in the trace UI: which layer recorded the interval.
+std::string_view Category(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kWire:
+      return "net";
+    case SpanKind::kServerService:
+    case SpanKind::kServerParking:
+      return "server";
+    case SpanKind::kCommitWait:
+      return "repl";
+    default:
+      return "driver";
+  }
+}
+
+}  // namespace
+
+bool WriteChromeTrace(const Tracer& tracer, const DecisionLog* decisions,
+                      const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  // One synthetic process, one thread per trace id: Perfetto then renders
+  // each op as its own row with the spans nested by time containment.
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", f);
+  std::fputs(
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+      "\"args\":{\"name\":\"decongestant ops\"}}",
+      f);
+  for (const SpanRecord& s : tracer.spans()) {
+    std::fprintf(
+        f,
+        ",\n{\"name\":\"%.*s\",\"cat\":\"%.*s\",\"ph\":\"X\","
+        "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%llu,"
+        "\"args\":{\"span\":%llu,\"parent\":%llu,\"node\":%d,"
+        "\"attempt\":%d,\"hedge\":%d,\"ok\":%d}}",
+        static_cast<int>(ToString(s.kind).size()), ToString(s.kind).data(),
+        static_cast<int>(Category(s.kind).size()), Category(s.kind).data(),
+        sim::ToMicros(s.start), sim::ToMicros(s.end - s.start),
+        static_cast<unsigned long long>(s.trace_id),
+        static_cast<unsigned long long>(s.span_id),
+        static_cast<unsigned long long>(s.parent_span_id), s.node, s.attempt,
+        s.is_hedge ? 1 : 0, s.ok ? 1 : 0);
+  }
+  if (decisions != nullptr) {
+    for (const BalanceDecision& d : decisions->entries()) {
+      std::fprintf(
+          f,
+          ",\n{\"name\":\"balancer %.2f\\u2192%.2f %.*s\","
+          "\"cat\":\"balancer\",\"ph\":\"i\",\"s\":\"g\",\"ts\":%.3f,"
+          "\"pid\":1,\"args\":{\"ratio\":%.4f,\"ratio_valid\":%d,"
+          "\"published\":%.2f,\"staleness_s\":%lld,\"stale_bound_s\":%lld}}",
+          d.from_fraction, d.to_fraction,
+          static_cast<int>(ToString(d.reason).size()),
+          ToString(d.reason).data(), sim::ToMicros(d.at), d.ratio,
+          d.ratio_valid ? 1 : 0, d.published_fraction,
+          static_cast<long long>(d.staleness_estimate_s),
+          static_cast<long long>(d.stale_bound_s));
+    }
+  }
+  std::fputs("\n]}\n", f);
+  const bool ok = std::fflush(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace dcg::obs

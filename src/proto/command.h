@@ -87,6 +87,9 @@ struct Reply {
   /// Copied from the request's OpContext: the pool connection the attempt
   /// rode, so the client checks the right one back in.
   uint64_t conn_id = 0;
+  /// Instant the server put this reply on the wire (0 = untraced), so the
+  /// client can record the reply's wire-transit span on arrival.
+  sim::Time sent_at = 0;
   ServerStatusReply server_status;  // kServerStatus only
   HelloReply hello;                 // kHello only
 };

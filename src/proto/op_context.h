@@ -45,6 +45,15 @@ struct OpContext {
   /// accumulated, across attempts, when this attempt reached the wire.
   /// Tracing/diagnostics.
   sim::Duration checkout_wait = 0;
+
+  /// Span id of the client-side attempt (or hedge arm) that sent this
+  /// command; server-side spans (wire, parking, service) parent under it.
+  /// 0 = untraced. The op_id doubles as the trace id.
+  uint64_t parent_span = 0;
+
+  /// Instant the client put the command on the wire, so the server can
+  /// record the request's wire-transit span. 0 = untraced.
+  sim::Time sent_at = 0;
 };
 
 }  // namespace dcg::proto

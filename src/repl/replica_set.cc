@@ -241,10 +241,27 @@ void ReplicaSet::CommitInternal(
         }
         if (concern == WriteConcern::kMajority && done) {
           // Acknowledge once a majority of nodes are known to have
-          // applied the commit point.
+          // applied the commit point. The wait from the commit instant to
+          // the ack is the write's replication slice — recorded as a
+          // commit_wait span when the op is traced.
+          const sim::Time commit_at = loop_->Now();
+          const bool traced =
+              tracer_ != nullptr && tracer_->enabled() && op_id != 0;
           majority_waiters_.push_back(
               {commit_seq,
-               [this, done = std::move(done), outcome](bool ok) {
+               [this, done = std::move(done), outcome, commit_at, traced,
+                op_id](bool ok) {
+                 if (traced) {
+                   obs::SpanRecord span;
+                   span.trace_id = op_id;
+                   span.span_id = tracer_->NewSpanId();
+                   span.kind = obs::SpanKind::kCommitWait;
+                   span.start = commit_at;
+                   span.end = loop_->Now();
+                   span.node = primary_index_;
+                   span.ok = ok;
+                   tracer_->Record(span);
+                 }
                  if (ok) {
                    ++majority_writes_acked_;
                    done(outcome);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "obs/trace.h"
 #include "proto/command.h"
 #include "repl/oplog.h"
 #include "repl/replica_node.h"
@@ -92,6 +93,14 @@ class ReplicaSet : public server::CommandBackend {
   /// hosts are registered in node-index order, so `bus->server_hosts()`
   /// doubles as the driver's seed list (connection string).
   proto::CommandBus* command_bus() { return &bus_; }
+
+  /// Attaches the run's span tracer to every node's command service and
+  /// to the replication layer (w:majority commit-wait spans). nullptr
+  /// detaches.
+  void SetTracer(obs::Tracer* tracer) {
+    tracer_ = tracer;
+    for (auto& service : services_) service->SetTracer(tracer);
+  }
 
   // --- server::CommandBackend (dispatched into by CommandServices) ---
 
@@ -259,6 +268,7 @@ class ReplicaSet : public server::CommandBackend {
   sim::EventLoop* loop_;
   sim::Rng rng_;
   net::Network* network_;
+  obs::Tracer* tracer_ = nullptr;
   ReplicaSetParams params_;
   std::vector<std::unique_ptr<ReplicaNode>> nodes_;
   Oplog oplog_;

@@ -19,11 +19,33 @@ CommandService::CommandService(sim::EventLoop* loop, net::Network* network,
       node_(node_index),
       host_(host) {}
 
+void CommandService::RecordSpan(const proto::OpContext& ctx,
+                                obs::SpanKind kind, sim::Time start,
+                                sim::Time end) {
+  obs::SpanRecord span;
+  span.trace_id = ctx.op_id;
+  span.span_id = tracer_->NewSpanId();
+  span.parent_span_id = ctx.parent_span;
+  span.kind = kind;
+  span.start = start;
+  span.end = end;
+  span.node = node_;
+  span.attempt = ctx.attempt;
+  span.is_hedge = ctx.is_hedge;
+  tracer_->Record(span);
+}
+
 void CommandService::Handle(proto::Command command) {
   // A dead node is silent: commands arriving after the crash vanish, like
   // connections reset by a downed mongod. Clients notice via timeouts.
   if (!backend_->NodeAlive(node_)) return;
   ++commands_served_;
+  // Traced() implies the client stamped sent_at (both happen together in
+  // SendAttempt), so a sim-start send at t=0 still gets its wire span.
+  if (Traced(command.ctx)) {
+    RecordSpan(command.ctx, obs::SpanKind::kWire, command.ctx.sent_at,
+               loop_->Now());
+  }
   switch (command.kind) {
     case proto::CommandKind::kPing:
     case proto::CommandKind::kHello:
@@ -50,20 +72,28 @@ void CommandService::HandleFind(proto::Command command) {
     SendReply(command, reply);
     return;
   }
-  WaitForClusterTime(std::move(command));
+  WaitForClusterTime(std::move(command), loop_->Now());
 }
 
-void CommandService::WaitForClusterTime(proto::Command command) {
+void CommandService::WaitForClusterTime(proto::Command command,
+                                        sim::Time parked_at) {
   // Node died while the read was parked: abandon it silently (the client
   // attempt timeout takes over).
   if (!backend_->NodeAlive(node_)) return;
   if (backend_->NodeLastApplied(node_).seq <
       command.ctx.after_cluster_time.seq) {
-    loop_->ScheduleAfter(kClusterTimePoll,
-                         [this, command = std::move(command)]() mutable {
-                           WaitForClusterTime(std::move(command));
-                         });
+    loop_->ScheduleAfter(
+        kClusterTimePoll,
+        [this, command = std::move(command), parked_at]() mutable {
+          WaitForClusterTime(std::move(command), parked_at);
+        });
     return;
+  }
+  // Only an actual wait earns a parking span (most reads pass straight
+  // through; a zero-length span per read would be noise).
+  if (Traced(command.ctx) && loop_->Now() > parked_at) {
+    RecordSpan(command.ctx, obs::SpanKind::kServerParking, parked_at,
+               loop_->Now());
   }
   ExecuteFind(std::move(command));
 }
@@ -71,10 +101,18 @@ void CommandService::WaitForClusterTime(proto::Command command) {
 void CommandService::ExecuteFind(proto::Command command) {
   ServerNode& server = backend_->NodeServer(node_);
   const OpClass op_class = command.op_class;
-  server.Execute(op_class, [this, command = std::move(command)]() mutable {
+  const sim::Time enqueued_at = loop_->Now();
+  server.Execute(op_class, [this, command = std::move(command),
+                            enqueued_at]() mutable {
     // Ops already in service when a node dies still complete — their
     // replies race the failure, exactly like in-flight responses do.
     command.read_body(backend_->NodeData(node_));
+    if (Traced(command.ctx)) {
+      // CPU queueing + service, together: the client-observable server
+      // time the Balancer's Lss estimate is trying to recover.
+      RecordSpan(command.ctx, obs::SpanKind::kServerService, enqueued_at,
+                 loop_->Now());
+    }
     proto::Reply reply;
     reply.operation_time = backend_->NodeLastApplied(node_);
     reply.from_primary = IsPrimaryHere();
@@ -90,9 +128,17 @@ void CommandService::HandleWrite(proto::Command command) {
     return;
   }
   proto::TxnBody body = std::move(command.txn_body);
+  const sim::Time arrived_at = loop_->Now();
   backend_->CommitWrite(
       command.op_class, std::move(body), command.concern, command.ctx.op_id,
-      [this, command = std::move(command)](const WriteOutcome& outcome) {
+      [this, command = std::move(command),
+       arrived_at](const WriteOutcome& outcome) {
+        if (Traced(command.ctx)) {
+          // Queue + transaction execution (+ majority wait — the repl
+          // layer records that slice separately as commit_wait).
+          RecordSpan(command.ctx, obs::SpanKind::kServerService, arrived_at,
+                     loop_->Now());
+        }
         proto::Reply reply;
         if (!outcome.ok) {
           // The role was lost before the body ran (crash / election) —
@@ -146,6 +192,9 @@ void CommandService::SendReply(const proto::Command& command,
   reply.node_index = node_;
   reply.is_hedge = command.ctx.is_hedge;
   reply.conn_id = command.ctx.conn_id;
+  // Stamped only for traced ops, so the client can record the reply's
+  // wire-transit span when it arrives.
+  if (Traced(command.ctx)) reply.sent_at = loop_->Now();
   // Every reply piggybacks a hello snapshot, so drivers refresh their
   // topology view from whatever traffic flows (a kNotPrimary reply names
   // the real primary, accelerating failover recovery).

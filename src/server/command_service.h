@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "net/network.h"
+#include "obs/trace.h"
 #include "proto/command.h"
 #include "repl/oplog.h"
 #include "repl/txn.h"
@@ -75,6 +76,11 @@ class CommandService {
   /// Entry point the CommandBus dispatches into at message delivery.
   void Handle(proto::Command command);
 
+  /// Attaches the run's span tracer (nullptr detaches). Server-side spans
+  /// — request wire transit, afterClusterTime parking, CPU service — are
+  /// recorded under the client attempt span the command named.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   int node_index() const { return node_; }
   net::HostId host() const { return host_; }
   uint64_t commands_served() const { return commands_served_; }
@@ -83,10 +89,19 @@ class CommandService {
   void HandleFind(proto::Command command);
   /// Parks a causal read (afterClusterTime) until the local lastApplied
   /// catches up, polling like a real server's read-concern wait.
-  void WaitForClusterTime(proto::Command command);
+  /// `parked_at` is the instant the wait began (for the parking span).
+  void WaitForClusterTime(proto::Command command, sim::Time parked_at);
   void ExecuteFind(proto::Command command);
   void HandleWrite(proto::Command command);
   void HandleServerStatus(proto::Command command);
+
+  /// True when this command belongs to a traced client op.
+  bool Traced(const proto::OpContext& ctx) const {
+    return tracer_ != nullptr && tracer_->enabled() && ctx.parent_span != 0;
+  }
+  /// Records a server-side interval against the command's trace.
+  void RecordSpan(const proto::OpContext& ctx, obs::SpanKind kind,
+                  sim::Time start, sim::Time end);
 
   bool IsPrimaryHere() const;
   proto::HelloReply MakeHello() const;
@@ -100,6 +115,7 @@ class CommandService {
   const int node_;
   const net::HostId host_;
   uint64_t commands_served_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace dcg::server

@@ -32,6 +32,12 @@ constexpr Duration Seconds(double s) {
   return static_cast<Duration>(s * static_cast<double>(kSecond));
 }
 
+/// Converts a duration to fractional microseconds (trace-event JSON
+/// timestamps are expressed in µs).
+constexpr double ToMicros(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+
 /// Converts a duration to fractional milliseconds (for reporting).
 constexpr double ToMillis(Duration d) {
   return static_cast<double>(d) / static_cast<double>(kMillisecond);

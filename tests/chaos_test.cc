@@ -375,6 +375,30 @@ TEST(ChaosTest, PoolClearDuringPartitionStillDrains) {
   EXPECT_GT(report.ops_retried, 0u);
 }
 
+// Span-tree invariant under faults: run with tracing on, hedged reads,
+// tight attempt timeouts, and a mid-run latency spike on the primary so
+// the trace contains retry and hedge arms — then let invariant 8 check
+// that every span nests under the right parent and shares its op's trace
+// id (see chaos_harness.h).
+TEST(ChaosTest, TracedRunKeepsSpanTreeWellFormed) {
+  ChaosOptions options;
+  options.seed = 1013;
+  options.duration = sim::Seconds(60);
+  options.clients = 8;
+  options.trace = true;
+  options.client_options.hedged_reads = true;
+  options.client_options.attempt_timeout = sim::Millis(400);
+  {
+    FaultEvent event = Event(FaultType::kLatencySpike, 25, 45, {0});
+    event.value = 3.0;
+    event.delay = sim::Millis(10);
+    options.schedule.Add(event);
+  }
+  const ChaosReport report = RunChaos(options);
+  EXPECT_TRUE(report.ok()) << report.ViolationText();
+  EXPECT_GT(report.total_reads, 0u);
+}
+
 // Different seeds must not produce the same trace (the trace actually
 // carries run-specific content).
 TEST(ChaosTest, DifferentSeedsDiverge) {

@@ -403,7 +403,7 @@ TEST_F(CommandTest, PerOpCountersAccumulateOnTheUnifiedPath) {
   options.attempt_timeout = sim::Millis(100);
   Build(options);
   int observed = 0;
-  client_->SetOpObserver([&](const MongoClient::OpStats& stats) {
+  client_->AddOpObserver([&](const MongoClient::OpStats& stats) {
     ++observed;
     EXPECT_TRUE(stats.ok);
     EXPECT_GT(stats.latency, 0);

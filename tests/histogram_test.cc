@@ -1,0 +1,97 @@
+// Regression tests for Histogram::Percentile at the extremes (p=0 must
+// return the minimum, p=100 the maximum — exactly, not a bucket bound)
+// and for merge behaviour across buckets.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "metrics/histogram.h"
+
+namespace dcg::metrics {
+namespace {
+
+TEST(HistogramPercentileTest, EmptyReturnsZeroAtExtremes) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0), 0.0);
+  EXPECT_EQ(h.Percentile(100), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(HistogramPercentileTest, SingleSampleExactAtExtremes) {
+  Histogram h;
+  h.Add(42.0);
+  // p=0 and p=100 answer from the tracked extrema: exact, no bucket slop.
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 42.0);
+}
+
+TEST(HistogramPercentileTest, SubUnitSampleNotInflatedByBucketZero) {
+  // Regression: every value below 1.0 lands in bucket 0 whose upper bound
+  // is 1.0; the old scan returned clamp(1.0, min, max) == max for p=0.
+  Histogram h;
+  h.Add(0.25);
+  h.Add(0.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 0.5);
+}
+
+TEST(HistogramPercentileTest, MinMaxAcrossManySamples) {
+  Histogram h;
+  for (double v : {300.0, 7.0, 9000.0, 42.0, 0.1}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 0.1);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 9000.0);
+  // Out-of-range p clamps to the extremes too.
+  EXPECT_DOUBLE_EQ(h.Percentile(-5), 0.1);
+  EXPECT_DOUBLE_EQ(h.Percentile(250), 9000.0);
+}
+
+TEST(HistogramPercentileTest, MidPercentilesStillWithinExtrema) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Add(static_cast<double>(i));
+  for (double p : {1.0, 25.0, 50.0, 80.0, 99.0}) {
+    const double v = h.Percentile(p);
+    EXPECT_GE(v, h.min()) << "p=" << p;
+    EXPECT_LE(v, h.max()) << "p=" << p;
+  }
+}
+
+TEST(HistogramMergeTest, CrossBucketMergeMatchesCombinedOracle) {
+  // One histogram with sub-unit samples (bucket 0), one with large
+  // samples (high buckets); the merge must answer extremes from the
+  // combined population and keep count/sum coherent.
+  Histogram small;
+  small.Add(0.2);
+  small.Add(0.8);
+  Histogram large;
+  large.Add(5000.0);
+  large.Add(120.0);
+
+  Histogram merged;
+  merged.Merge(small);
+  merged.Merge(large);
+
+  Histogram oracle;
+  for (double v : {0.2, 0.8, 5000.0, 120.0}) oracle.Add(v);
+
+  EXPECT_EQ(merged.count(), 4u);
+  EXPECT_DOUBLE_EQ(merged.min(), 0.2);
+  EXPECT_DOUBLE_EQ(merged.max(), 5000.0);
+  EXPECT_DOUBLE_EQ(merged.mean(), oracle.mean());
+  EXPECT_DOUBLE_EQ(merged.Percentile(0), oracle.Percentile(0));
+  EXPECT_DOUBLE_EQ(merged.Percentile(100), oracle.Percentile(100));
+  EXPECT_DOUBLE_EQ(merged.Percentile(50), oracle.Percentile(50));
+}
+
+TEST(HistogramMergeTest, MergeIntoEmptyPreservesExtremes) {
+  Histogram src;
+  src.Add(0.4);
+  src.Add(77.0);
+  Histogram dst;
+  dst.Merge(src);
+  EXPECT_DOUBLE_EQ(dst.Percentile(0), 0.4);
+  EXPECT_DOUBLE_EQ(dst.Percentile(100), 77.0);
+}
+
+}  // namespace
+}  // namespace dcg::metrics

@@ -125,15 +125,18 @@ TEST(CsvExportTest, WritesAllThreeFiles) {
   ASSERT_TRUE(exp::WriteStalenessCsv(experiment, prefix + "_s.csv"));
   ASSERT_TRUE(exp::WriteSamplesCsv(experiment, prefix + "_x.csv"));
 
-  // Header + one row per period (6 x 10 s).
-  EXPECT_EQ(CountLines(prefix + "_p.csv"), 7);
-  // Header + ~one row per second.
-  EXPECT_GE(CountLines(prefix + "_s.csv"), 55);
-  // Header + one row per probe (5/s).
-  EXPECT_GE(CountLines(prefix + "_x.csv"), 200);
+  // Units comment + header + one row per period (6 x 10 s).
+  EXPECT_EQ(CountLines(prefix + "_p.csv"), 8);
+  // Units comment + header + ~one row per second.
+  EXPECT_GE(CountLines(prefix + "_s.csv"), 56);
+  // Units comment + header + one row per probe (5/s).
+  EXPECT_GE(CountLines(prefix + "_x.csv"), 201);
 
-  // Header fields sanity.
+  // Units comment then header-fields sanity.
   std::ifstream in(prefix + "_p.csv");
+  std::string units;
+  std::getline(in, units);
+  EXPECT_EQ(units.rfind("# units:", 0), 0u);
   std::string header;
   std::getline(in, header);
   EXPECT_NE(header.find("read_throughput"), std::string::npos);
