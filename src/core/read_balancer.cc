@@ -26,6 +26,8 @@ ReadBalancer::ReadBalancer(driver::MongoClient* client, SharedState* state,
   state_->set_balance_fraction(config_.stale_bound_seconds == 0
                                    ? 0.0
                                    : config_.low_bal);
+  tracked_primary_ = client_->primary_index();
+  tracked_term_ = client_->believed_term();
   // Harvest latencies from the driver's unified completion path: one
   // record per successful application read, regardless of which workload
   // issued it. Probe/control reads opt out via record_latency.
@@ -56,7 +58,57 @@ void ReadBalancer::RecordRtt(int node, sim::Duration rtt) {
   }
 }
 
+void ReadBalancer::CheckPrimarySwap() {
+  const int primary = client_->primary_index();
+  const uint64_t term = client_->believed_term();
+  // "No primary" (an election in flight) is not a swap — the histories
+  // still describe the last concrete primary until a new one appears.
+  if (primary < 0) return;
+  if (primary == tracked_primary_ && term >= tracked_term_) {
+    tracked_term_ = term;
+    return;
+  }
+  const bool swapped = tracked_primary_ >= 0 && primary != tracked_primary_;
+  tracked_primary_ = primary;
+  tracked_term_ = term;
+  // Same node re-elected in a newer term: its latency character did not
+  // change, so the histories stay.
+  if (swapped) OnPrimarySwap();
+}
+
+void ReadBalancer::OnPrimarySwap() {
+  ++primary_swaps_;
+  // Latency samples, RecentBal, and the staleness estimate all describe
+  // the deposed primary's topology. Feeding them forward would compare
+  // the new primary's Lss against the old one's — discard everything and
+  // restart from the floor fraction, exactly like a cold start.
+  state_->DrainPrimaryLatencies();
+  state_->DrainSecondaryLatencies();
+  const double before = recent_bal_.back();
+  recent_bal_.assign(static_cast<size_t>(config_.recent_history),
+                     config_.low_bal);
+  staleness_estimate_ = 0;
+  std::fill(secondary_staleness_s_.begin(), secondary_staleness_s_.end(), -1);
+  // Re-apply the gate inline (estimate is reset, so only the
+  // bound-disabled case stays blocked) without emitting a spurious
+  // gate-transition entry — the swap reset below is the record.
+  stale_blocked_ = config_.stale_bound_seconds == 0;
+  state_->set_balance_fraction(stale_blocked_ ? 0.0 : config_.low_bal);
+
+  obs::BalanceDecision decision;
+  decision.at = client_->loop().Now();
+  decision.from_fraction = before;
+  decision.to_fraction = recent_bal_.back();
+  decision.published_fraction = state_->balance_fraction();
+  decision.reason = obs::BalanceReason::kPrimarySwapReset;
+  decision.term = tracked_term_;
+  decision.stale_bound_s = config_.stale_bound_seconds;
+  decision.secondary_staleness_s = secondary_staleness_s_;
+  decisions_.Record(std::move(decision));
+}
+
 void ReadBalancer::PingLoop() {
+  CheckPrimarySwap();
   const int nodes = client_->node_count();
   for (int i = 0; i < nodes; ++i) {
     // Timed-out probes contribute no sample: a partitioned node's RTT
@@ -77,6 +129,7 @@ void ReadBalancer::ServerStatusLoop() {
 
 // Algorithm 1, Rcv-ServerStatus.
 void ReadBalancer::OnServerStatus(const proto::ServerStatusReply& reply) {
+  CheckPrimarySwap();
   staleness_estimate_ = proto::MaxStalenessSeconds(reply);
   // Per-secondary breakdown for the decision log: which replica is the
   // one holding the estimate up. Same arithmetic as MaxStalenessSeconds.
@@ -101,6 +154,7 @@ void ReadBalancer::RecordGateTransition(obs::BalanceReason reason) {
   decision.to_fraction = recent_bal_.back();
   decision.published_fraction = state_->balance_fraction();
   decision.reason = reason;
+  decision.term = client_->believed_term();
   decision.staleness_estimate_s = staleness_estimate_;
   decision.stale_bound_s = config_.stale_bound_seconds;
   decision.secondary_staleness_s = secondary_staleness_s_;
@@ -140,6 +194,7 @@ sim::Duration ReadBalancer::MedianRttSecondaries() const {
 
 // Algorithm 1, OnPeriodEnd.
 void ReadBalancer::OnPeriodEnd() {
+  CheckPrimarySwap();
   std::vector<sim::Duration> primary_lat = state_->DrainPrimaryLatencies();
   std::vector<sim::Duration> secondary_lat = state_->DrainSecondaryLatencies();
 
@@ -194,6 +249,7 @@ void ReadBalancer::OnPeriodEnd() {
   decision.to_fraction = new_bal;
   decision.published_fraction = stats.published_fraction;
   decision.reason = reason;
+  decision.term = client_->believed_term();
   decision.ratio = stats.ratio;
   decision.ratio_valid = stats.ratio_valid;
   decision.lss_primary = stats.lss_primary;

@@ -71,6 +71,12 @@ class ReadBalancer {
   uint64_t periods_completed() const { return periods_completed_; }
   uint64_t stale_zero_events() const { return stale_zero_events_; }
 
+  /// Times the balancer detected a primary swap (failover) and reset its
+  /// latency histories, RecentBal, and staleness inputs. Mixing samples
+  /// measured against two different primaries would feed Algorithm 1 a
+  /// ratio describing neither.
+  uint64_t primary_swaps() const { return primary_swaps_; }
+
   /// Every fraction decision and staleness-gate transition, in order.
   /// Always on: a decision is a few dozen bytes once per control period,
   /// so a day-long simulated run logs a few thousand entries.
@@ -98,6 +104,10 @@ class ReadBalancer {
   void ServerStatusLoop();
   void OnServerStatus(const proto::ServerStatusReply& reply);
   void OnPeriodEnd();
+  /// Compares the driver's current primary belief against the one the
+  /// balancer's histories were measured under; on a swap, resets them.
+  void CheckPrimarySwap();
+  void OnPrimarySwap();
   /// Publishes the Balance Fraction clients see, applying the staleness
   /// gate of Algorithm 1 (lines 3-7 / 22-27).
   void PublishFraction();
@@ -124,6 +134,10 @@ class ReadBalancer {
   bool stale_blocked_ = false;
   uint64_t periods_completed_ = 0;
   uint64_t stale_zero_events_ = 0;
+  /// The (primary, term) the current histories were measured under.
+  int tracked_primary_ = -1;
+  uint64_t tracked_term_ = 0;
+  uint64_t primary_swaps_ = 0;
   std::function<void(const PeriodStats&)> period_cb_;
 };
 

@@ -834,8 +834,25 @@ void MongoClient::AbortAttemptsOn(int node) {
 
 void MongoClient::AdoptTopology(const proto::HelloReply& hello) {
   if (hello.term < believed_term_) return;  // stale view
+  // Within the known term, "no primary" (an election in flight somewhere)
+  // never displaces a concrete primary belief — only a newer term or a
+  // different concrete primary does. This keeps a brief catch-up window
+  // from blinding the driver to a primary it can still talk to.
+  if (hello.term == believed_term_ &&
+      (hello.primary_index < 0 || hello.primary_index == believed_primary_)) {
+    return;
+  }
+  const int old_primary = believed_primary_;
   believed_term_ = hello.term;
   believed_primary_ = hello.primary_index;
+  // Primary moved: the old primary's pooled connections are pinned to a
+  // deposed mongod — clear them (generation bump) so no checkout hands
+  // out a stale connection to a node that will reject the write.
+  if (old_primary >= 0 && believed_primary_ >= 0 &&
+      believed_primary_ != old_primary) {
+    ++stepdown_pool_clears_;
+    ClearPool(old_primary);
+  }
 }
 
 void MongoClient::MarkHeard(int node) {

@@ -234,6 +234,12 @@ class MongoClient {
   int node_count() const { return static_cast<int>(servers_.size()); }
   /// The node the driver currently believes holds the primary role.
   int primary_index() const { return believed_primary_; }
+  /// The highest election term the driver has seen in any hello payload —
+  /// the monotonic clock its topology view is ordered by.
+  uint64_t believed_term() const { return believed_term_; }
+  /// Times the driver observed a primary change and cleared the deposed
+  /// primary's connection pool (driver-spec "pool.clear() on stepdown").
+  uint64_t stepdown_pool_clears() const { return stepdown_pool_clears_; }
   /// Whether the driver currently believes the node is reachable.
   bool NodeReachable(int node) const { return servers_[node].reachable; }
 
@@ -393,6 +399,7 @@ class MongoClient {
   std::vector<std::unique_ptr<pool::ConnectionPool>> pools_;
   int believed_primary_ = 0;
   uint64_t believed_term_ = 0;
+  uint64_t stepdown_pool_clears_ = 0;
   bool started_ = false;
 
   // std::map: deterministic iteration (AbortAttemptsOn scans it).

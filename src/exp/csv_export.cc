@@ -104,12 +104,12 @@ bool WriteDecisionsCsv(const Experiment& experiment, const std::string& path) {
   if (!csv.ok()) return false;
   csv.Line(
       "# units: time_s=seconds from_fraction=fraction to_fraction=fraction "
-      "published_fraction=fraction reason=enum ratio=ratio ratio_valid=bool "
-      "lss_primary_ms=ms lss_secondary_ms=ms history_flat=bool "
-      "est_staleness_s=seconds stale_bound_s=seconds "
+      "published_fraction=fraction reason=enum term=count ratio=ratio "
+      "ratio_valid=bool lss_primary_ms=ms lss_secondary_ms=ms "
+      "history_flat=bool est_staleness_s=seconds stale_bound_s=seconds "
       "secondary_staleness_s=seconds(|-joined,-1=unknown)");
   csv.Line(
-      "time_s,from_fraction,to_fraction,published_fraction,reason,ratio,"
+      "time_s,from_fraction,to_fraction,published_fraction,reason,term,ratio,"
       "ratio_valid,lss_primary_ms,lss_secondary_ms,history_flat,"
       "est_staleness_s,stale_bound_s,secondary_staleness_s");
   if (log == nullptr) return true;
@@ -119,10 +119,11 @@ bool WriteDecisionsCsv(const Experiment& experiment, const std::string& path) {
       if (i > 0) per_node += '|';
       per_node += std::to_string(d.secondary_staleness_s[i]);
     }
-    csv.Line("%.1f,%.2f,%.2f,%.2f,%s,%.3f,%d,%.3f,%.3f,%d,%lld,%lld,%s",
+    csv.Line("%.1f,%.2f,%.2f,%.2f,%s,%llu,%.3f,%d,%.3f,%.3f,%d,%lld,%lld,%s",
              sim::ToSeconds(d.at), d.from_fraction, d.to_fraction,
              d.published_fraction,
-             std::string(obs::ToString(d.reason)).c_str(), d.ratio,
+             std::string(obs::ToString(d.reason)).c_str(),
+             static_cast<unsigned long long>(d.term), d.ratio,
              d.ratio_valid ? 1 : 0, sim::ToMillis(d.lss_primary),
              sim::ToMillis(d.lss_secondary), d.history_flat ? 1 : 0,
              static_cast<long long>(d.staleness_estimate_s),

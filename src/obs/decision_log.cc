@@ -20,6 +20,8 @@ std::string_view ToString(BalanceReason reason) {
       return "stale_gate_zero";
     case BalanceReason::kStaleGateRelease:
       return "stale_gate_release";
+    case BalanceReason::kPrimarySwapReset:
+      return "primary_swap_reset";
   }
   return "unknown";
 }

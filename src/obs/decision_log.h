@@ -30,6 +30,10 @@ enum class BalanceReason : uint8_t {
   /// Staleness estimate dropped back within StaleBound: the controller's
   /// fraction is published again.
   kStaleGateRelease,
+  /// The driver observed a primary swap (new term / new primary index):
+  /// latency histories and staleness inputs described the *old* primary,
+  /// so the balancer reset them and restarted from the floor fraction.
+  kPrimarySwapReset,
 };
 
 std::string_view ToString(BalanceReason reason);
@@ -46,6 +50,10 @@ struct BalanceDecision {
   /// What clients actually see after the staleness gate.
   double published_fraction = 0.0;
   BalanceReason reason = BalanceReason::kNone;
+  /// Election term the driver believed at decision time (0 before any
+  /// hello carried one) — lets failover analyses line decisions up
+  /// against the primary swap that motivated them.
+  uint64_t term = 0;
 
   // --- controller inputs ---
   double ratio = 0.0;  // Lss,primary / Lss,secondary

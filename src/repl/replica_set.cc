@@ -46,6 +46,61 @@ ReplicaSet::ReplicaSet(sim::EventLoop* loop, sim::Rng rng,
   pull_deadline_.assign(nodes_.size(), 0);
   apply_throttle_.assign(nodes_.size(), 1.0);
   report_skew_.assign(nodes_.size(), 0);
+  election_timer_epoch_.assign(nodes_.size(), 0);
+  election_timer_armed_.assign(nodes_.size(), false);
+  takeover_epoch_.assign(nodes_.size(), 0);
+  needs_resync_.assign(nodes_.size(), false);
+  // The seed topology is writable from t=0: node 0 leads term 1.
+  RecordWritable(term_, primary_index_);
+  if (params_.raft_elections) {
+    // Coordinator RNG streams fork only in raft mode, *after* the
+    // per-node forks above — the disabled path's draw sequence (and
+    // hence every pre-election determinism golden) is untouched.
+    TopologyConfig tc;
+    tc.node_count = node_count();
+    tc.election_timeout = params_.election_timeout;
+    tc.timeout_jitter_fraction = params_.election_jitter_fraction;
+    tc.heartbeat_interval = params_.heartbeat_interval;
+    tc.priority_takeover_delay = params_.priority_takeover_delay;
+    tc.priority_takeover_gap = params_.priority_takeover_gap;
+    tc.priorities = params_.node_priorities;
+    for (int i = 0; i < node_count(); ++i) {
+      coords_.push_back(std::make_unique<TopologyCoordinator>(
+          i, tc, rng_.Fork(), /*initial_leader=*/primary_index_,
+          loop_->Now()));
+    }
+  }
+  for (int i = 0; i < node_count(); ++i) SyncNodeView(i);
+}
+
+void ReplicaSet::SyncNodeView(int idx) {
+  if (params_.raft_elections) {
+    node(idx).set_role_view(coords_[idx]->role(), coords_[idx]->term());
+    return;
+  }
+  node(idx).set_role_view(idx == primary_index_ ? MemberRole::kPrimary
+                                                : MemberRole::kSecondary,
+                          term_);
+}
+
+void ReplicaSet::RecordWritable(uint64_t term, int node) {
+  std::vector<int>& writers = writable_by_term_[term];
+  if (std::find(writers.begin(), writers.end(), node) == writers.end()) {
+    writers.push_back(node);
+  }
+}
+
+void ReplicaSet::RecordCommit(uint64_t term, int node) {
+  std::vector<int>& writers = commits_by_term_[term];
+  if (std::find(writers.begin(), writers.end(), node) == writers.end()) {
+    writers.push_back(node);
+  }
+}
+
+uint64_t ReplicaSet::stepdowns() const {
+  uint64_t total = 0;
+  for (const auto& coord : coords_) total += coord->stepdowns();
+  return total;
 }
 
 void ReplicaSet::SetApplyThrottle(int idx, double factor) {
@@ -73,6 +128,16 @@ void ReplicaSet::Start() {
   for (int i = 0; i < node_count(); ++i) {
     if (IsActiveSecondary(i)) StartSecondaryLoops(i);
   }
+  if (params_.raft_elections) {
+    for (int i = 0; i < node_count(); ++i) {
+      if (!alive_[i]) continue;
+      if (!heartbeating_[i]) {
+        heartbeating_[i] = true;
+        RaftHeartbeatLoop(i);
+      }
+      ArmElectionTimer(i);
+    }
+  }
 }
 
 void ReplicaSet::StartSecondaryLoops(int idx) {
@@ -81,7 +146,10 @@ void ReplicaSet::StartSecondaryLoops(int idx) {
     ArmPullDeadline(idx);
     SendGetMore(idx, pull_epoch_[idx]);
   }
-  if (!heartbeating_[idx]) {
+  // Raft mode runs one all-member heartbeat loop instead (started in
+  // Start()/RestartNode); it carries the progress reports and the pull
+  // watchdog this legacy loop provides.
+  if (!params_.raft_elections && !heartbeating_[idx]) {
     heartbeating_[idx] = true;
     HeartbeatLoop(idx);
   }
@@ -92,6 +160,15 @@ void ReplicaSet::KillNode(int idx) {
   if (!alive_[idx]) return;
   alive_[idx] = false;
   RetirePull(idx);
+  if (params_.raft_elections) {
+    // Retire the member's election-check and takeover chains; survivors'
+    // own randomized timeouts notice the silence and campaign.
+    ++election_timer_epoch_[idx];
+    election_timer_armed_[idx] = false;
+    ++takeover_epoch_[idx];
+    if (idx == primary_index_) FailMajorityWaiters();
+    return;
+  }
   if (idx == primary_index_) {
     // Acknowledgements in flight are lost with the primary; their outcome
     // is uncertain to the client.
@@ -132,8 +209,10 @@ void ReplicaSet::ElectPrimary() {
   primary_index_ = winner;
   ++term_;
   ++elections_;
+  RecordWritable(term_, winner);
   for (int i = 0; i < node_count(); ++i) {
     if (IsActiveSecondary(i)) StartSecondaryLoops(i);
+    SyncNodeView(i);
   }
 }
 
@@ -147,6 +226,16 @@ void ReplicaSet::RestartNode(int idx) {
   node(idx).ResetForResync(primary().last_applied());
   known_last_applied_[idx] = primary().last_applied();
   alive_[idx] = true;
+  needs_resync_[idx] = false;  // the clone is consistent by construction
+  if (params_.raft_elections) {
+    coords_[idx]->Rejoin(loop_->Now());
+    SyncNodeView(idx);
+    if (!heartbeating_[idx]) {
+      heartbeating_[idx] = true;
+      RaftHeartbeatLoop(idx);
+    }
+    ArmElectionTimer(idx);
+  }
   StartSecondaryLoops(idx);
 }
 
@@ -175,7 +264,7 @@ void ReplicaSet::ReadAfter(int idx, const OpTime& after, server::OpClass c,
 void ReplicaSet::WriteTransaction(server::OpClass c, TxnBody body,
                                   std::function<void(bool)> done,
                                   WriteConcern concern) {
-  CommitInternal(c, std::move(body), /*op_id=*/0,
+  CommitInternal(primary_index_, c, std::move(body), /*op_id=*/0,
                  [done = std::move(done)](const server::WriteOutcome& outcome) {
                    if (done) done(outcome.ok && outcome.committed);
                  },
@@ -183,7 +272,7 @@ void ReplicaSet::WriteTransaction(server::OpClass c, TxnBody body,
 }
 
 void ReplicaSet::CommitInternal(
-    server::OpClass op_class, TxnBody body, uint64_t op_id,
+    int node_idx, server::OpClass op_class, TxnBody body, uint64_t op_id,
     std::function<void(const server::WriteOutcome&)> done,
     WriteConcern concern) {
   double throttle = 1.0;
@@ -192,9 +281,15 @@ void ReplicaSet::CommitInternal(
     throttle = params_.flow_control_throttle;
     ++flow_control_engaged_writes_;
   }
-  const int expected_primary = primary_index_;
+  // The write queues on the CPU of the member it arrived at (the one
+  // that believed itself primary); at the commit instant that member
+  // must still lead the data plane — same term, same primary index — or
+  // nothing is applied. A deposed primary that still accepts a write
+  // therefore executes it and fails it, never committing into a history
+  // it no longer owns: at most one member commits per term.
+  const int expected_primary = node_idx;
   const uint64_t expected_term = term_;
-  primary().server().ExecuteScaled(
+  nodes_[node_idx]->server().ExecuteScaled(
       op_class, throttle,
       [this, body = std::move(body), done = std::move(done), concern, op_id,
        expected_primary, expected_term] {
@@ -205,13 +300,14 @@ void ReplicaSet::CommitInternal(
           if (done) done(server::WriteOutcome{});
           return;
         }
-        TxnContext ctx(&primary().db());
+        ReplicaNode& leader = *nodes_[expected_primary];
+        TxnContext ctx(&leader.db());
         body(&ctx);
         if (ctx.aborted()) {
           server::WriteOutcome outcome;
           outcome.ok = true;
           outcome.committed = false;
-          outcome.operation_time = primary().last_applied();
+          outcome.operation_time = leader.last_applied();
           // Aborts are deterministic outcomes of the body; record them so
           // a retry is acknowledged identically instead of re-running.
           if (op_id != 0) {
@@ -220,19 +316,20 @@ void ReplicaSet::CommitInternal(
           if (done) done(outcome);
           return;
         }
-        uint64_t commit_seq = primary().last_applied().seq;
+        uint64_t commit_seq = leader.last_applied().seq;
         for (OplogEntry& entry : ctx.entries()) {
           entry.optime = OpTime{loop_->Now(), next_seq_++};
           commit_seq = entry.optime.seq;
-          primary().server().AddDirtyBytes(entry.ApproxBytes());
-          primary().AdvanceLastApplied(entry.optime);
+          leader.server().AddDirtyBytes(entry.ApproxBytes());
+          leader.AdvanceLastApplied(entry.optime);
           oplog_.Append(std::move(entry));
         }
         ++committed_writes_;
+        RecordCommit(expected_term, expected_primary);
         server::WriteOutcome outcome;
         outcome.ok = true;
         outcome.committed = true;
-        outcome.operation_time = primary().last_applied();
+        outcome.operation_time = leader.last_applied();
         // The transaction record is written at the commit instant — not at
         // ack time — so a retry after a lost w:majority ack replies from
         // the record iff the commit itself survived (election purge).
@@ -279,8 +376,9 @@ void ReplicaSet::CommitInternal(
 }
 
 void ReplicaSet::CommitWrite(
-    server::OpClass op_class, proto::TxnBody body, WriteConcern concern,
-    uint64_t op_id, std::function<void(const server::WriteOutcome&)> done) {
+    int node, server::OpClass op_class, proto::TxnBody body,
+    WriteConcern concern, uint64_t op_id,
+    std::function<void(const server::WriteOutcome&)> done) {
   if (op_id != 0) {
     if (auto it = retry_records_.find(op_id); it != retry_records_.end()) {
       // Retryable write replay: acknowledge from the transaction record
@@ -300,7 +398,7 @@ void ReplicaSet::CommitWrite(
     }
     retry_waiters_[op_id];  // mark in progress
     CommitInternal(
-        op_class, std::move(body), op_id,
+        node, op_class, std::move(body), op_id,
         [this, op_id,
          done = std::move(done)](const server::WriteOutcome& outcome) {
           std::vector<std::function<void(const server::WriteOutcome&)>>
@@ -312,8 +410,8 @@ void ReplicaSet::CommitWrite(
         concern);
     return;
   }
-  CommitInternal(op_class, std::move(body), /*op_id=*/0, std::move(done),
-                 concern);
+  CommitInternal(node, op_class, std::move(body), /*op_id=*/0,
+                 std::move(done), concern);
 }
 
 proto::ServerStatusReply ReplicaSet::ServerStatusSnapshot() {
@@ -391,6 +489,12 @@ void ReplicaSet::SendGetMore(int secondary_idx, uint64_t epoch) {
   if (epoch != pull_epoch_[secondary_idx]) return;  // superseded chain
   if (!IsActiveSecondary(secondary_idx)) {
     pulling_[secondary_idx] = false;  // loop retires
+    return;
+  }
+  if (needs_resync_[secondary_idx]) {
+    // An election rolled back entries this member already applied; it
+    // must re-clone before it can pull again (rollback via refetch).
+    ResyncStep(secondary_idx, epoch);
     return;
   }
   ArmPullDeadline(secondary_idx);  // covers the request's network hop
@@ -565,6 +669,282 @@ void ReplicaSet::HeartbeatLoop(int secondary_idx) {
   loop_->ScheduleAfter(params_.heartbeat_interval, [this, secondary_idx] {
     HeartbeatLoop(secondary_idx);
   });
+}
+
+// --- raft-election machinery -------------------------------------------
+
+void ReplicaSet::ResyncStep(int idx, uint64_t epoch) {
+  if (epoch != pull_epoch_[idx]) return;
+  if (!IsActiveSecondary(idx)) {
+    pulling_[idx] = false;
+    return;
+  }
+  if (!alive_[primary_index_]) {
+    // Nothing consistent to clone from yet; poll until an election
+    // installs a live leader.
+    ArmPullDeadline(idx, params_.getmore_idle_poll);
+    loop_->ScheduleAfter(params_.getmore_idle_poll, [this, idx, epoch] {
+      SendGetMore(idx, epoch);
+    });
+    return;
+  }
+  ArmPullDeadline(idx);
+  network_->Send(node(idx).host(), primary().host(), [this, idx, epoch] {
+    if (epoch != pull_epoch_[idx] || !IsActiveSecondary(idx)) return;
+    if (!alive_[primary_index_]) {
+      ArmPullDeadline(idx, params_.getmore_idle_poll);
+      loop_->ScheduleAfter(params_.getmore_idle_poll, [this, idx, epoch] {
+        SendGetMore(idx, epoch);
+      });
+      return;
+    }
+    ArmPullDeadline(idx);
+    network_->Send(primary().host(), node(idx).host(), [this, idx, epoch] {
+      if (epoch != pull_epoch_[idx] || !IsActiveSecondary(idx)) return;
+      if (!needs_resync_[idx]) {
+        SendGetMore(idx, epoch);
+        return;
+      }
+      // Rollback via refetch: drop the diverged history, clone the
+      // current primary wholesale, rejoin the stream from its position.
+      node(idx).db().ResetFrom(primary().db());
+      node(idx).ResetForResync(primary().last_applied());
+      known_last_applied_[idx] = primary().last_applied();
+      needs_resync_[idx] = false;
+      ++rollback_resyncs_;
+      ArmPullDeadline(idx);
+      SendGetMore(idx, epoch);
+    });
+  });
+}
+
+void ReplicaSet::ArmElectionTimer(int idx) {
+  if (election_timer_armed_[idx]) return;
+  election_timer_armed_[idx] = true;
+  ScheduleElectionCheck(idx, ++election_timer_epoch_[idx]);
+}
+
+void ReplicaSet::ScheduleElectionCheck(int idx, uint64_t epoch) {
+  // One chain per live member: fire at the coordinator's deadline (the
+  // deadline usually moves forward before the event fires — leader
+  // contact re-arms it — in which case the firing is a cheap no-op that
+  // reschedules at the new deadline).
+  const sim::Time at =
+      std::max(coords_[idx]->election_deadline(), loop_->Now() + 1);
+  loop_->ScheduleAt(at, [this, idx, epoch] {
+    if (epoch != election_timer_epoch_[idx]) return;
+    if (!alive_[idx]) {
+      election_timer_armed_[idx] = false;
+      return;
+    }
+    if (loop_->Now() >= coords_[idx]->election_deadline()) {
+      ApplyAction(idx, coords_[idx]->OnElectionTimeout(loop_->Now()));
+    }
+    ScheduleElectionCheck(idx, epoch);
+  });
+}
+
+void ReplicaSet::ApplyAction(int idx, const TopologyAction& action) {
+  SyncNodeView(idx);
+  if (action.stepped_down) {
+    // A member that stopped believing itself primary resumes consuming
+    // the stream if it is, in data-plane terms, an active secondary
+    // whose pull was parked (e.g. a deposed catch-up winner).
+    if (IsActiveSecondary(idx) && !pulling_[idx]) StartSecondaryLoops(idx);
+  }
+  if (action.start_dry_run || action.start_election) {
+    BroadcastVoteRequests(idx);
+  }
+  if (action.won_election) BeginStepUp(idx);
+  if (action.takeover_at >= 0) ScheduleTakeoverCheck(idx, action.takeover_at);
+}
+
+void ReplicaSet::BroadcastVoteRequests(int idx) {
+  const VoteRequest req =
+      coords_[idx]->CampaignRequest(node(idx).last_applied());
+  for (int j = 0; j < node_count(); ++j) {
+    if (j == idx) continue;
+    network_->Send(node(idx).host(), node(j).host(), [this, j, req] {
+      if (!alive_[j]) return;  // dead voters are silent
+      const MemberRole role_before = coords_[j]->role();
+      const VoteResponse resp =
+          coords_[j]->OnVoteRequest(req, node(j).last_applied(), loop_->Now());
+      SyncNodeView(j);
+      // A real vote carrying a higher term can depose the voter itself
+      // (a leader granting a takeover vote steps down right here).
+      if (role_before == MemberRole::kPrimary &&
+          coords_[j]->role() != role_before && IsActiveSecondary(j) &&
+          !pulling_[j]) {
+        StartSecondaryLoops(j);
+      }
+      network_->Send(node(j).host(), node(req.candidate).host(),
+                     [this, resp] {
+                       const int cand = resp.candidate;
+                       if (cand < 0 || !alive_[cand]) return;
+                       ApplyAction(
+                           cand, coords_[cand]->OnVoteResponse(
+                                     resp, loop_->Now()));
+                     });
+    });
+  }
+}
+
+void ReplicaSet::ScheduleTakeoverCheck(int idx, sim::Time at) {
+  const uint64_t epoch = takeover_epoch_[idx];
+  loop_->ScheduleAt(std::max(at, loop_->Now() + 1), [this, idx, epoch] {
+    if (epoch != takeover_epoch_[idx] || !alive_[idx]) return;
+    ApplyAction(idx, coords_[idx]->OnPriorityTakeoverCheck(
+                         node(idx).last_applied(), loop_->Now()));
+  });
+}
+
+void ReplicaSet::RaftHeartbeatLoop(int idx) {
+  if (!alive_[idx]) {
+    heartbeating_[idx] = false;  // loop retires; RestartNode re-arms
+    return;
+  }
+  // Pull watchdog (same duty the legacy heartbeat loop carries): a pull
+  // chain with no progress past its deadline lost a message — restart it.
+  if (IsActiveSecondary(idx) && pulling_[idx] &&
+      loop_->Now() > pull_deadline_[idx]) {
+    ++pull_restarts_;
+    ++pull_epoch_[idx];
+    SendGetMore(idx, pull_epoch_[idx]);
+  }
+  HeartbeatView hb;
+  hb.from = idx;
+  hb.term = coords_[idx]->term();
+  hb.leader = coords_[idx]->leader_for_hello();
+  hb.last_applied = node(idx).last_applied();
+  if (const sim::Duration skew = report_skew_[idx]; skew != 0) {
+    // A skewed clock distorts the wall component of the *report* only.
+    hb.last_applied.wall = std::max<sim::Time>(0, hb.last_applied.wall + skew);
+  }
+  for (int j = 0; j < node_count(); ++j) {
+    if (j == idx) continue;
+    network_->Send(node(idx).host(), node(j).host(),
+                   [this, j, hb] { HandleRaftHeartbeat(j, hb); });
+  }
+  loop_->ScheduleAfter(params_.heartbeat_interval,
+                       [this, idx] { RaftHeartbeatLoop(idx); });
+}
+
+void ReplicaSet::HandleRaftHeartbeat(int to, const HeartbeatView& hb) {
+  if (!alive_[to]) return;
+  // The data-plane leader's progress knowledge (flow control, w:majority
+  // acks) rides the same heartbeats the election layer uses.
+  if (to == primary_index_ && hb.from != primary_index_ &&
+      IsActiveSecondary(hb.from)) {
+    OpTime& known = known_last_applied_[hb.from];
+    if (known < hb.last_applied) known = hb.last_applied;
+    CheckMajorityWaiters();
+  }
+  ApplyAction(to,
+              coords_[to]->OnHeartbeat(hb, node(to).last_applied(),
+                                       loop_->Now()));
+}
+
+void ReplicaSet::BeginStepUp(int winner) {
+  const uint64_t new_term = coords_[winner]->term();
+  // A later election already moved the data plane past this win; the
+  // stale winner will hear the higher term and step down on its own.
+  if (new_term <= term_) return;
+  // The winner stops pulling; catch-up applies the remaining entries on
+  // its CPU without racing the secondary-era chain.
+  RetirePull(winner);
+  const uint64_t epoch = ++catchup_epoch_;
+  // Catch-up target: the freshest position among members the winner
+  // heard recently, bounded by what the oplog actually holds. Entries
+  // beyond it (on unreachable members, or committed by the old leader
+  // during catch-up) roll back when the new term opens.
+  uint64_t target = node(winner).last_applied().seq;
+  target = std::max(target, coords_[winner]->FreshestPeerSeq(
+                                loop_->Now(), params_.election_timeout));
+  target = std::min(target, oplog_.last_seq());
+  CatchUpStep(winner, new_term, target,
+              loop_->Now() + params_.catchup_timeout, epoch);
+}
+
+void ReplicaSet::CatchUpStep(int winner, uint64_t new_term, uint64_t target,
+                             sim::Time deadline, uint64_t epoch) {
+  if (epoch != catchup_epoch_) return;  // superseded by a newer win
+  if (!alive_[winner] || coords_[winner]->role() != MemberRole::kPrimary ||
+      coords_[winner]->term() != new_term) {
+    // Deposed (or crashed) mid catch-up: the data plane never swapped,
+    // so there is nothing to undo. ApplyAction restarts its pull when
+    // the stepdown lands; a crash leaves it to RestartNode.
+    return;
+  }
+  if (node(winner).last_applied().seq >= target || loop_->Now() >= deadline) {
+    FinishStepUp(winner, new_term);
+    return;
+  }
+  std::vector<OplogEntry> batch = oplog_.ReadAfter(
+      node(winner).last_applied().seq, params_.getmore_max_batch);
+  if (batch.empty()) {
+    FinishStepUp(winner, new_term);
+    return;
+  }
+  const sim::Duration per_entry =
+      node(winner).server().SampleService(server::OpClass::kOplogApply);
+  const auto cost = static_cast<sim::Duration>(
+      static_cast<double>(per_entry) * static_cast<double>(batch.size()) *
+      apply_throttle_[winner]);
+  node(winner).server().ExecuteWithCost(
+      cost, [this, winner, new_term, target, deadline, epoch,
+             batch = std::move(batch)] {
+        if (epoch != catchup_epoch_) return;
+        if (!alive_[winner] ||
+            coords_[winner]->role() != MemberRole::kPrimary ||
+            coords_[winner]->term() != new_term) {
+          return;
+        }
+        ReplicaNode& w = node(winner);
+        for (const OplogEntry& entry : batch) {
+          if (entry.optime.seq != w.last_applied().seq + 1) break;
+          w.ApplyEntry(entry);
+        }
+        CatchUpStep(winner, new_term, target, deadline, epoch);
+      });
+}
+
+void ReplicaSet::FinishStepUp(int winner, uint64_t new_term) {
+  if (new_term <= term_) return;  // a later leader already took over
+  // The old leader's outstanding w:majority acks die with its term.
+  FailMajorityWaiters();
+  const uint64_t survived_seq = node(winner).last_applied().seq;
+  // Members whose applied history extends past the survivor point hold
+  // entries this rollback removes: they must re-clone before pulling.
+  for (int i = 0; i < node_count(); ++i) {
+    if (i == winner) continue;
+    if (node(i).last_applied().seq > survived_seq) needs_resync_[i] = true;
+  }
+  oplog_.TruncateAfter(survived_seq);
+  next_seq_ = survived_seq + 1;
+  // Purge transaction records for rolled-back writes (see ElectPrimary).
+  for (auto it = retry_records_.begin(); it != retry_records_.end();) {
+    if (it->second.committed && it->second.operation_time.seq > survived_seq) {
+      it = retry_records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  primary_index_ = winner;
+  term_ = new_term;
+  ++elections_;
+  coords_[winner]->CompleteStepUp(loop_->Now());
+  RecordWritable(new_term, winner);
+  for (int i = 0; i < node_count(); ++i) {
+    if (IsActiveSecondary(i)) {
+      // Retire every pre-election pull chain (including batches already
+      // in flight from the old leader: applying them after the
+      // truncation would silently diverge) and restart against the new
+      // leader under a fresh epoch.
+      RetirePull(i);
+      StartSecondaryLoops(i);
+    }
+    SyncNodeView(i);
+  }
 }
 
 }  // namespace dcg::repl

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "proto/command.h"
 #include "repl/oplog.h"
 #include "repl/replica_node.h"
+#include "repl/topology_coordinator.h"
 #include "repl/txn.h"
 #include "server/command_service.h"
 #include "server/server_node.h"
@@ -57,8 +59,39 @@ struct ReplicaSetParams {
   size_t oplog_capacity = 2'000'000;
 
   /// How long after a primary failure the surviving members elect a new
-  /// primary (election timeout + vote rounds, collapsed into one delay).
+  /// primary. With raft_elections off this is a single collapsed delay
+  /// (timeout + vote rounds); with it on, it is the per-member base
+  /// election timeout the randomized deadlines build on.
   sim::Duration election_timeout = sim::Seconds(5);
+
+  /// Raft-style elections: every member runs a TopologyCoordinator with
+  /// randomized heartbeat-driven election deadlines, pre-vote freshness
+  /// checks, real vote rounds, stepdown on higher terms, and post-win
+  /// catch-up. Off by default — the legacy omniscient election (kill the
+  /// primary, freshest survivor wins after a fixed delay) is kept
+  /// bit-identical so pre-election determinism goldens replay unchanged:
+  /// the disabled path forks no extra RNG streams and schedules no
+  /// extra events.
+  bool raft_elections = false;
+
+  /// Uniform jitter added to each election deadline, as a fraction of
+  /// election_timeout (de-synchronizes would-be candidates).
+  double election_jitter_fraction = 0.15;
+
+  /// Hard bound on the post-win catch-up phase: a new leader opens for
+  /// writes once it reaches the freshest recently-heard peer optime or
+  /// this much time passes, whichever is first.
+  sim::Duration catchup_timeout = sim::Seconds(2);
+
+  /// Delay between spotting a lower-priority leader and attempting the
+  /// priority takeover, and how caught-up the taker must be (see
+  /// TopologyConfig).
+  sim::Duration priority_takeover_delay = sim::Seconds(1);
+  sim::Duration priority_takeover_gap = sim::Seconds(2);
+
+  /// Election priority per node index (empty = all 1.0; 0 = never
+  /// campaigns). Only meaningful with raft_elections.
+  std::vector<double> node_priorities;
 
   /// Pull-chain watchdog: when a getMore request or its reply batch is
   /// lost on the network (packet loss, partition), the secondary notices
@@ -105,8 +138,17 @@ class ReplicaSet : public server::CommandBackend {
   // --- server::CommandBackend (dispatched into by CommandServices) ---
 
   bool NodeAlive(int idx) const override { return alive_[idx]; }
-  int PrimaryIndexHint() const override { return primary_index_; }
-  uint64_t CurrentTerm() const override { return term_; }
+  /// Per-node topology belief: under raft elections each member answers
+  /// from its own coordinator (so a deposed primary keeps claiming the
+  /// role until it hears the new term — exactly the stale-view window
+  /// the driver's term adoption exists for); otherwise the global view.
+  int NodeBelievedPrimary(int idx) const override {
+    return params_.raft_elections ? coords_[idx]->leader_for_hello()
+                                  : primary_index_;
+  }
+  uint64_t NodeTerm(int idx) const override {
+    return params_.raft_elections ? coords_[idx]->term() : term_;
+  }
   OpTime NodeLastApplied(int idx) const override {
     return nodes_[idx]->last_applied();
   }
@@ -116,7 +158,7 @@ class ReplicaSet : public server::CommandBackend {
   server::ServerNode& NodeServer(int idx) override {
     return nodes_[idx]->server();
   }
-  void CommitWrite(server::OpClass op_class, proto::TxnBody body,
+  void CommitWrite(int node, server::OpClass op_class, proto::TxnBody body,
                    WriteConcern concern, uint64_t op_id,
                    std::function<void(const server::WriteOutcome&)> done)
       override;
@@ -155,6 +197,43 @@ class ReplicaSet : public server::CommandBackend {
   /// Election epoch (increments on every successful election).
   uint64_t term() const { return term_; }
   uint64_t elections() const { return elections_; }
+
+  // --- raft-election surface (meaningful when params.raft_elections) ---
+
+  bool raft_elections() const { return params_.raft_elections; }
+
+  /// One member's election state machine (raft mode only).
+  const TopologyCoordinator& coordinator(int idx) const {
+    return *coords_[idx];
+  }
+
+  /// True when the member currently leading the data plane is alive and
+  /// (in raft mode) has completed step-up — i.e. a write sent to the
+  /// right node would commit.
+  bool HasWritablePrimary() const {
+    if (!alive_[primary_index_]) return false;
+    return !params_.raft_elections || coords_[primary_index_]->writable();
+  }
+
+  /// Times a primary stepped down (higher term seen, or majority
+  /// heartbeat contact lost) without crashing.
+  uint64_t stepdowns() const;
+
+  /// Times a diverged member (applied entries an election rolled back)
+  /// re-cloned from the current primary before rejoining the stream.
+  uint64_t rollback_resyncs() const { return rollback_resyncs_; }
+  bool needs_resync(int idx) const { return needs_resync_[idx]; }
+
+  /// Election-safety ledgers for the test battery: which member(s)
+  /// became writable in each term, and which member(s) actually
+  /// committed writes in each term. Both must have at most one entry
+  /// per term — the at-most-one-writable-primary-per-term invariant.
+  const std::map<uint64_t, std::vector<int>>& writable_by_term() const {
+    return writable_by_term_;
+  }
+  const std::map<uint64_t, std::vector<int>>& commits_by_term() const {
+    return commits_by_term_;
+  }
 
   /// Multiplies the cost of applying oplog batches on node `idx` — the
   /// replication-apply throttle fault (a slow apply thread / IO-starved
@@ -231,12 +310,15 @@ class ReplicaSet : public server::CommandBackend {
 
  private:
   /// Shared implementation behind WriteTransaction and CommitWrite: runs
-  /// the transaction on the primary's CPU (flow control applied), commits
-  /// or aborts at completion, and — when `op_id != 0` — records the
-  /// outcome in the retryable-write transaction table at the commit
-  /// instant (the record is logically replicated with the write, so an
-  /// election that rolls the write back also drops the record).
-  void CommitInternal(server::OpClass op_class, TxnBody body, uint64_t op_id,
+  /// the transaction on node `node`'s CPU (flow control applied) — the
+  /// member that believes itself primary — commits or aborts at
+  /// completion iff that member still leads the data plane at the commit
+  /// instant, and — when `op_id != 0` — records the outcome in the
+  /// retryable-write transaction table at the commit instant (the record
+  /// is logically replicated with the write, so an election that rolls
+  /// the write back also drops the record).
+  void CommitInternal(int node, server::OpClass op_class, TxnBody body,
+                      uint64_t op_id,
                       std::function<void(const server::WriteOutcome&)> done,
                       WriteConcern concern);
   /// Resolves w:majority waiters whose sequence has reached a majority.
@@ -264,6 +346,39 @@ class ReplicaSet : public server::CommandBackend {
   /// Kills node `idx`'s pull chain outright (all in-flight continuations
   /// retire via the epoch bump).
   void RetirePull(int idx);
+
+  // --- raft-election machinery (all no-ops when raft_elections is off:
+  // coords_ stays empty, none of these are scheduled) ---
+
+  /// Rollback via refetch: a diverged member re-clones the current
+  /// primary (one network round trip) before rejoining the pull stream.
+  void ResyncStep(int idx, uint64_t epoch);
+  /// Keeps one election-check event chain per live member: fires at the
+  /// coordinator's deadline, feeds it OnElectionTimeout, reschedules.
+  void ArmElectionTimer(int idx);
+  void ScheduleElectionCheck(int idx, uint64_t epoch);
+  /// Executes whatever a coordinator transition asks of the data plane.
+  void ApplyAction(int idx, const TopologyAction& action);
+  void BroadcastVoteRequests(int idx);
+  void ScheduleTakeoverCheck(int idx, sim::Time at);
+  /// All-to-all liveness/term/progress heartbeats, one loop per live
+  /// member (subsumes the legacy secondary→primary progress reports and
+  /// the pull watchdog in raft mode).
+  void RaftHeartbeatLoop(int idx);
+  void HandleRaftHeartbeat(int to, const HeartbeatView& hb);
+  /// Election won: the winner catches up to the freshest recently-heard
+  /// peer optime before the data plane swaps to it (MongoDB's post-win
+  /// catchup phase), then FinishStepUp truncates rolled-back history,
+  /// moves primary_index_/term_, and opens the new term for writes.
+  void BeginStepUp(int winner);
+  void CatchUpStep(int winner, uint64_t new_term, uint64_t target,
+                   sim::Time deadline, uint64_t epoch);
+  void FinishStepUp(int winner, uint64_t new_term);
+  /// Mirrors coordinator (or legacy global) role/term into the node's
+  /// read-only role view.
+  void SyncNodeView(int idx);
+  void RecordWritable(uint64_t term, int node);
+  void RecordCommit(uint64_t term, int node);
 
   sim::EventLoop* loop_;
   sim::Rng rng_;
@@ -293,6 +408,23 @@ class ReplicaSet : public server::CommandBackend {
   int primary_index_ = 0;
   uint64_t term_ = 1;
   uint64_t elections_ = 0;
+
+  // --- raft-election state (empty / unused when the flag is off) ---
+
+  /// One election state machine per member (raft mode only).
+  std::vector<std::unique_ptr<TopologyCoordinator>> coords_;
+  /// Election-check chains: one per live member, epoch-retired on kill.
+  std::vector<uint64_t> election_timer_epoch_;
+  std::vector<bool> election_timer_armed_;
+  std::vector<uint64_t> takeover_epoch_;
+  /// Members whose applied history extends past an election's rollback
+  /// point; they must re-clone before pulling again.
+  std::vector<bool> needs_resync_;
+  /// Supersedes stale catch-up chains when a newer election wins.
+  uint64_t catchup_epoch_ = 0;
+  uint64_t rollback_resyncs_ = 0;
+  std::map<uint64_t, std::vector<int>> writable_by_term_;
+  std::map<uint64_t, std::vector<int>> commits_by_term_;
   uint64_t committed_writes_ = 0;
   uint64_t flow_control_engaged_writes_ = 0;
   uint64_t getmore_stalls_ = 0;

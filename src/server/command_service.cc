@@ -130,7 +130,8 @@ void CommandService::HandleWrite(proto::Command command) {
   proto::TxnBody body = std::move(command.txn_body);
   const sim::Time arrived_at = loop_->Now();
   backend_->CommitWrite(
-      command.op_class, std::move(body), command.concern, command.ctx.op_id,
+      node_, command.op_class, std::move(body), command.concern,
+      command.ctx.op_id,
       [this, command = std::move(command),
        arrived_at](const WriteOutcome& outcome) {
         if (Traced(command.ctx)) {
@@ -172,15 +173,15 @@ void CommandService::HandleServerStatus(proto::Command command) {
 }
 
 bool CommandService::IsPrimaryHere() const {
-  return backend_->PrimaryIndexHint() == node_;
+  return backend_->NodeBelievedPrimary(node_) == node_;
 }
 
 proto::HelloReply CommandService::MakeHello() const {
   proto::HelloReply hello;
   hello.node_index = node_;
   hello.is_primary = IsPrimaryHere();
-  hello.primary_index = backend_->PrimaryIndexHint();
-  hello.term = backend_->CurrentTerm();
+  hello.primary_index = backend_->NodeBelievedPrimary(node_);
+  hello.term = backend_->NodeTerm(node_);
   hello.last_applied = backend_->NodeLastApplied(node_);
   return hello;
 }

@@ -33,19 +33,27 @@ class CommandBackend {
   virtual ~CommandBackend() = default;
 
   virtual bool NodeAlive(int idx) const = 0;
-  /// The node currently holding the primary role (it may be dead between
-  /// a crash and the next election — exactly the window hello exposes).
-  virtual int PrimaryIndexHint() const = 0;
-  virtual uint64_t CurrentTerm() const = 0;
+  /// Node `idx`'s own belief about who holds the primary role — term-
+  /// scoped under raft elections (each member answers from its topology
+  /// coordinator; -1 while no writable leader is known), the global
+  /// primary index otherwise. It may name a dead node between a crash and
+  /// the next election — exactly the window hello exposes.
+  virtual int NodeBelievedPrimary(int idx) const = 0;
+  /// The election term node `idx` currently believes in. Piggybacked on
+  /// every reply so drivers can order topology views.
+  virtual uint64_t NodeTerm(int idx) const = 0;
   virtual repl::OpTime NodeLastApplied(int idx) const = 0;
   virtual const store::Database& NodeData(int idx) const = 0;
   virtual ServerNode& NodeServer(int idx) = 0;
 
-  /// Commits a write transaction on the primary. `op_id != 0` enables
-  /// retryable-write dedup: a re-sent op_id whose first attempt already
-  /// committed is acknowledged from the transaction record instead of
-  /// being applied twice.
-  virtual void CommitWrite(OpClass op_class, proto::TxnBody body,
+  /// Commits a write transaction at node `node` — the member the command
+  /// arrived at, which believes itself primary. The commit executes on
+  /// that node's CPU and fails (ok=false) if it no longer leads the data
+  /// plane at the commit instant, so at most one node can commit per
+  /// term. `op_id != 0` enables retryable-write dedup: a re-sent op_id
+  /// whose first attempt already committed is acknowledged from the
+  /// transaction record instead of being applied twice.
+  virtual void CommitWrite(int node, OpClass op_class, proto::TxnBody body,
                            repl::WriteConcern concern, uint64_t op_id,
                            std::function<void(const WriteOutcome&)> done) = 0;
 

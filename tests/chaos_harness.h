@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "exp/csv_export.h"
 #include "exp/experiment.h"
 #include "fault/fault_injector.h"
 
@@ -26,6 +27,16 @@ struct ChaosOptions {
   /// chaos schedules that drop commands mid-flight pair these with the
   /// retry/deadline invariants.
   driver::ClientOptions client_options;
+
+  /// Replication knobs for the run. Set `repl.raft_elections` to run the
+  /// schedule against real Raft-style elections; the harness then also
+  /// checks the election-safety invariants (9-10 below).
+  repl::ReplicaSetParams repl;
+
+  /// When non-empty, the run's Balancer decision log is written here as
+  /// CSV (the CI election-chaos job points this at its artifact dir so a
+  /// failing run ships the decisions that led up to it).
+  std::string decisions_csv_path;
 
   /// Slack added to StaleBound for the per-read freshness invariant. The
   /// estimate pipeline lags truth by up to one serverStatus poll (1 s) +
@@ -68,6 +79,10 @@ struct ChaosReport {
   double final_fraction = 0.0;
   uint64_t pull_restarts = 0;
   uint64_t elections = 0;
+  uint64_t stepdowns = 0;
+  uint64_t rollback_resyncs = 0;
+  uint64_t balancer_primary_swaps = 0;
+  uint64_t stepdown_pool_clears = 0;
 
   bool ok() const { return violations.empty(); }
   std::string ViolationText() const {
@@ -103,6 +118,13 @@ struct ChaosReport {
 ///      shares its parent's trace id, and hangs off the right kind of
 ///      parent (checkout/wire/server under an attempt or hedge arm,
 ///      attempt/hedge arms under the op span).
+///   9. Election safety (raft mode): at every sample instant no two alive
+///      members are writable primaries of the same term, and over the
+///      whole run each term has at most one member that became writable
+///      and at most one member that committed writes (the ReplicaSet's
+///      per-term ledgers — a deposed primary's queued writes observing
+///      the term change at commit time is what keeps the commit ledger
+///      clean).
 inline ChaosReport RunChaos(const ChaosOptions& options) {
   ChaosReport report;
   auto violation = [&report](const std::string& v) {
@@ -119,6 +141,7 @@ inline ChaosReport RunChaos(const ChaosOptions& options) {
   config.run_s_workload = false;  // the probe pair is not failover-aware
   config.balancer.stale_bound_seconds = options.stale_bound_seconds;
   config.client_options = options.client_options;
+  config.repl = options.repl;
   config.faults = options.schedule;
   config.trace = options.trace;
   config.trace_max_spans = options.trace_max_spans;
@@ -161,6 +184,7 @@ inline ChaosReport RunChaos(const ChaosOptions& options) {
   sim::Time truth_over_bound_at = -1;
   sim::Time fraction_zero_at = -1;
   uint64_t estimate_gate_violations = 0;
+  uint64_t writable_primary_violations = 0;
   std::function<void()> sample = [&] {
     const double fraction = experiment.shared_state().balance_fraction();
     const int64_t estimate =
@@ -181,6 +205,30 @@ inline ChaosReport RunChaos(const ChaosOptions& options) {
     }
     if (truth_over_bound_at >= 0 && fraction_zero_at < 0 && fraction == 0.0) {
       fraction_zero_at = loop.Now();
+    }
+    // Invariant 9 (raft): never two concurrently writable primaries *in
+    // the same term*. (A deposed primary legitimately stays writable in
+    // its old term until it notices the majority moved on — Raft's
+    // guarantee is per-term, enforced by the commit guard.)
+    if (rs.raft_elections()) {
+      for (int i = 0; i < rs.node_count(); ++i) {
+        if (!rs.IsAlive(i) || !rs.coordinator(i).writable()) continue;
+        for (int j = i + 1; j < rs.node_count(); ++j) {
+          if (!rs.IsAlive(j) || !rs.coordinator(j).writable()) continue;
+          if (rs.coordinator(i).term() == rs.coordinator(j).term() &&
+              writable_primary_violations++ == 0) {
+            char buf[140];
+            std::snprintf(buf, sizeof(buf),
+                          "election: nodes %d and %d both writable in "
+                          "term %llu at t=%.3fs",
+                          i, j,
+                          static_cast<unsigned long long>(
+                              rs.coordinator(i).term()),
+                          sim::ToSeconds(loop.Now()));
+            violation(buf);
+          }
+        }
+      }
     }
     loop.ScheduleAfter(sim::Millis(250), sample);
   };
@@ -309,6 +357,22 @@ inline ChaosReport RunChaos(const ChaosOptions& options) {
     }
   }
 
+  // --- Invariant 9: per-term election-safety ledgers (raft mode). ---
+  if (rs.raft_elections()) {
+    for (const auto& [term, members] : rs.writable_by_term()) {
+      if (members.size() > 1) {
+        violation("election: term " + std::to_string(term) + " saw " +
+                  std::to_string(members.size()) + " writable primaries");
+      }
+    }
+    for (const auto& [term, members] : rs.commits_by_term()) {
+      if (members.size() > 1) {
+        violation("election: term " + std::to_string(term) + " saw " +
+                  std::to_string(members.size()) + " committing members");
+      }
+    }
+  }
+
   bool all_alive = true;
   for (int i = 0; i < rs.node_count(); ++i) all_alive &= rs.IsAlive(i);
   if (all_alive) {
@@ -349,10 +413,12 @@ inline ChaosReport RunChaos(const ChaosOptions& options) {
     trace += entry + "\n";
   }
   std::snprintf(line, sizeof(line),
-                "commits=%llu elections=%llu pull_restarts=%llu "
-                "delivered=%llu dropped=%llu\n",
+                "commits=%llu elections=%llu stepdowns=%llu resyncs=%llu "
+                "pull_restarts=%llu delivered=%llu dropped=%llu\n",
                 static_cast<unsigned long long>(rs.committed_writes()),
                 static_cast<unsigned long long>(rs.elections()),
+                static_cast<unsigned long long>(rs.stepdowns()),
+                static_cast<unsigned long long>(rs.rollback_resyncs()),
                 static_cast<unsigned long long>(rs.pull_restarts()),
                 static_cast<unsigned long long>(
                     experiment.network().messages_delivered()),
@@ -391,6 +457,13 @@ inline ChaosReport RunChaos(const ChaosOptions& options) {
   report.trace = std::move(trace);
   report.pull_restarts = rs.pull_restarts();
   report.elections = rs.elections();
+  report.stepdowns = rs.stepdowns();
+  report.rollback_resyncs = rs.rollback_resyncs();
+  report.balancer_primary_swaps = experiment.balancer()->primary_swaps();
+  report.stepdown_pool_clears = experiment.client().stepdown_pool_clears();
+  if (!options.decisions_csv_path.empty()) {
+    exp::WriteDecisionsCsv(experiment, options.decisions_csv_path);
+  }
   return report;
 }
 

@@ -3,6 +3,8 @@
 // node restart/initial sync, and driver behaviour during a fail-over.
 
 #include <memory>
+#include <string>
+#include <tuple>
 
 #include <gtest/gtest.h>
 
@@ -13,10 +15,16 @@
 namespace dcg::repl {
 namespace {
 
-class FailoverTest : public ::testing::Test {
+// The whole battery runs twice: against the legacy omniscient election
+// (raft_elections=false) and against the real Raft-style coordinator.
+// Primary indexes are never assumed constant — every scenario reads the
+// currently reported primary and kills/checks relative to it, so the
+// tests keep passing whichever member an election promotes.
+class FailoverTest : public ::testing::TestWithParam<bool> {
  protected:
   void Build(ReplicaSetParams params = {}) {
     params.election_timeout = sim::Seconds(3);
+    params.raft_elections = GetParam();
     server::ServerParams server_params;
     server_params.service.sigma = 0.0;
     network_ = std::make_unique<net::Network>(&loop_, sim::Rng(1));
@@ -44,6 +52,15 @@ class FailoverTest : public ::testing::Test {
         std::move(done), concern);
   }
 
+  /// A live secondary index, preferring the highest (stays out of the
+  /// way of the seed primary at index 0).
+  int PickSecondary() const {
+    for (int i = rs_->node_count() - 1; i >= 0; --i) {
+      if (i != rs_->primary_index() && rs_->IsAlive(i)) return i;
+    }
+    return -1;
+  }
+
   sim::EventLoop loop_;
   std::unique_ptr<net::Network> network_;
   net::HostId client_host_;
@@ -51,50 +68,51 @@ class FailoverTest : public ::testing::Test {
   std::unique_ptr<driver::MongoClient> client_;
 };
 
-TEST_F(FailoverTest, ElectionPromotesMostUpToDateSecondary) {
+TEST_P(FailoverTest, ElectionPromotesMostUpToDateSecondary) {
   Build();
   for (int64_t i = 0; i < 50; ++i) WriteDoc(i);
   loop_.RunUntil(sim::Seconds(2));
-  ASSERT_EQ(rs_->primary_index(), 0);
+  const int old_primary = rs_->primary_index();
+  ASSERT_TRUE(rs_->IsAlive(old_primary));
 
-  rs_->KillNode(0);
-  EXPECT_FALSE(rs_->IsAlive(0));
+  rs_->KillNode(old_primary);
+  EXPECT_FALSE(rs_->IsAlive(old_primary));
   // Before the election timeout, the old primary is still nominal.
   loop_.RunUntil(sim::Seconds(3));
-  EXPECT_EQ(rs_->primary_index(), 0);
-  // After it, a secondary has taken over and the term advanced.
-  loop_.RunUntil(sim::Seconds(6));
-  EXPECT_NE(rs_->primary_index(), 0);
+  EXPECT_EQ(rs_->primary_index(), old_primary);
+  // After it, a secondary has taken over and the term advanced. (Raft
+  // deadlines add up to 15 % jitter plus vote + catch-up rounds, so give
+  // the election a comfortable margin past the base timeout.)
+  loop_.RunUntil(sim::Seconds(8));
+  EXPECT_NE(rs_->primary_index(), old_primary);
   EXPECT_TRUE(rs_->IsAlive(rs_->primary_index()));
   EXPECT_EQ(rs_->term(), 2u);
   EXPECT_EQ(rs_->elections(), 1u);
+  EXPECT_TRUE(rs_->HasWritablePrimary());
 }
 
-TEST_F(FailoverTest, WritesContinueAfterFailover) {
+TEST_P(FailoverTest, WritesContinueAfterFailover) {
   Build();
   for (int64_t i = 0; i < 20; ++i) WriteDoc(i);
   loop_.RunUntil(sim::Seconds(2));
-  rs_->KillNode(0);
-  loop_.RunUntil(sim::Seconds(7));
+  rs_->KillNode(rs_->primary_index());
+  loop_.RunUntil(sim::Seconds(8));
 
   bool committed = false;
   WriteDoc(1000, WriteConcern::kW1, [&](bool c) { committed = c; });
-  loop_.RunUntil(sim::Seconds(8));
+  loop_.RunUntil(sim::Seconds(9));
   EXPECT_TRUE(committed);
   EXPECT_NE(rs_->primary().db().Get("t")->FindById(doc::Value(1000)),
             nullptr);
   // Replication between the survivors continues.
-  loop_.RunUntil(sim::Seconds(10));
-  int other = -1;
-  for (int i = 1; i < 3; ++i) {
-    if (i != rs_->primary_index() && rs_->IsAlive(i)) other = i;
-  }
-  ASSERT_GE(other, 1);
+  loop_.RunUntil(sim::Seconds(11));
+  const int other = PickSecondary();
+  ASSERT_GE(other, 0);
   EXPECT_EQ(rs_->node(other).db().Fingerprint(),
             rs_->primary().db().Fingerprint());
 }
 
-TEST_F(FailoverTest, MajorityAckedWritesSurviveFailover) {
+TEST_P(FailoverTest, MajorityAckedWritesSurviveFailover) {
   // The classic durability contract: anything acknowledged at w:majority
   // before the crash exists on the new primary after the election.
   Build();
@@ -106,8 +124,9 @@ TEST_F(FailoverTest, MajorityAckedWritesSurviveFailover) {
       });
     });
   }
-  loop_.ScheduleAt(sim::Seconds(4), [this] { rs_->KillNode(0); });
-  loop_.RunUntil(sim::Seconds(12));
+  loop_.ScheduleAt(sim::Seconds(4),
+                   [this] { rs_->KillNode(rs_->primary_index()); });
+  loop_.RunUntil(sim::Seconds(14));
 
   EXPECT_GT(acked.size(), 50u);  // plenty acknowledged before the crash
   const store::Collection* t = rs_->primary().db().Get("t");
@@ -117,7 +136,7 @@ TEST_F(FailoverTest, MajorityAckedWritesSurviveFailover) {
   }
 }
 
-TEST_F(FailoverTest, UnreplicatedW1WritesRollBack) {
+TEST_P(FailoverTest, UnreplicatedW1WritesRollBack) {
   ReplicaSetParams params;
   // Stall replication so the primary commits w:1 writes the secondaries
   // never see.
@@ -126,8 +145,10 @@ TEST_F(FailoverTest, UnreplicatedW1WritesRollBack) {
   loop_.RunUntil(sim::Millis(500));
   for (int64_t i = 0; i < 10; ++i) WriteDoc(i);
   loop_.RunUntil(sim::Seconds(2));  // replicated
-  const uint64_t replicated_seq = rs_->node(1).last_applied().seq;
-  ASSERT_EQ(replicated_seq, 10u);
+  const int old_primary = rs_->primary_index();
+  const int observer = PickSecondary();
+  ASSERT_GE(observer, 0);
+  ASSERT_EQ(rs_->node(observer).last_applied().seq, 10u);
 
   // Block log shipping with an artificial never-ending checkpoint, then
   // commit more w:1 writes that stay primary-only.
@@ -136,12 +157,12 @@ TEST_F(FailoverTest, UnreplicatedW1WritesRollBack) {
   for (int64_t i = 100; i < 110; ++i) WriteDoc(i);
   loop_.RunUntil(sim::Seconds(62));
   ASSERT_EQ(rs_->oplog().last_seq(), 20u);
-  ASSERT_EQ(rs_->node(1).last_applied().seq, 10u);
+  ASSERT_EQ(rs_->node(observer).last_applied().seq, 10u);
 
-  rs_->KillNode(0);
+  rs_->KillNode(old_primary);
   loop_.RunUntil(sim::Seconds(70));
   // The acknowledged-but-unreplicated suffix was rolled back.
-  EXPECT_NE(rs_->primary_index(), 0);
+  EXPECT_NE(rs_->primary_index(), old_primary);
   EXPECT_EQ(rs_->oplog().last_seq(), 10u);
   EXPECT_EQ(rs_->primary().db().Get("t")->FindById(doc::Value(105)), nullptr);
   EXPECT_NE(rs_->primary().db().Get("t")->FindById(doc::Value(5)), nullptr);
@@ -154,46 +175,49 @@ TEST_F(FailoverTest, UnreplicatedW1WritesRollBack) {
   EXPECT_EQ(rs_->oplog().last_seq(), 11u);
 }
 
-TEST_F(FailoverTest, RestartedNodeInitialSyncsAndConverges) {
+TEST_P(FailoverTest, RestartedNodeInitialSyncsAndConverges) {
   Build();
   for (int64_t i = 0; i < 30; ++i) WriteDoc(i);
   loop_.RunUntil(sim::Seconds(2));
-  rs_->KillNode(2);
+  const int victim = PickSecondary();
+  ASSERT_GE(victim, 0);
+  rs_->KillNode(victim);
   for (int64_t i = 100; i < 130; ++i) WriteDoc(i);
   loop_.RunUntil(sim::Seconds(4));
-  EXPECT_LT(rs_->node(2).last_applied().seq, 60u);
+  EXPECT_LT(rs_->node(victim).last_applied().seq, 60u);
 
-  rs_->RestartNode(2);
-  EXPECT_TRUE(rs_->IsAlive(2));
+  rs_->RestartNode(victim);
+  EXPECT_TRUE(rs_->IsAlive(victim));
   for (int64_t i = 200; i < 210; ++i) WriteDoc(i);
   loop_.RunUntil(sim::Seconds(8));
-  EXPECT_EQ(rs_->node(2).last_applied().seq, 70u);
-  EXPECT_EQ(rs_->node(2).db().Fingerprint(),
+  EXPECT_EQ(rs_->node(victim).last_applied().seq, 70u);
+  EXPECT_EQ(rs_->node(victim).db().Fingerprint(),
             rs_->primary().db().Fingerprint());
 }
 
-TEST_F(FailoverTest, KilledPrimaryCanRejoinAsSecondary) {
+TEST_P(FailoverTest, KilledPrimaryCanRejoinAsSecondary) {
   Build();
   for (int64_t i = 0; i < 20; ++i) WriteDoc(i);
   loop_.RunUntil(sim::Seconds(2));
-  rs_->KillNode(0);
-  loop_.RunUntil(sim::Seconds(7));
+  const int old_primary = rs_->primary_index();
+  rs_->KillNode(old_primary);
+  loop_.RunUntil(sim::Seconds(8));
   const int new_primary = rs_->primary_index();
-  ASSERT_NE(new_primary, 0);
+  ASSERT_NE(new_primary, old_primary);
 
-  rs_->RestartNode(0);
+  rs_->RestartNode(old_primary);
   for (int64_t i = 100; i < 120; ++i) WriteDoc(i);
-  loop_.RunUntil(sim::Seconds(12));
+  loop_.RunUntil(sim::Seconds(14));
   EXPECT_EQ(rs_->primary_index(), new_primary);  // no spurious election
-  EXPECT_EQ(rs_->node(0).db().Fingerprint(),
+  EXPECT_EQ(rs_->node(old_primary).db().Fingerprint(),
             rs_->primary().db().Fingerprint());
 }
 
-TEST_F(FailoverTest, DriverRetriesThroughFailover) {
+TEST_P(FailoverTest, DriverRetriesThroughFailover) {
   Build();
   client_->Start();
   loop_.RunUntil(sim::Seconds(1));
-  rs_->KillNode(0);
+  rs_->KillNode(rs_->primary_index());
 
   // A write issued while no primary exists completes after the election.
   bool write_done = false;
@@ -220,31 +244,36 @@ TEST_F(FailoverTest, DriverRetriesThroughFailover) {
         EXPECT_TRUE(rs_->IsAlive(r.node));
       });
 
-  loop_.RunUntil(sim::Seconds(10));
+  loop_.RunUntil(sim::Seconds(12));
   EXPECT_TRUE(read_done);
   EXPECT_TRUE(write_done);
   EXPECT_GE(write_completed_at, sim::Seconds(4));  // after the election
 }
 
-TEST_F(FailoverTest, SelectionSkipsDeadSecondaries) {
+TEST_P(FailoverTest, SelectionSkipsDeadSecondaries) {
   Build();
   client_->Start();
   loop_.RunUntil(sim::Seconds(1));
-  rs_->KillNode(2);
+  const int primary = rs_->primary_index();
+  const int first_victim = PickSecondary();
+  rs_->KillNode(first_victim);
+  const int survivor = PickSecondary();
+  ASSERT_GE(survivor, 0);
+  ASSERT_NE(survivor, first_victim);
   // The dead secondary stops answering hellos; after the hello timeout
   // the driver marks it unreachable and stops selecting it.
   loop_.RunUntil(sim::Seconds(4));
   for (int i = 0; i < 50; ++i) {
     const int node = client_->SelectNode(driver::ReadPreference::kSecondary);
-    EXPECT_EQ(node, 1);
+    EXPECT_EQ(node, survivor);
   }
-  rs_->KillNode(1);
+  rs_->KillNode(survivor);
   loop_.RunUntil(sim::Seconds(7));
   // All secondaries dead: falls back to the primary.
-  EXPECT_EQ(client_->SelectNode(driver::ReadPreference::kSecondary), 0);
+  EXPECT_EQ(client_->SelectNode(driver::ReadPreference::kSecondary), primary);
 }
 
-TEST_F(FailoverTest, PendingMajorityWritesFailOnPrimaryCrash) {
+TEST_P(FailoverTest, PendingMajorityWritesFailOnPrimaryCrash) {
   ReplicaSetParams params;
   params.getmore_block_threshold = sim::Seconds(1);
   Build(params);
@@ -261,26 +290,34 @@ TEST_F(FailoverTest, PendingMajorityWritesFailOnPrimaryCrash) {
   }
   loop_.RunUntil(sim::Seconds(62));
   EXPECT_EQ(outcomes, 0);  // stuck waiting for replication
-  rs_->KillNode(0);
+  rs_->KillNode(rs_->primary_index());
   loop_.RunUntil(sim::Seconds(63));
   EXPECT_EQ(outcomes, 5);  // resolved as uncertain/failed
   EXPECT_EQ(failures, 5);
 }
 
+INSTANTIATE_TEST_SUITE_P(Elections, FailoverTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Raft" : "Legacy";
+                         });
+
 // Randomized fault-injection property: under arbitrary interleavings of
 // writes, crashes, elections, and restarts, (a) every write acknowledged
 // at w:majority survives on the final primary, and (b) once the cluster
 // quiesces, all live replicas converge to identical data.
-class FaultInjectionTest : public ::testing::TestWithParam<uint64_t> {};
+class FaultInjectionTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {};
 
 TEST_P(FaultInjectionTest, MajorityDurabilityAndConvergence) {
-  const uint64_t seed = GetParam();
+  const uint64_t seed = std::get<0>(GetParam());
   sim::EventLoop loop;
   sim::Rng rng(seed);
   net::Network network(&loop, rng.Fork());
   const net::HostId client_host = network.AddHost("client");
   ReplicaSetParams params;
   params.election_timeout = sim::Seconds(2);
+  params.raft_elections = std::get<1>(GetParam());
   server::ServerParams server_params;
   std::vector<net::HostId> hosts;
   for (int i = 0; i < 3; ++i) {
@@ -352,8 +389,15 @@ TEST_P(FaultInjectionTest, MajorityDurabilityAndConvergence) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Chaos, FaultInjectionTest,
-                         ::testing::Values(101, 202, 303, 404, 505, 606));
+INSTANTIATE_TEST_SUITE_P(
+    Chaos, FaultInjectionTest,
+    ::testing::Combine(::testing::Values(101, 202, 303, 404, 505, 606),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<uint64_t, bool>>& info) {
+      return (std::get<1>(info.param) ? std::string("Raft")
+                                      : std::string("Legacy")) +
+             "Seed" + std::to_string(std::get<0>(info.param));
+    });
 
 }  // namespace
 }  // namespace dcg::repl
