@@ -37,6 +37,14 @@ MongoClient::MongoClient(sim::EventLoop* loop, sim::Rng rng,
     pools_.push_back(
         std::make_unique<pool::ConnectionPool>(loop_, options_.pool));
   }
+  batchers_.resize(hosts.size());
+  DCG_CHECK_MSG(options_.batch_max_ops >= 1, "batch_max_ops must be >= 1");
+}
+
+size_t MongoClient::buffered_op_count() const {
+  size_t n = 0;
+  for (const NodeBatcher& b : batchers_) n += b.buffered.size();
+  return n;
 }
 
 void MongoClient::Start() {
@@ -309,6 +317,13 @@ void MongoClient::StartAttempt(uint64_t op_id) {
     op.attempt_start = loop_->Now();
     op.checkout_start = loop_->Now();
   }
+  if (options_.batching_enabled) {
+    // The attempt parks in the node's coalescing buffer instead of
+    // checking out its own connection; the flush path does both at once
+    // for every buffered rider.
+    EnqueueInBatch(op_id, node);
+    return;
+  }
   // Every attempt checks a connection out of the target node's pool
   // before it may touch the wire. With default pool options the checkout
   // completes synchronously (no queueing, no events), so the event
@@ -401,6 +416,203 @@ void MongoClient::SendAttempt(uint64_t op_id) {
   }
 }
 
+void MongoClient::EnqueueInBatch(uint64_t op_id, int node) {
+  PendingOp& op = pending_.find(op_id)->second;
+  op.buffered = true;
+  NodeBatcher& batcher = batchers_[node];
+  if (batcher.buffered.empty()) batcher.first_enqueue = loop_->Now();
+  batcher.buffered.push_back(op_id);
+  // Size trigger, plus the deadline escape hatch: an op that cannot
+  // afford the flush delay forces the buffer out now, so batching never
+  // pushes a tight maxTimeMS over its deadline while parked client-side.
+  const bool full = static_cast<int>(batcher.buffered.size()) >=
+                    options_.batch_max_ops;
+  const bool deadline_imminent =
+      op.deadline != 0 && op.deadline - loop_->Now() <= options_.batch_max_delay;
+  if (full || deadline_imminent) {
+    FlushBatch(node);
+    return;
+  }
+  if (batcher.flush_timer == 0) {
+    batcher.flush_timer =
+        loop_->ScheduleAfter(options_.batch_max_delay, [this, node] {
+          batchers_[node].flush_timer = 0;
+          FlushBatch(node);
+        });
+  }
+}
+
+void MongoClient::RemoveFromBatch(uint64_t op_id, int node) {
+  NodeBatcher& batcher = batchers_[node];
+  batcher.buffered.erase(
+      std::remove(batcher.buffered.begin(), batcher.buffered.end(), op_id),
+      batcher.buffered.end());
+  if (batcher.buffered.empty() && batcher.flush_timer != 0) {
+    loop_->Cancel(batcher.flush_timer);
+    batcher.flush_timer = 0;
+    batcher.first_enqueue = 0;
+  }
+}
+
+void MongoClient::FlushBatch(int node) {
+  NodeBatcher& batcher = batchers_[node];
+  if (batcher.flush_timer != 0) {
+    loop_->Cancel(batcher.flush_timer);
+    batcher.flush_timer = 0;
+  }
+  if (batcher.buffered.empty()) return;
+  std::vector<BatchEntry> batch;
+  batch.reserve(batcher.buffered.size());
+  for (uint64_t id : batcher.buffered) {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) continue;
+    batch.push_back({id, it->second.attempts_sent});
+  }
+  batcher.buffered.clear();
+  const sim::Time flush_start = batcher.first_enqueue;
+  batcher.first_enqueue = 0;
+  if (batch.empty()) return;
+  // One checkout for the whole envelope. While it sits in a constrained
+  // pool's wait queue, new attempts keep coalescing into the (now empty)
+  // buffer and later flushes queue their own checkouts behind this one.
+  pools_[node]->CheckOut(
+      [this, node, batch = std::move(batch),
+       flush_start](const pool::ConnectionPool::Checkout& co) mutable {
+        OnEnvelopeCheckout(node, std::move(batch), flush_start, co);
+      });
+}
+
+void MongoClient::OnEnvelopeCheckout(int node, std::vector<BatchEntry> batch,
+                                     sim::Time flush_start,
+                                     const pool::ConnectionPool::Checkout& co) {
+  // Drop riders whose op moved on while the checkout queued (completed
+  // via a hedge, failed over, hit its deadline) — same supersession rule
+  // as the singleton OnCheckout, applied per member.
+  std::vector<uint64_t> live;
+  live.reserve(batch.size());
+  for (const BatchEntry& entry : batch) {
+    auto it = pending_.find(entry.op_id);
+    if (it == pending_.end()) continue;
+    const PendingOp& op = it->second;
+    if (!op.buffered || op.target != node ||
+        op.attempts_sent != entry.attempt) {
+      continue;
+    }
+    live.push_back(entry.op_id);
+  }
+  if (!co.ok) {
+    // waitQueueTimeoutMS fired on the shared checkout: one pool-timeout
+    // event, but every rider burns a retry — an exhausted pool bounds
+    // batched ops exactly like unbatched ones.
+    ++counters_.checkout_timeouts;
+    for (uint64_t id : live) RetryAttempt(id);
+    return;
+  }
+  if (live.empty()) {
+    pools_[node]->CheckIn(co.conn_id);
+    return;
+  }
+
+  const uint64_t envelope_id = next_envelope_id_++;
+  InflightEnvelope& env = envelopes_[envelope_id];
+  env.node = node;
+  env.conn_id = co.conn_id;
+  env.outstanding = static_cast<int>(live.size());
+  ++counters_.checkouts;
+  counters_.checkout_wait_total += co.wait;
+  counters_.checkout_queue_peak = std::max(
+      counters_.checkout_queue_peak, pools_[node]->stats().max_queue_depth);
+  ++counters_.envelopes_sent;
+  counters_.ops_batched += live.size();
+  batch_occupancy_.Add(static_cast<double>(live.size()));
+
+  proto::Envelope envelope;
+  envelope.commands.reserve(live.size());
+  for (uint64_t id : live) {
+    PendingOp& op = pending_.find(id)->second;
+    op.buffered = false;
+    op.envelope_id = envelope_id;
+    op.checkout_wait += co.wait;
+    proto::Command cmd;
+    cmd.kind =
+        op.is_read ? proto::CommandKind::kFind : proto::CommandKind::kWrite;
+    cmd.ctx.op_id = id;
+    cmd.ctx.deadline = op.deadline;
+    cmd.ctx.after_cluster_time = op.after;
+    cmd.ctx.attempt = op.attempts_sent - 1;
+    cmd.ctx.conn_id = co.conn_id;
+    cmd.ctx.checkout_wait = op.checkout_wait;
+    if (tracing()) {
+      cmd.ctx.parent_span = op.attempt_span;
+      cmd.ctx.sent_at = loop_->Now();
+    }
+    cmd.op_class = op.op_class;
+    cmd.require_primary = !op.is_read || op.pref == ReadPreference::kPrimary;
+    cmd.read_body = op.read_body;
+    cmd.txn_body = op.txn_body;
+    cmd.concern = op.concern;
+    cmd.reply_to = client_host_;
+    cmd.on_reply = [this, id](const proto::Reply& r) { OnReply(id, r); };
+    envelope.commands.push_back(std::move(cmd));
+    // Each rider keeps its own attempt/hedge timers: the envelope shares
+    // a connection, not a deadline.
+    if (options_.attempt_timeout > 0) {
+      op.attempt_timer = loop_->ScheduleAfter(
+          options_.attempt_timeout, [this, id] { OnAttemptTimeout(id); });
+    }
+    if (op.is_read && options_.hedged_reads && op.hedge_eligible &&
+        op.pref != ReadPreference::kPrimary && op.attempts_sent == 1) {
+      op.hedge_timer = loop_->ScheduleAfter(HedgeDelay(),
+                                            [this, id] { OnHedgeTimer(id); });
+    }
+  }
+  if (tracing()) {
+    // One envelope span against the first rider's trace: buffer wait +
+    // shared checkout, enqueue → wire send. The first survivor may have
+    // enqueued after the (since-departed) op that opened the buffer, so
+    // clamp the start inside its attempt span.
+    const PendingOp& first = pending_.find(live.front())->second;
+    if (first.attempt_span != 0) {
+      obs::SpanRecord span;
+      span.trace_id = live.front();
+      span.span_id = tracer_->NewSpanId();
+      span.parent_span_id = first.attempt_span;
+      span.kind = obs::SpanKind::kEnvelope;
+      span.start = std::max(flush_start, first.attempt_start);
+      span.end = loop_->Now();
+      span.node = node;
+      span.attempt = static_cast<int>(live.size());  // batch occupancy
+      tracer_->Record(span);
+    }
+  }
+  bus_->SendEnvelope(client_host_, servers_[node].host, std::move(envelope));
+}
+
+void MongoClient::DetachFromEnvelope(PendingOp* op, uint64_t healthy_conn) {
+  if (op->envelope_id == 0) return;
+  auto it = envelopes_.find(op->envelope_id);
+  op->envelope_id = 0;
+  if (it == envelopes_.end()) return;
+  InflightEnvelope& env = it->second;
+  // A rider that never got its reply on the shared socket (timeout, won
+  // via hedge, failed) leaves its state unknown — same rule as the
+  // singleton ReleaseOpConnections, but the verdict is collective.
+  if (healthy_conn != env.conn_id) env.healthy = false;
+  if (--env.outstanding > 0) return;
+  if (env.healthy) {
+    pools_[env.node]->CheckIn(env.conn_id);
+  } else {
+    pools_[env.node]->Discard(env.conn_id);
+  }
+  envelopes_.erase(it);
+}
+
+uint64_t MongoClient::EnvelopeConn(const PendingOp& op) const {
+  if (op.envelope_id == 0) return 0;
+  auto it = envelopes_.find(op.envelope_id);
+  return it == envelopes_.end() ? 0 : it->second.conn_id;
+}
+
 void MongoClient::OnReply(uint64_t op_id, const proto::Reply& reply) {
   // Every reply is traffic: it proves the server reachable and carries a
   // hello piggyback refreshing the topology view.
@@ -410,7 +622,8 @@ void MongoClient::OnReply(uint64_t op_id, const proto::Reply& reply) {
   if (it == pending_.end()) return;  // hedge loser / superseded attempt
   PendingOp& op = it->second;
   if (tracing() && reply.conn_id != 0 &&
-      (reply.conn_id == op.conn_id || reply.conn_id == op.hedge_conn_id)) {
+      (reply.conn_id == op.conn_id || reply.conn_id == op.hedge_conn_id ||
+       reply.conn_id == EnvelopeConn(op))) {
     // Reply wire transit, parented under whichever arm the reply rode.
     // Replies from superseded attempts are skipped — their arm's span is
     // already closed. The pool can recycle a conn id to a later attempt,
@@ -445,6 +658,9 @@ void MongoClient::OnReply(uint64_t op_id, const proto::Reply& reply) {
         op.conn_id = 0;
         op.conn_node = kNoNode;
       }
+      // An enveloped rider's reply rode the shared connection; this
+      // rider's verdict on it is healthy.
+      DetachFromEnvelope(&op, reply.conn_id);
       RetryAttempt(op_id);
     }
     return;
@@ -583,6 +799,14 @@ void MongoClient::RetryAttempt(uint64_t op_id) {
     op.conn_id = 0;
     op.conn_node = kNoNode;
   }
+  if (op.buffered) {
+    // Never flushed (node died / deadline raced the buffer): leave the
+    // batch before retargeting so the envelope cannot ship a stale rider.
+    if (op.target != kNoNode) RemoveFromBatch(op_id, op.target);
+    op.buffered = false;
+  }
+  // Abandoning an enveloped attempt taints the shared connection.
+  DetachFromEnvelope(&op, /*healthy_conn=*/0);
   if (tracing() && op.attempt_span != 0) {
     // The attempt is abandoned here; the next one opens its own span.
     obs::SpanRecord span;
@@ -669,6 +893,7 @@ void MongoClient::CompleteOp(uint64_t op_id, const proto::Reply& reply) {
   CancelOpTimers(&op);
   CloseOpSpans(op, op_id, /*ok=*/true, &reply);
   ReleaseOpConnections(&op, reply.conn_id);
+  DetachFromEnvelope(&op, reply.conn_id);
   const sim::Duration latency = loop_->Now() - op.start;
   const int retries = std::max(0, op.attempts_sent - 1);
   ++counters_.ok;
@@ -726,6 +951,8 @@ void MongoClient::FailOp(uint64_t op_id, bool timed_out) {
   CancelOpTimers(&op);
   CloseOpSpans(op, op_id, /*ok=*/false, nullptr);
   ReleaseOpConnections(&op, /*healthy_conn=*/0);
+  if (op.buffered && op.target != kNoNode) RemoveFromBatch(op_id, op.target);
+  DetachFromEnvelope(&op, /*healthy_conn=*/0);
   const sim::Duration latency = loop_->Now() - op.start;
   const int retries = std::max(0, op.attempts_sent - 1);
   if (timed_out) ++counters_.timed_out;

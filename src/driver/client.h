@@ -9,6 +9,7 @@
 
 #include "driver/pool/connection_pool.h"
 #include "driver/read_preference.h"
+#include "metrics/histogram.h"
 #include "metrics/op_counters.h"
 #include "net/network.h"
 #include "obs/trace.h"
@@ -87,6 +88,19 @@ struct ClientOptions {
   bool hedged_reads = false;
   double hedge_quantile = 0.9;
   sim::Duration hedge_min_delay = sim::Millis(1);
+
+  /// Opt-in driver-side command batching (DESIGN.md § Batching &
+  /// amortisation): attempts targeting the same node coalesce into one
+  /// proto::Envelope, flushed when `batch_max_ops` accumulate, when
+  /// `batch_max_delay` elapses, or immediately when a member's deadline
+  /// is within one flush delay. One pooled connection carries the whole
+  /// envelope; the server charges one envelope_base plus a discounted
+  /// per-op increment (ServiceModel's envelope cost table). Off by
+  /// default — when off, the send path schedules no extra events and
+  /// draws no randomness, so determinism goldens replay unchanged.
+  bool batching_enabled = false;
+  int batch_max_ops = 16;
+  sim::Duration batch_max_delay = sim::Micros(200);
 
   /// Per-node connection pool (maxPoolSize, minPoolSize,
   /// waitQueueTimeoutMS, establishment cost, idle reaping). Defaults are
@@ -258,6 +272,17 @@ class MongoClient {
 
   const metrics::OpCounters& op_counters() const { return counters_; }
 
+  /// Occupancy (commands per envelope) of every envelope flushed so far.
+  const metrics::Histogram& batch_occupancy() const {
+    return batch_occupancy_;
+  }
+  /// Logical ops currently in flight, in any state. Tests and the chaos
+  /// harness pair this with buffered_op_count() to assert the coalescing
+  /// buffers drain — no op is silently parked forever.
+  size_t pending_op_count() const { return pending_.size(); }
+  /// Ops currently sitting in a coalescing buffer awaiting a flush.
+  size_t buffered_op_count() const;
+
   /// Per-node connection pool (every command attempt checks out of the
   /// target node's pool before it touches the wire).
   pool::ConnectionPool& node_pool(int node) { return *pools_[node]; }
@@ -313,6 +338,13 @@ class MongoClient {
     /// either between attempts or still queued in the pool).
     uint64_t conn_id = 0;
     int conn_node = kNoNode;
+    /// True while the attempt sits in its target node's coalescing
+    /// buffer awaiting an envelope flush (batching only).
+    bool buffered = false;
+    /// In-flight envelope carrying the attempt (0 = none / unbatched).
+    /// The shared connection is tracked on the envelope, not the op, so
+    /// ReleaseOpConnections cannot double-settle it.
+    uint64_t envelope_id = 0;
     /// Connection carrying the hedge request, when one is outstanding.
     uint64_t hedge_conn_id = 0;
     int hedge_node = kNoNode;
@@ -354,6 +386,31 @@ class MongoClient {
   /// Ships the attempt's command over its checked-out connection and arms
   /// the attempt/hedge timers.
   void SendAttempt(uint64_t op_id);
+  /// (op id, attempt ordinal) captured at flush time: the attempt may be
+  /// superseded while the envelope's shared checkout sits in the pool's
+  /// wait queue, and a stale rider must not ship twice.
+  struct BatchEntry {
+    uint64_t op_id = 0;
+    int attempt = 0;
+  };
+  /// Parks the attempt in `node`'s coalescing buffer (batching on). The
+  /// buffer flushes on size (batch_max_ops), delay (batch_max_delay), or
+  /// immediately when this op's deadline is within one flush delay.
+  void EnqueueInBatch(uint64_t op_id, int node);
+  /// Drains `node`'s buffer into one envelope riding one pool checkout.
+  void FlushBatch(int node);
+  void OnEnvelopeCheckout(int node, std::vector<BatchEntry> batch,
+                          sim::Time flush_start,
+                          const pool::ConnectionPool::Checkout& co);
+  /// Removes a still-buffered op from its node's buffer (the op
+  /// completed, failed, or retargeted before the flush).
+  void RemoveFromBatch(uint64_t op_id, int node);
+  /// Drops the op's claim on its in-flight envelope. The last rider off
+  /// settles the shared connection: checked in healthy only when every
+  /// rider's winning reply rode it, discarded otherwise.
+  void DetachFromEnvelope(PendingOp* op, uint64_t healthy_conn);
+  /// Connection carrying the op's in-flight envelope (0 = none).
+  uint64_t EnvelopeConn(const PendingOp& op) const;
   void OnHedgeCheckout(uint64_t op_id, int node, int attempt,
                        const pool::ConnectionPool::Checkout& co);
   void OnReply(uint64_t op_id, const proto::Reply& reply);
@@ -405,6 +462,29 @@ class MongoClient {
   // std::map: deterministic iteration (AbortAttemptsOn scans it).
   std::map<uint64_t, PendingOp> pending_;
   uint64_t next_op_id_ = 1;
+
+  /// Per-node coalescing buffer (batching on; empty and event-free when
+  /// batching is off). Indexed like servers_.
+  struct NodeBatcher {
+    std::vector<uint64_t> buffered;
+    sim::EventId flush_timer = 0;
+    /// Enqueue instant of the oldest buffered op (envelope span start).
+    sim::Time first_enqueue = 0;
+  };
+  /// One envelope on the wire. Riders detach as they complete / retry /
+  /// fail; `outstanding` counts the ones still attached.
+  struct InflightEnvelope {
+    int node = kNoNode;
+    uint64_t conn_id = 0;
+    int outstanding = 0;
+    bool healthy = true;
+  };
+
+  std::vector<NodeBatcher> batchers_;
+  // std::map: deterministic iteration, like pending_.
+  std::map<uint64_t, InflightEnvelope> envelopes_;
+  uint64_t next_envelope_id_ = 1;
+  metrics::Histogram batch_occupancy_;
 
   metrics::OpCounters counters_;
   std::vector<OpObserver> observers_;

@@ -206,6 +206,14 @@ void Experiment::RegisterMetrics() {
                             });
   registry_.RegisterGauge("pool_queue_depth", "checkouts", {},
                           [this] { return double(client_->PoolQueueDepth()); });
+  registry_.RegisterCounter("envelopes_sent", "envelopes", {}, [&counters] {
+    return double(counters.envelopes_sent);
+  });
+  registry_.RegisterCounter("ops_batched", "ops", {}, [&counters] {
+    return double(counters.ops_batched);
+  });
+  registry_.RegisterHistogram("batch_occupancy", "ops", {},
+                              &client_->batch_occupancy(), 1.0);
 
   // Per-node RTT estimates, as the driver's server selection sees them.
   for (int node = 0; node < client_->node_count(); ++node) {
@@ -277,6 +285,11 @@ void Experiment::ClosePeriod() {
       sim::ToMillis(pool_now.wait_total - last_pool_totals_.wait_total);
   current_.pool_queue_depth = client_->PoolQueueDepth();
   last_pool_totals_ = pool_now;
+  const metrics::OpCounters& ops_now = client_->op_counters();
+  current_.envelopes_sent =
+      ops_now.envelopes_sent - last_op_counters_.envelopes_sent;
+  current_.ops_batched = ops_now.ops_batched - last_op_counters_.ops_batched;
+  last_op_counters_ = ops_now;
   if (balancer_ != nullptr) {
     // Fold this period's balancer decisions into the row: control ticks
     // win over gate transitions (a gate event carries no fraction move).

@@ -112,6 +112,10 @@ struct PeriodRow {
   uint64_t pool_checkout_timeouts = 0;
   double pool_checkout_wait_ms = 0;  // total checkout wait this period
   int pool_queue_depth = 0;          // queued checkouts at period end
+  // Command-batching columns: per-period deltas of the driver's envelope
+  // counters (both zero with batching off — the default).
+  uint64_t envelopes_sent = 0;  // coalesced batches put on the wire
+  uint64_t ops_batched = 0;     // attempts that rode an envelope
   // Balancer decision summary for the period (Decongestant only): the
   // last control-tick move and its Algorithm 1 reason. balance_decided is
   // false when no tick fell inside the period.
@@ -239,6 +243,8 @@ class Experiment {
   PeriodRow current_;
   /// Pool totals at the last period boundary (for per-period deltas).
   driver::pool::ConnectionPool::Stats last_pool_totals_;
+  /// Driver op counters at the last period boundary (same delta scheme).
+  metrics::OpCounters last_op_counters_;
   std::vector<StalenessPoint> staleness_series_;
   std::vector<std::pair<sim::Time, double>> s_samples_;
 };

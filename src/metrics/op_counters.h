@@ -33,6 +33,11 @@ struct OpCounters {
   sim::Duration checkout_wait_total = 0;
   /// High-water mark of any single pool's checkout wait queue.
   uint64_t checkout_queue_peak = 0;
+  /// Envelopes (coalesced command batches) the driver put on the wire.
+  uint64_t envelopes_sent = 0;
+  /// Command attempts that rode an envelope (sum of envelope occupancies;
+  /// ops_batched / envelopes_sent = mean batch occupancy).
+  uint64_t ops_batched = 0;
 
   OpCounters& operator+=(const OpCounters& other) {
     ok += other.ok;
@@ -44,6 +49,8 @@ struct OpCounters {
     checkouts += other.checkouts;
     checkout_timeouts += other.checkout_timeouts;
     checkout_wait_total += other.checkout_wait_total;
+    envelopes_sent += other.envelopes_sent;
+    ops_batched += other.ops_batched;
     if (other.checkout_queue_peak > checkout_queue_peak) {
       checkout_queue_peak = other.checkout_queue_peak;
     }

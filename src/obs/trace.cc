@@ -24,6 +24,8 @@ std::string_view ToString(SpanKind kind) {
       return "hedge";
     case SpanKind::kCommitWait:
       return "commit_wait";
+    case SpanKind::kEnvelope:
+      return "envelope";
   }
   return "unknown";
 }

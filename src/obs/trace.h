@@ -21,6 +21,10 @@ namespace dcg::obs {
 ///   │   └─ wire (reply)    reply transit server → client
 ///   ├─ hedge (speculative second arm, same children as an attempt)
 ///   └─ commit_wait         w:majority replication ack (writes)
+/// With command batching on, an attempt that rides an envelope gains an
+///   envelope          coalescing buffer wait + shared pool checkout
+/// child covering enqueue → wire send (recorded once per envelope,
+/// against the first member's trace).
 enum class SpanKind : uint8_t {
   kOp,
   kAttempt,
@@ -30,6 +34,7 @@ enum class SpanKind : uint8_t {
   kServerParking,
   kHedge,
   kCommitWait,
+  kEnvelope,
 };
 
 std::string_view ToString(SpanKind kind);

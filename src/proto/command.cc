@@ -40,6 +40,13 @@ void CommandBus::RegisterService(net::HostId host, Handler handler) {
   handlers_[host] = std::move(handler);
 }
 
+void CommandBus::RegisterEnvelopeService(net::HostId host,
+                                         EnvelopeHandler handler) {
+  DCG_CHECK_MSG(envelope_handlers_.find(host) == envelope_handlers_.end(),
+                "host already has an envelope service");
+  envelope_handlers_[host] = std::move(handler);
+}
+
 void CommandBus::Send(net::HostId from, net::HostId to, Command command) {
   auto it = handlers_.find(to);
   DCG_CHECK_MSG(it != handlers_.end(), "no command service at destination");
@@ -47,6 +54,18 @@ void CommandBus::Send(net::HostId from, net::HostId to, Command command) {
   network_->Send(from, to, [handler, command = std::move(command)]() mutable {
     (*handler)(std::move(command));
   });
+}
+
+void CommandBus::SendEnvelope(net::HostId from, net::HostId to,
+                              Envelope envelope) {
+  auto it = envelope_handlers_.find(to);
+  DCG_CHECK_MSG(it != envelope_handlers_.end(),
+                "no envelope service at destination");
+  EnvelopeHandler* handler = &it->second;
+  network_->Send(from, to,
+                 [handler, envelope = std::move(envelope)]() mutable {
+                   (*handler)(std::move(envelope));
+                 });
 }
 
 }  // namespace dcg::proto

@@ -107,12 +107,27 @@ struct Command {
   ReadBody read_body;        // kFind
   TxnBody txn_body;          // kWrite
   repl::WriteConcern concern = repl::WriteConcern::kW1;  // kWrite
+  /// Service-cost multiplier applied server-side to this command's CPU
+  /// sample. 1.0 for singleton commands; members of an Envelope carry the
+  /// ServiceModel's envelope_op_fraction (the amortisation discount).
+  double cost_scale = 1.0;
   /// Where the reply is delivered (the issuing client's host).
   net::HostId reply_to = -1;
   /// Client-side continuation invoked when the reply message arrives.
   /// Carried in the command (a connection, in effect) so several clients
   /// can share one host without a reply-demux registry.
   std::function<void(const Reply&)> on_reply;
+};
+
+/// A batch of same-target commands shipped as ONE network message (the
+/// wire analogue of a driver bulk op / OP_MSG with multiple sections).
+/// The whole envelope shares one fate on the wire — dropped together,
+/// delivered together — and rides one pooled connection end to end. Each
+/// member keeps its own OpContext (op id, deadline, reply continuation);
+/// the server charges one envelope base cost plus a discounted per-op
+/// increment (ServiceModel envelope cost table).
+struct Envelope {
+  std::vector<Command> commands;
 };
 
 /// The wire between drivers and per-node CommandServices: commands travel
@@ -127,10 +142,16 @@ class CommandBus {
   CommandBus& operator=(const CommandBus&) = delete;
 
   using Handler = std::function<void(Command)>;
+  using EnvelopeHandler = std::function<void(Envelope)>;
 
   /// Registers the service handling commands addressed to `host`.
   /// Registration order defines the node indexing drivers use.
   void RegisterService(net::HostId host, Handler handler);
+
+  /// Registers the envelope (batched command) handler for `host`. Optional
+  /// and separate from RegisterService so node ordering is unaffected;
+  /// SendEnvelope to a host without one is a programming error.
+  void RegisterEnvelopeService(net::HostId host, EnvelopeHandler handler);
 
   /// Node hosts in registration (= replica-set node index) order. This is
   /// the topology seed a driver starts from, like a connection string.
@@ -144,10 +165,16 @@ class CommandBus {
   /// when the network drops it — callers enforce deadlines client-side.
   void Send(net::HostId from, net::HostId to, Command command);
 
+  /// Ships a whole envelope as one network message: one send, one
+  /// delivery, one drop decision for every member command. Callers
+  /// enforce per-member deadlines client-side, exactly as with Send.
+  void SendEnvelope(net::HostId from, net::HostId to, Envelope envelope);
+
  private:
   net::Network* network_;
   std::vector<net::HostId> server_hosts_;
   std::map<net::HostId, Handler> handlers_;
+  std::map<net::HostId, EnvelopeHandler> envelope_handlers_;
 };
 
 }  // namespace dcg::proto

@@ -37,6 +37,11 @@ ReplicaSet::ReplicaSet(sim::EventLoop* loop, sim::Rng rng,
     bus_.RegisterService(hosts[i], [service](proto::Command command) {
       service->Handle(std::move(command));
     });
+    bus_.RegisterEnvelopeService(hosts[i],
+                                 [service](proto::Envelope envelope) {
+                                   service->HandleEnvelope(
+                                       std::move(envelope));
+                                 });
   }
   known_last_applied_.resize(nodes_.size());
   alive_.assign(nodes_.size(), true);
@@ -265,6 +270,7 @@ void ReplicaSet::WriteTransaction(server::OpClass c, TxnBody body,
                                   std::function<void(bool)> done,
                                   WriteConcern concern) {
   CommitInternal(primary_index_, c, std::move(body), /*op_id=*/0,
+                 /*cost_scale=*/1.0,
                  [done = std::move(done)](const server::WriteOutcome& outcome) {
                    if (done) done(outcome.ok && outcome.committed);
                  },
@@ -273,6 +279,7 @@ void ReplicaSet::WriteTransaction(server::OpClass c, TxnBody body,
 
 void ReplicaSet::CommitInternal(
     int node_idx, server::OpClass op_class, TxnBody body, uint64_t op_id,
+    double cost_scale,
     std::function<void(const server::WriteOutcome&)> done,
     WriteConcern concern) {
   double throttle = 1.0;
@@ -281,6 +288,9 @@ void ReplicaSet::CommitInternal(
     throttle = params_.flow_control_throttle;
     ++flow_control_engaged_writes_;
   }
+  // Envelope amortisation composes with flow control: the throttle
+  // stretches whatever the (possibly discounted) service sample is.
+  throttle *= cost_scale;
   // The write queues on the CPU of the member it arrived at (the one
   // that believed itself primary); at the commit instant that member
   // must still lead the data plane — same term, same primary index — or
@@ -377,7 +387,7 @@ void ReplicaSet::CommitInternal(
 
 void ReplicaSet::CommitWrite(
     int node, server::OpClass op_class, proto::TxnBody body,
-    WriteConcern concern, uint64_t op_id,
+    WriteConcern concern, uint64_t op_id, double cost_scale,
     std::function<void(const server::WriteOutcome&)> done) {
   if (op_id != 0) {
     if (auto it = retry_records_.find(op_id); it != retry_records_.end()) {
@@ -398,7 +408,7 @@ void ReplicaSet::CommitWrite(
     }
     retry_waiters_[op_id];  // mark in progress
     CommitInternal(
-        node, op_class, std::move(body), op_id,
+        node, op_class, std::move(body), op_id, cost_scale,
         [this, op_id,
          done = std::move(done)](const server::WriteOutcome& outcome) {
           std::vector<std::function<void(const server::WriteOutcome&)>>
@@ -410,7 +420,7 @@ void ReplicaSet::CommitWrite(
         concern);
     return;
   }
-  CommitInternal(node, op_class, std::move(body), /*op_id=*/0,
+  CommitInternal(node, op_class, std::move(body), /*op_id=*/0, cost_scale,
                  std::move(done), concern);
 }
 
@@ -599,12 +609,23 @@ void ReplicaSet::HandleBatchAtSecondary(int secondary_idx,
   ReplicaNode& sec = node(secondary_idx);
   // Application cost scales with batch size; one lognormal factor models
   // run-to-run variance without sampling per entry. The apply-throttle
-  // fault stretches it further.
+  // fault stretches it further. With batched_oplog_apply the batch is
+  // charged like a server envelope — one base cost plus a discounted
+  // per-entry increment — which tightens replication lag under write
+  // pressure; the same SampleService draw keeps both paths' RNG streams
+  // identical (the flag only changes arithmetic, not draw order).
   const sim::Duration per_entry =
       sec.server().SampleService(server::OpClass::kOplogApply);
+  const server::ServiceModel& model = sec.server().params().service;
+  const double entry_fraction =
+      params_.batched_oplog_apply ? model.envelope_op_fraction : 1.0;
+  const sim::Duration batch_base =
+      params_.batched_oplog_apply ? model.envelope_base : 0;
   const auto cost = static_cast<sim::Duration>(
-      static_cast<double>(per_entry) * static_cast<double>(batch.size()) *
-      apply_throttle_[secondary_idx]);
+      static_cast<double>(batch_base) +
+      static_cast<double>(per_entry) * entry_fraction *
+          static_cast<double>(batch.size()) *
+          apply_throttle_[secondary_idx]);
   ArmPullDeadline(secondary_idx, cost + kPullQueueGrace);
   sec.server().ExecuteWithCost(
       cost, [this, secondary_idx, epoch, batch = std::move(batch)] {

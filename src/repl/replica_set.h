@@ -93,6 +93,16 @@ struct ReplicaSetParams {
   /// campaigns). Only meaningful with raft_elections.
   std::vector<double> node_priorities;
 
+  /// Batched oplog application (server-side mirror of driver command
+  /// batching): a secondary applies a whole getMore batch for one
+  /// envelope_base charge plus envelope_op_fraction × the per-entry cost
+  /// × batch size, instead of full per-entry cost × batch size. The
+  /// amortisation tightens replication lag — and hence the staleness
+  /// signal the Read Balancer consumes — under write pressure. Off by
+  /// default: the disabled path draws the same RNG sequence and runs the
+  /// exact legacy cost formula, so determinism goldens replay unchanged.
+  bool batched_oplog_apply = false;
+
   /// Pull-chain watchdog: when a getMore request or its reply batch is
   /// lost on the network (packet loss, partition), the secondary notices
   /// no pull progress for this long past the expected next step and
@@ -159,7 +169,7 @@ class ReplicaSet : public server::CommandBackend {
     return nodes_[idx]->server();
   }
   void CommitWrite(int node, server::OpClass op_class, proto::TxnBody body,
-                   WriteConcern concern, uint64_t op_id,
+                   WriteConcern concern, uint64_t op_id, double cost_scale,
                    std::function<void(const server::WriteOutcome&)> done)
       override;
   proto::ServerStatusReply ServerStatusSnapshot() override;
@@ -318,7 +328,7 @@ class ReplicaSet : public server::CommandBackend {
   /// is logically replicated with the write, so an election that rolls
   /// the write back also drops the record).
   void CommitInternal(int node, server::OpClass op_class, TxnBody body,
-                      uint64_t op_id,
+                      uint64_t op_id, double cost_scale,
                       std::function<void(const server::WriteOutcome&)> done,
                       WriteConcern concern);
   /// Resolves w:majority waiters whose sequence has reached a majority.

@@ -65,6 +65,25 @@ void CommandService::Handle(proto::Command command) {
   }
 }
 
+void CommandService::HandleEnvelope(proto::Envelope envelope) {
+  if (!backend_->NodeAlive(node_)) return;
+  if (envelope.commands.empty()) return;
+  ServerNode& server = backend_->NodeServer(node_);
+  // One base charge for the whole envelope (message framing, dispatch,
+  // lock acquisition), then every member goes through the normal Handle
+  // switch carrying the amortisation discount. The discount is stamped
+  // here — the cost model is server-owned; drivers never see it.
+  const double fraction = server.params().service.envelope_op_fraction;
+  server.ExecuteWithCost(
+      server.params().service.envelope_base,
+      [this, envelope = std::move(envelope), fraction]() mutable {
+        for (proto::Command& command : envelope.commands) {
+          command.cost_scale = fraction;
+          Handle(std::move(command));
+        }
+      });
+}
+
 void CommandService::HandleFind(proto::Command command) {
   if (command.require_primary && !IsPrimaryHere()) {
     proto::Reply reply;
@@ -101,9 +120,11 @@ void CommandService::WaitForClusterTime(proto::Command command,
 void CommandService::ExecuteFind(proto::Command command) {
   ServerNode& server = backend_->NodeServer(node_);
   const OpClass op_class = command.op_class;
+  const double cost_scale = command.cost_scale;
   const sim::Time enqueued_at = loop_->Now();
-  server.Execute(op_class, [this, command = std::move(command),
-                            enqueued_at]() mutable {
+  server.ExecuteScaled(op_class, cost_scale,
+                       [this, command = std::move(command),
+                        enqueued_at]() mutable {
     // Ops already in service when a node dies still complete — their
     // replies race the failure, exactly like in-flight responses do.
     command.read_body(backend_->NodeData(node_));
@@ -131,7 +152,7 @@ void CommandService::HandleWrite(proto::Command command) {
   const sim::Time arrived_at = loop_->Now();
   backend_->CommitWrite(
       node_, command.op_class, std::move(body), command.concern,
-      command.ctx.op_id,
+      command.ctx.op_id, command.cost_scale,
       [this, command = std::move(command),
        arrived_at](const WriteOutcome& outcome) {
         if (Traced(command.ctx)) {

@@ -53,8 +53,12 @@ class CommandBackend {
   /// term. `op_id != 0` enables retryable-write dedup: a re-sent op_id
   /// whose first attempt already committed is acknowledged from the
   /// transaction record instead of being applied twice.
+  /// `cost_scale` multiplies the transaction's CPU service sample — 1.0
+  /// for singleton commands, the envelope_op_fraction discount for
+  /// members of a batched envelope.
   virtual void CommitWrite(int node, OpClass op_class, proto::TxnBody body,
                            repl::WriteConcern concern, uint64_t op_id,
+                           double cost_scale,
                            std::function<void(const WriteOutcome&)> done) = 0;
 
   /// Primary-side replication-progress snapshot (serverStatus payload).
@@ -83,6 +87,13 @@ class CommandService {
 
   /// Entry point the CommandBus dispatches into at message delivery.
   void Handle(proto::Command command);
+
+  /// Entry point for batched envelopes: charges one envelope_base CPU cost
+  /// up front, then dispatches each member through Handle with the
+  /// envelope_op_fraction discount stamped into its cost_scale. A dead
+  /// node drops the whole envelope (one connection reset kills the batch —
+  /// every member's client-side deadline notices).
+  void HandleEnvelope(proto::Envelope envelope);
 
   /// Attaches the run's span tracer (nullptr detaches). Server-side spans
   /// — request wire transit, afterClusterTime parking, CPU service — are

@@ -55,6 +55,18 @@ struct ServiceModel {
   sim::Duration tpcc_order_status = sim::Millis(10.0);
   sim::Duration tpcc_delivery = sim::Millis(20.0);
 
+  /// Envelope cost table (driver-side command batching, DESIGN.md
+  /// § Batching & amortisation): an envelope of k same-target commands is
+  /// charged one fixed `envelope_base` (message framing, dispatch, lock
+  /// acquisition — paid once per envelope, no dispersion so the charge
+  /// adds no RNG draws) and each member command then costs
+  /// `envelope_op_fraction` × its normal per-op service sample. With
+  /// base=0 and fraction=1 a k-envelope degenerates to k unbatched
+  /// commands; the defaults make a full 16-op envelope cost ~65% of 16
+  /// singletons, which is what lifts the Fig. 5 saturation knee.
+  sim::Duration envelope_base = sim::Millis(1.5);
+  double envelope_op_fraction = 0.60;
+
   /// Log-normal sigma applied to every sample (0 = deterministic).
   double sigma = 0.30;
 

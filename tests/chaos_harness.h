@@ -83,6 +83,11 @@ struct ChaosReport {
   uint64_t rollback_resyncs = 0;
   uint64_t balancer_primary_swaps = 0;
   uint64_t stepdown_pool_clears = 0;
+  /// Envelope totals for the run — zero unless the schedule enables
+  /// driver-side batching; chaos tests use them to prove invariant 10
+  /// ran against a non-vacuous batched workload.
+  uint64_t envelopes_sent = 0;
+  uint64_t ops_batched = 0;
 
   bool ok() const { return violations.empty(); }
   std::string ViolationText() const {
@@ -125,6 +130,10 @@ struct ChaosReport {
 ///      per-term ledgers — a deposed primary's queued writes observing
 ///      the term change at commit time is what keeps the commit ledger
 ///      clean).
+///  10. Batch integrity: after quiesce no operation is still sitting in a
+///      driver-side coalescing buffer and none is pending at all — a
+///      partition or pool clear that hit a buffered envelope must have
+///      retried or failed every rider, never silently dropped one.
 inline ChaosReport RunChaos(const ChaosOptions& options) {
   ChaosReport report;
   auto violation = [&report](const std::string& v) {
@@ -373,6 +382,18 @@ inline ChaosReport RunChaos(const ChaosOptions& options) {
     }
   }
 
+  // --- Invariant 10: no op silently dropped from a buffered envelope. ---
+  if (experiment.client().buffered_op_count() != 0) {
+    violation("batch: " +
+              std::to_string(experiment.client().buffered_op_count()) +
+              " ops still sitting in coalescing buffers after quiesce");
+  }
+  if (experiment.client().pending_op_count() != 0) {
+    violation("batch: " +
+              std::to_string(experiment.client().pending_op_count()) +
+              " ops still pending after quiesce (dropped completion)");
+  }
+
   bool all_alive = true;
   for (int i = 0; i < rs.node_count(); ++i) all_alive &= rs.IsAlive(i);
   if (all_alive) {
@@ -427,13 +448,18 @@ inline ChaosReport RunChaos(const ChaosOptions& options) {
   trace += line;
   const metrics::OpCounters& ops = experiment.client().op_counters();
   std::snprintf(line, sizeof(line),
-                "driver ok=%llu to=%llu retries=%llu hedges=%llu/%llu\n",
+                "driver ok=%llu to=%llu retries=%llu hedges=%llu/%llu "
+                "env=%llu batched=%llu\n",
                 static_cast<unsigned long long>(ops.ok),
                 static_cast<unsigned long long>(ops.timed_out),
                 static_cast<unsigned long long>(ops.retries_total),
                 static_cast<unsigned long long>(ops.hedges_won),
-                static_cast<unsigned long long>(ops.hedges_sent));
+                static_cast<unsigned long long>(ops.hedges_sent),
+                static_cast<unsigned long long>(ops.envelopes_sent),
+                static_cast<unsigned long long>(ops.ops_batched));
   trace += line;
+  report.envelopes_sent = ops.envelopes_sent;
+  report.ops_batched = ops.ops_batched;
   const driver::pool::ConnectionPool::Stats pool_totals =
       experiment.client().PoolTotals();
   std::snprintf(line, sizeof(line),

@@ -201,6 +201,36 @@ TEST(DeterminismTest, ElectionsDisabledReplayMatchesGolden) {
   EXPECT_EQ(h, kGoldenHealthyTrace);
 }
 
+// Same contract for command batching: with batching_enabled=false the
+// driver's send path must schedule no extra events and draw no
+// randomness, so traces recorded before the envelope layer existed keep
+// replaying bit-identically. Spelled out against an explicit false in
+// case the default ever flips.
+TEST(DeterminismTest, BatchingDisabledReplayMatchesGolden) {
+  auto config = SmallConfig(42);
+  config.client_options.batching_enabled = false;
+  const uint64_t h = TraceHash(RunTrace(config));
+  if (kGoldenHealthyTrace == 0) {
+    GTEST_SKIP() << "golden hash not yet recorded";
+  }
+  EXPECT_EQ(h, kGoldenHealthyTrace);
+}
+
+// With batching on the trace differs from the unbatched golden (ops
+// coalesce, costs amortise) but must still be a pure function of the
+// seed: flush timers and envelope bookkeeping draw no randomness.
+TEST(DeterminismTest, SameSeedSameTraceWithBatching) {
+  auto config = SmallConfig(42);
+  config.run_s_workload = false;
+  config.client_options.batching_enabled = true;
+  config.client_options.batch_max_ops = 8;
+  config.client_options.batch_max_delay = sim::Micros(200);
+  const std::string first = RunTrace(config);
+  const std::string second = RunTrace(config);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
 TEST(DeterminismTest, TpccSameSeedSameTrace) {
   auto config = SmallConfig(7);
   config.kind = exp::WorkloadKind::kTpcc;
