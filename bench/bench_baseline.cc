@@ -551,6 +551,26 @@ int BenchMain(int argc, char** argv) {
     });
   }
 
+  {
+    // Same loaded second but on a 2-shard cluster behind the mongos
+    // router: every op pays the client→router hop, chunk resolution,
+    // admission stamping, and the per-shard sub-client dispatch. The gap
+    // to sim_second_ycsb is the price of the routing tier.
+    exp::ExperimentConfig config;
+    config.seed = 99;
+    config.kind = exp::WorkloadKind::kYcsb;
+    config.phases = {{0, 40, 0.95}};
+    config.duration = sim::Seconds(1);
+    config.shards = 2;
+    auto experiment = std::make_shared<exp::Experiment>(config);
+    experiment->Run();  // prime: loads data, starts router + client loops
+    auto horizon = std::make_shared<sim::Time>(sim::Seconds(1));
+    run("sim_second_sharded", [experiment, horizon] {
+      *horizon += sim::Seconds(1);
+      return experiment->loop().RunUntil(*horizon);
+    });
+  }
+
   // --- Write the baseline file ---------------------------------------------
   if (!out_path.empty()) {
     std::ostringstream json;

@@ -18,6 +18,8 @@ struct RunResult {
   uint64_t secondary_reads[2] = {0, 0};
   uint64_t reads_per_shard[2] = {0, 0};
   double fraction[2] = {0, 0};
+  uint64_t routed_reads = 0;
+  int64_t worst_staleness_estimate = 0;
 };
 
 RunResult RunOnce(bool decongestant,
@@ -78,6 +80,8 @@ RunResult RunOnce(bool decongestant,
   for (int s = 0; s < 2; ++s) {
     result->fraction[s] = cluster.shared_state(s).balance_fraction();
   }
+  result->routed_reads = cluster.router().routed_reads();
+  result->worst_staleness_estimate = cluster.budget().WorstEstimate();
   return *result;
 }
 
@@ -114,7 +118,16 @@ int main() {
               pct(secondary_run, 0), pct(secondary_run, 1));
   std::printf("\nfinal balance fractions: shard0 %.2f, shard1 %.2f\n",
               dcg_run.fraction[0], dcg_run.fraction[1]);
+  std::printf("router-dispatched point reads: %llu; worst shard staleness "
+              "estimate: %llds (client-wide bound 10s)\n",
+              static_cast<unsigned long long>(dcg_run.routed_reads),
+              static_cast<long long>(dcg_run.worst_staleness_estimate));
 
+  ShapeCheck("every read went through the mongos router",
+             dcg_run.routed_reads >= dcg_run.reads);
+  ShapeCheck(
+      "the worst shard stays within the shared client-wide staleness bound",
+      dcg_run.worst_staleness_estimate <= 10);
   ShapeCheck(
       "the hot shard's balancer shifts most of its reads to secondaries",
       pct(dcg_run, 0) >= 50.0);

@@ -12,7 +12,7 @@
 //           [--wait-queue-timeout=MS] [--batch-max-ops=N]
 //           [--batch-max-delay-us=US] [--csv-prefix=PATH] [--quiet]
 //           [--trace-out=PATH] [--trace-max-spans=N] [--metrics-out=PATH]
-//           [--explain-balancer]
+//           [--explain-balancer] [--shards=N] [--shard-key=hashed|ranged]
 //
 // --faults takes a semicolon-separated fault timeline (times in seconds):
 //   type@start[-end][:key=value]*   with type one of latency | loss |
@@ -41,6 +41,15 @@
 // --metrics-out writes every registered metric series (counters, gauges,
 //   latency histograms per Read Preference), sampled once per report
 //   period, as JSON.
+// --shards=N (N >= 2) runs the YCSB workload against a sharded cluster:
+//   N replica-set shards behind a bus-routed mongos, each shard with its
+//   own Read Balancer joined to one shared client-wide staleness budget
+//   (--stale-bound applies cluster-wide). Adds a per-shard summary block
+//   and, with --csv-prefix, a <prefix>_shards.csv time series.
+//   Incompatible with TPC-C and fault injection.
+// --shard-key picks document placement: hashed _id (default, uniform) or
+//   ranged (contiguous id ranges round-robin across shards — the
+//   locality-skew scenario).
 // --explain-balancer prints the Balancer decision log: every fraction
 //   move with its Algorithm 1 inputs and reason. The decision log also
 //   lands in <csv-prefix>_decisions.csv with --csv-prefix.
@@ -56,6 +65,7 @@
 //   sim_cli --workload=ycsb-b --clients=150 --batch-max-ops=16
 //           --batch-max-delay-us=200
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -96,6 +106,7 @@ int main(int argc, char** argv) {
   std::string workload = "ycsb-a";
   std::string system = "decongestant";
   std::string controller = "step";
+  std::string shard_key = "hashed";
   std::string csv_prefix;
   std::string fault_spec;
   std::string trace_out;
@@ -162,6 +173,11 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "metrics-out", &value)) {
       if (value.empty()) Usage("--metrics-out needs a path");
       metrics_out = value;
+    } else if (ParseFlag(argv[i], "shards", &value)) {
+      config.shards = std::atoi(value.c_str());
+      if (config.shards < 1) Usage("--shards needs a positive count");
+    } else if (ParseFlag(argv[i], "shard-key", &value)) {
+      shard_key = value;
     } else if (std::strcmp(argv[i], "--explain-balancer") == 0) {
       explain_balancer = true;
     } else if (std::strcmp(argv[i], "--hedged-reads") == 0) {
@@ -217,11 +233,41 @@ int main(int argc, char** argv) {
                                               nodes);
   }
 
+  if (config.shards >= 2) {
+    if (config.kind != exp::WorkloadKind::kYcsb) {
+      Usage("--shards supports the YCSB workloads only");
+    }
+    if (!config.faults.empty() || kill_primary_at >= 0) {
+      Usage("--shards is incompatible with fault injection");
+    }
+    if (shard_key == "hashed") {
+      config.shard_key.hashed = true;
+    } else if (shard_key == "ranged") {
+      // Contiguous id ranges, sliced evenly over the YCSB key space into
+      // shards * chunks_per_shard chunks (round-robin across shards).
+      config.shard_key.hashed = false;
+      const int chunks = config.shards * config.chunks_per_shard;
+      for (int i = 1; i < chunks; ++i) {
+        config.split_points.emplace_back(config.ycsb.record_count * i /
+                                         chunks);
+      }
+    } else {
+      Usage("unknown --shard-key (hashed | ranged)");
+    }
+  }
+
   exp::Experiment experiment(config);
   if (config.system == exp::SystemType::kDecongestant &&
       controller == "proportional") {
-    experiment.balancer()->SetController(
-        std::make_unique<core::ProportionalController>());
+    if (experiment.sharded()) {
+      for (int s = 0; s < experiment.sharded_cluster()->shard_count(); ++s) {
+        experiment.sharded_cluster()->balancer(s)->SetController(
+            std::make_unique<core::ProportionalController>());
+      }
+    } else {
+      experiment.balancer()->SetController(
+          std::make_unique<core::ProportionalController>());
+    }
   } else if (controller != "step") {
     Usage("unknown --controller");
   }
@@ -283,6 +329,41 @@ int main(int argc, char** argv) {
       summary.read_throughput, summary.p80_read_latency_ms,
       summary.secondary_percent, summary.p80_staleness_s,
       summary.max_staleness_s);
+
+  if (experiment.sharded()) {
+    shard::ShardedCluster* cluster = experiment.sharded_cluster();
+    const shard::Router& router = cluster->router();
+    std::printf(
+        "\nshards: %d (%s, %lld chunks), %llu point ops routed, "
+        "%llu scatter finds, %llu stale refreshes\n",
+        cluster->shard_count(), shard_key.c_str(),
+        static_cast<long long>(router.routing_table().chunk_count()),
+        static_cast<unsigned long long>(router.routed_reads() +
+                                        router.routed_writes()),
+        static_cast<unsigned long long>(router.scatter_finds()),
+        static_cast<unsigned long long>(router.stale_refreshes()));
+    const uint64_t total_routed =
+        std::max<uint64_t>(1, router.routed_reads() + router.routed_writes());
+    for (int s = 0; s < cluster->shard_count(); ++s) {
+      char bound_col[48] = "";
+      if (cluster->balancer(s) != nullptr) {
+        std::snprintf(bound_col, sizeof(bound_col),
+                      ", effective bound %llds",
+                      static_cast<long long>(
+                          cluster->budget().EffectiveBound(s)));
+      }
+      std::printf(
+          "  shard %d: %d chunks, %llu ops (%.1f%%), fraction %.2f, "
+          "true staleness %.2fs%s\n",
+          s, router.routing_table().ChunksOwnedBy(s),
+          static_cast<unsigned long long>(router.routed_to_shard(s)),
+          100.0 * static_cast<double>(router.routed_to_shard(s)) /
+              static_cast<double>(total_routed),
+          cluster->shared_state(s).balance_fraction(),
+          sim::ToSeconds(cluster->shard(s).MaxTrueStaleness()),
+          bound_col);
+    }
+  }
 
   const metrics::OpCounters& ops = experiment.client().op_counters();
   std::printf(
@@ -378,11 +459,14 @@ int main(int argc, char** argv) {
   }
 
   if (!csv_prefix.empty()) {
-    const bool ok =
+    bool ok =
         exp::WritePeriodsCsv(experiment, csv_prefix + "_periods.csv") &&
         exp::WriteStalenessCsv(experiment, csv_prefix + "_staleness.csv") &&
         exp::WriteSamplesCsv(experiment, csv_prefix + "_samples.csv") &&
         exp::WriteDecisionsCsv(experiment, csv_prefix + "_decisions.csv");
+    if (experiment.sharded()) {
+      ok = ok && exp::WriteShardsCsv(experiment, csv_prefix + "_shards.csv");
+    }
     std::printf("csv export to %s_*.csv: %s\n", csv_prefix.c_str(),
                 ok ? "ok" : "FAILED");
     if (!ok) return 1;

@@ -88,11 +88,13 @@ void ReadBalancer::OnPrimarySwap() {
   recent_bal_.assign(static_cast<size_t>(config_.recent_history),
                      config_.low_bal);
   staleness_estimate_ = 0;
+  if (budget_ != nullptr) budget_->Report(budget_slot_, 0);
   std::fill(secondary_staleness_s_.begin(), secondary_staleness_s_.end(), -1);
-  // Re-apply the gate inline (estimate is reset, so only the
-  // bound-disabled case stays blocked) without emitting a spurious
-  // gate-transition entry — the swap reset below is the record.
-  stale_blocked_ = config_.stale_bound_seconds == 0;
+  // Re-apply the gate inline (estimate is reset, so only a zero effective
+  // bound — disabled, or another shard eating the whole shared budget —
+  // stays blocked) without emitting a spurious gate-transition entry; the
+  // swap reset below is the record.
+  stale_blocked_ = effective_stale_bound_seconds() == 0;
   state_->set_balance_fraction(stale_blocked_ ? 0.0 : config_.low_bal);
 
   obs::BalanceDecision decision;
@@ -102,7 +104,7 @@ void ReadBalancer::OnPrimarySwap() {
   decision.published_fraction = state_->balance_fraction();
   decision.reason = obs::BalanceReason::kPrimarySwapReset;
   decision.term = tracked_term_;
-  decision.stale_bound_s = config_.stale_bound_seconds;
+  decision.stale_bound_s = effective_stale_bound_seconds();
   decision.secondary_staleness_s = secondary_staleness_s_;
   decisions_.Record(std::move(decision));
 }
@@ -131,6 +133,9 @@ void ReadBalancer::ServerStatusLoop() {
 void ReadBalancer::OnServerStatus(const proto::ServerStatusReply& reply) {
   CheckPrimarySwap();
   staleness_estimate_ = proto::MaxStalenessSeconds(reply);
+  // Sharded mode: publish this shard's estimate into the shared budget so
+  // sibling balancers tighten while we are the laggard (and vice versa).
+  if (budget_ != nullptr) budget_->Report(budget_slot_, staleness_estimate_);
   // Per-secondary breakdown for the decision log: which replica is the
   // one holding the estimate up. Same arithmetic as MaxStalenessSeconds.
   std::fill(secondary_staleness_s_.begin(), secondary_staleness_s_.end(), -1);
@@ -156,14 +161,16 @@ void ReadBalancer::RecordGateTransition(obs::BalanceReason reason) {
   decision.reason = reason;
   decision.term = client_->believed_term();
   decision.staleness_estimate_s = staleness_estimate_;
-  decision.stale_bound_s = config_.stale_bound_seconds;
+  decision.stale_bound_s = effective_stale_bound_seconds();
   decision.secondary_staleness_s = secondary_staleness_s_;
   decisions_.Record(std::move(decision));
 }
 
 void ReadBalancer::PublishFraction() {
-  const bool blocked = config_.stale_bound_seconds == 0 ||
-                       staleness_estimate_ > config_.stale_bound_seconds;
+  // Standalone: the static StaleBound. Sharded: the shared budget's
+  // effective bound, which shrinks while a sibling shard overshoots.
+  const int64_t bound = effective_stale_bound_seconds();
+  const bool blocked = bound == 0 || staleness_estimate_ > bound;
   const bool was_blocked = stale_blocked_;
   if (blocked && !was_blocked) ++stale_zero_events_;
   stale_blocked_ = blocked;
@@ -256,7 +263,7 @@ void ReadBalancer::OnPeriodEnd() {
   decision.lss_secondary = stats.lss_secondary;
   decision.history_flat = inputs.history_flat;
   decision.staleness_estimate_s = staleness_estimate_;
-  decision.stale_bound_s = config_.stale_bound_seconds;
+  decision.stale_bound_s = effective_stale_bound_seconds();
   decision.secondary_staleness_s = secondary_staleness_s_;
   decisions_.Record(std::move(decision));
 

@@ -9,6 +9,7 @@
 #include "core/balancer_config.h"
 #include "core/controller.h"
 #include "core/shared_state.h"
+#include "core/staleness_budget.h"
 #include "driver/client.h"
 #include "obs/decision_log.h"
 #include "sim/random.h"
@@ -99,6 +100,24 @@ class ReadBalancer {
   }
   const FractionController& controller() const { return *controller_; }
 
+  /// Joins a cluster-wide staleness budget as `slot` (sharded mode: one
+  /// slot per shard). The balancer then reports its estimate on every
+  /// serverStatus tick and gates against the budget's EffectiveBound
+  /// instead of its own static stale_bound_seconds. Call before Start();
+  /// nullptr restores the standalone gate.
+  void SetStalenessBudget(StalenessBudget* budget, int slot) {
+    budget_ = budget;
+    budget_slot_ = slot;
+  }
+
+  /// The bound the gate compares against right now: the shared budget's
+  /// effective bound when one is installed, the static config bound
+  /// otherwise.
+  int64_t effective_stale_bound_seconds() const {
+    return budget_ != nullptr ? budget_->EffectiveBound(budget_slot_)
+                              : config_.stale_bound_seconds;
+  }
+
  private:
   void PingLoop();
   void ServerStatusLoop();
@@ -138,6 +157,8 @@ class ReadBalancer {
   int tracked_primary_ = -1;
   uint64_t tracked_term_ = 0;
   uint64_t primary_swaps_ = 0;
+  StalenessBudget* budget_ = nullptr;
+  int budget_slot_ = -1;
   std::function<void(const PeriodStats&)> period_cb_;
 };
 

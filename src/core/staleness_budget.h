@@ -1,0 +1,87 @@
+#ifndef DCG_CORE_STALENESS_BUDGET_H_
+#define DCG_CORE_STALENESS_BUDGET_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dcg::core {
+
+/// Shared staleness budget for a sharded cluster: one client-wide
+/// StaleBound that N per-shard Read Balancers must *jointly* respect.
+///
+/// The paper's staleness gate (Algorithm 1, lines 3-7) is per replica
+/// set: each balancer zeroes its Balance Fraction when its own shard's
+/// estimate exceeds the bound. That alone keeps each shard under the
+/// bound *eventually*, but while one shard is over, the client's
+/// worst-served staleness is over — and the other shards, oblivious,
+/// keep spending the whole budget themselves. This coordinator closes
+/// ROADMAP's convergence question by tightening everyone when anyone
+/// overshoots: balancer i gates against
+///
+///     EffectiveBound(i) = max(0, B − max(0, max_{j≠i} estimate(j) − B))
+///
+/// i.e. the worst *other* shard's overshoot is debited from shard i's
+/// budget. While every shard is within the bound the gate is exactly the
+/// paper's (EffectiveBound == B); when one shard overshoots by more than
+/// B, every shard gates to zero until the laggard recovers, driving the
+/// client-wide max back under the single bound. B == 0 keeps the
+/// "no stale reads ever" contract: every effective bound is 0, every
+/// balancer stays gated.
+///
+/// Plain shared state — balancers Report() on their own serverStatus
+/// ticks and read EffectiveBound() when publishing; no events, no RNG,
+/// so an unsharded run (no budget installed) is untouched.
+class StalenessBudget {
+ public:
+  StalenessBudget(int64_t bound_seconds, int shards)
+      : bound_s_(bound_seconds), estimates_(static_cast<size_t>(shards), 0) {
+    DCG_CHECK(bound_seconds >= 0);
+    DCG_CHECK(shards >= 1);
+  }
+
+  StalenessBudget(const StalenessBudget&) = delete;
+  StalenessBudget& operator=(const StalenessBudget&) = delete;
+
+  int64_t bound_seconds() const { return bound_s_; }
+  int shards() const { return static_cast<int>(estimates_.size()); }
+
+  /// Latest conservative staleness estimate for `shard`, whole seconds
+  /// (what its balancer read off the primary's serverStatus).
+  void Report(int shard, int64_t estimate_s) {
+    estimates_[static_cast<size_t>(shard)] = std::max<int64_t>(0, estimate_s);
+  }
+
+  int64_t estimate(int shard) const {
+    return estimates_[static_cast<size_t>(shard)];
+  }
+
+  /// Worst estimate across every shard — the client-wide served-staleness
+  /// ceiling the single bound is supposed to cap.
+  int64_t WorstEstimate() const {
+    int64_t worst = 0;
+    for (int64_t e : estimates_) worst = std::max(worst, e);
+    return worst;
+  }
+
+  /// The bound shard `shard`'s balancer must gate against this instant.
+  int64_t EffectiveBound(int shard) const {
+    if (bound_s_ == 0) return 0;
+    int64_t overshoot = 0;
+    for (size_t j = 0; j < estimates_.size(); ++j) {
+      if (j == static_cast<size_t>(shard)) continue;
+      overshoot = std::max(overshoot, estimates_[j] - bound_s_);
+    }
+    return std::max<int64_t>(0, bound_s_ - std::max<int64_t>(0, overshoot));
+  }
+
+ private:
+  const int64_t bound_s_;
+  std::vector<int64_t> estimates_;
+};
+
+}  // namespace dcg::core
+
+#endif  // DCG_CORE_STALENESS_BUDGET_H_

@@ -255,6 +255,19 @@ void MongoClient::ReadAfter(ReadPreference pref, const repl::OpTime& after,
   BeginOp(std::move(op), opts);
 }
 
+void MongoClient::Find(ReadPreference pref, server::OpClass op_class,
+                       std::shared_ptr<const proto::FindSpec> spec,
+                       std::function<void(const ReadResult&)> done,
+                       OpOptions opts) {
+  PendingOp op;
+  op.is_read = true;
+  op.pref = pref;
+  op.op_class = op_class;
+  op.find_spec = std::move(spec);
+  op.read_done = std::move(done);
+  BeginOp(std::move(op), opts);
+}
+
 void MongoClient::Write(server::OpClass op_class, proto::TxnBody body,
                         std::function<void(const WriteResult&)> done,
                         repl::WriteConcern concern, OpOptions opts) {
@@ -276,6 +289,9 @@ uint64_t MongoClient::BeginOp(PendingOp op, OpOptions opts) {
       opts.max_retries == -2 ? options_.max_retries : opts.max_retries;
   op.hedge_eligible = opts.hedge_eligible;
   op.record_latency = opts.record_latency;
+  op.route = std::move(opts.route);
+  op.trace_override = opts.trace_id;
+  op.parent_span_override = opts.parent_span;
   const sim::Duration deadline =
       opts.deadline < 0 ? options_.default_op_deadline : opts.deadline;
   if (deadline > 0) {
@@ -349,7 +365,7 @@ void MongoClient::OnCheckout(uint64_t op_id, int node, int attempt,
   PendingOp& op = it->second;
   if (tracing() && op.attempt_span != 0) {
     obs::SpanRecord span;
-    span.trace_id = op_id;
+    span.trace_id = TraceId(op_id, op);
     span.span_id = tracer_->NewSpanId();
     span.parent_span_id = op.attempt_span;
     span.kind = obs::SpanKind::kCheckout;
@@ -392,6 +408,7 @@ void MongoClient::SendAttempt(uint64_t op_id) {
   cmd.ctx.attempt = op.attempts_sent - 1;
   cmd.ctx.conn_id = op.conn_id;
   cmd.ctx.checkout_wait = op.checkout_wait;
+  cmd.ctx.trace_id = op.trace_override;
   if (tracing()) {
     cmd.ctx.parent_span = op.attempt_span;
     cmd.ctx.sent_at = loop_->Now();
@@ -399,6 +416,8 @@ void MongoClient::SendAttempt(uint64_t op_id) {
   cmd.op_class = op.op_class;
   cmd.require_primary = !op.is_read || op.pref == ReadPreference::kPrimary;
   cmd.read_body = op.read_body;  // copies: the op outlives any one attempt
+  cmd.find_spec = op.find_spec;
+  cmd.route = op.route;
   cmd.txn_body = op.txn_body;
   cmd.concern = op.concern;
   cmd.reply_to = client_host_;
@@ -542,6 +561,7 @@ void MongoClient::OnEnvelopeCheckout(int node, std::vector<BatchEntry> batch,
     cmd.ctx.attempt = op.attempts_sent - 1;
     cmd.ctx.conn_id = co.conn_id;
     cmd.ctx.checkout_wait = op.checkout_wait;
+    cmd.ctx.trace_id = op.trace_override;
     if (tracing()) {
       cmd.ctx.parent_span = op.attempt_span;
       cmd.ctx.sent_at = loop_->Now();
@@ -549,6 +569,8 @@ void MongoClient::OnEnvelopeCheckout(int node, std::vector<BatchEntry> batch,
     cmd.op_class = op.op_class;
     cmd.require_primary = !op.is_read || op.pref == ReadPreference::kPrimary;
     cmd.read_body = op.read_body;
+    cmd.find_spec = op.find_spec;
+    cmd.route = op.route;
     cmd.txn_body = op.txn_body;
     cmd.concern = op.concern;
     cmd.reply_to = client_host_;
@@ -574,7 +596,7 @@ void MongoClient::OnEnvelopeCheckout(int node, std::vector<BatchEntry> batch,
     const PendingOp& first = pending_.find(live.front())->second;
     if (first.attempt_span != 0) {
       obs::SpanRecord span;
-      span.trace_id = live.front();
+      span.trace_id = TraceId(live.front(), first);
       span.span_id = tracer_->NewSpanId();
       span.parent_span_id = first.attempt_span;
       span.kind = obs::SpanKind::kEnvelope;
@@ -635,7 +657,7 @@ void MongoClient::OnReply(uint64_t op_id, const proto::Reply& reply) {
     const sim::Time arm_start = rode_hedge ? op.hedge_start : op.attempt_start;
     if (parent != 0 && reply.sent_at >= arm_start) {
       obs::SpanRecord span;
-      span.trace_id = op_id;
+      span.trace_id = TraceId(op_id, op);
       span.span_id = tracer_->NewSpanId();
       span.parent_span_id = parent;
       span.kind = obs::SpanKind::kWire;
@@ -662,6 +684,22 @@ void MongoClient::OnReply(uint64_t op_id, const proto::Reply& reply) {
       // rider's verdict on it is healthy.
       DetachFromEnvelope(&op, reply.conn_id);
       RetryAttempt(op_id);
+    }
+    return;
+  }
+  if (reply.status == proto::ReplyStatus::kStaleConfig) {
+    // The shard rejected our chunk version before running anything.
+    // Retrying the same route would fail identically — surface the error
+    // so the caller (a router) refreshes its chunk map and re-issues.
+    if (!reply.is_hedge && reply.node_index == op.target) {
+      if (reply.conn_id != 0 && reply.conn_id == op.conn_id) {
+        // The socket answered; it is healthy and reusable.
+        pools_[op.conn_node]->CheckIn(op.conn_id);
+        op.conn_id = 0;
+        op.conn_node = kNoNode;
+      }
+      DetachFromEnvelope(&op, reply.conn_id);
+      FailOp(op_id, /*timed_out=*/false, /*stale_config=*/true);
     }
     return;
   }
@@ -722,7 +760,7 @@ void MongoClient::OnHedgeCheckout(uint64_t op_id, int node, int attempt,
   PendingOp& op = it->second;
   if (tracing() && op.hedge_span != 0) {
     obs::SpanRecord span;
-    span.trace_id = op_id;
+    span.trace_id = TraceId(op_id, op);
     span.span_id = tracer_->NewSpanId();
     span.parent_span_id = op.hedge_span;
     span.kind = obs::SpanKind::kCheckout;
@@ -742,7 +780,7 @@ void MongoClient::OnHedgeCheckout(uint64_t op_id, int node, int attempt,
       // The arm dies here — close its span so the checkout child above
       // still has a recorded parent.
       obs::SpanRecord span;
-      span.trace_id = op_id;
+      span.trace_id = TraceId(op_id, op);
       span.span_id = op.hedge_span;
       span.parent_span_id = op.op_span;
       span.kind = obs::SpanKind::kHedge;
@@ -772,12 +810,15 @@ void MongoClient::OnHedgeCheckout(uint64_t op_id, int node, int attempt,
   cmd.ctx.is_hedge = true;
   cmd.ctx.conn_id = co.conn_id;
   cmd.ctx.checkout_wait = co.wait;
+  cmd.ctx.trace_id = op.trace_override;
   if (tracing()) {
     cmd.ctx.parent_span = op.hedge_span;
     cmd.ctx.sent_at = loop_->Now();
   }
   cmd.op_class = op.op_class;
   cmd.read_body = op.read_body;
+  cmd.find_spec = op.find_spec;
+  cmd.route = op.route;
   cmd.reply_to = client_host_;
   cmd.on_reply = [this, op_id](const proto::Reply& r) { OnReply(op_id, r); };
   bus_->Send(client_host_, servers_[node].host, std::move(cmd));
@@ -810,7 +851,7 @@ void MongoClient::RetryAttempt(uint64_t op_id) {
   if (tracing() && op.attempt_span != 0) {
     // The attempt is abandoned here; the next one opens its own span.
     obs::SpanRecord span;
-    span.trace_id = op_id;
+    span.trace_id = TraceId(op_id, op);
     span.span_id = op.attempt_span;
     span.parent_span_id = op.op_span;
     span.kind = obs::SpanKind::kAttempt;
@@ -848,7 +889,7 @@ void MongoClient::CloseOpSpans(const PendingOp& op, uint64_t op_id, bool ok,
   const int attempt = std::max(0, op.attempts_sent - 1);
   if (op.attempt_span != 0) {
     obs::SpanRecord span;
-    span.trace_id = op_id;
+    span.trace_id = TraceId(op_id, op);
     span.span_id = op.attempt_span;
     span.parent_span_id = op.op_span;
     span.kind = obs::SpanKind::kAttempt;
@@ -861,7 +902,7 @@ void MongoClient::CloseOpSpans(const PendingOp& op, uint64_t op_id, bool ok,
   }
   if (op.hedge_span != 0) {
     obs::SpanRecord span;
-    span.trace_id = op_id;
+    span.trace_id = TraceId(op_id, op);
     span.span_id = op.hedge_span;
     span.parent_span_id = op.op_span;
     span.kind = obs::SpanKind::kHedge;
@@ -874,8 +915,9 @@ void MongoClient::CloseOpSpans(const PendingOp& op, uint64_t op_id, bool ok,
     tracer_->Record(span);
   }
   obs::SpanRecord span;
-  span.trace_id = op_id;
+  span.trace_id = TraceId(op_id, op);
   span.span_id = op.op_span;
+  span.parent_span_id = op.parent_span_override;
   span.kind = obs::SpanKind::kOp;
   span.start = op.start;
   span.end = now;
@@ -926,6 +968,7 @@ void MongoClient::CompleteOp(uint64_t op_id, const proto::Reply& reply) {
     result.used_secondary = !reply.from_primary;
     result.operation_time = reply.operation_time;
     result.ok = true;
+    result.find = reply.find_result;
     result.retries = retries;
     result.hedged = op.hedged;
     result.hedge_won = reply.is_hedge;
@@ -943,7 +986,7 @@ void MongoClient::CompleteOp(uint64_t op_id, const proto::Reply& reply) {
   }
 }
 
-void MongoClient::FailOp(uint64_t op_id, bool timed_out) {
+void MongoClient::FailOp(uint64_t op_id, bool timed_out, bool stale_config) {
   auto it = pending_.find(op_id);
   if (it == pending_.end()) return;
   PendingOp op = std::move(it->second);
@@ -956,6 +999,7 @@ void MongoClient::FailOp(uint64_t op_id, bool timed_out) {
   const sim::Duration latency = loop_->Now() - op.start;
   const int retries = std::max(0, op.attempts_sent - 1);
   if (timed_out) ++counters_.timed_out;
+  if (stale_config) ++counters_.stale_config;
   if (retries > 0) {
     ++counters_.retried;
     counters_.retries_total += static_cast<uint64_t>(retries);
@@ -967,6 +1011,7 @@ void MongoClient::FailOp(uint64_t op_id, bool timed_out) {
   stats.latency = latency;
   stats.ok = false;
   stats.timed_out = timed_out;
+  stats.stale_config = stale_config;
   stats.retries = retries;
   stats.hedged = op.hedged;
   stats.node = op.target;
@@ -981,6 +1026,7 @@ void MongoClient::FailOp(uint64_t op_id, bool timed_out) {
     result.node = op.target;
     result.ok = false;
     result.timed_out = timed_out;
+    result.stale_config = stale_config;
     result.retries = retries;
     result.hedged = op.hedged;
     result.checkout_wait = op.checkout_wait;
@@ -991,6 +1037,7 @@ void MongoClient::FailOp(uint64_t op_id, bool timed_out) {
     result.committed = false;
     result.ok = false;
     result.timed_out = timed_out;
+    result.stale_config = stale_config;
     result.retries = retries;
     result.checkout_wait = op.checkout_wait;
     if (op.write_done) op.write_done(result);

@@ -121,6 +121,17 @@ struct OpOptions {
   /// False keeps this op's latency out of the balancer's feed (control
   /// traffic such as the S-shaped-curve probe reads).
   bool record_latency = true;
+  /// Routing metadata stamped on every attempt's command. Sharded mode:
+  /// the application client names collection + shard-key value (bodies
+  /// are opaque closures a router cannot inspect); the router stamps the
+  /// resolved chunk/version on the sub-ops it fans out. Inert (default
+  /// empty) against unsharded buses.
+  proto::RouteInfo route;
+  /// Trace the op's spans should belong to instead of its own op id, and
+  /// the span they parent under — set by a router issuing sub-ops so the
+  /// client→router→shard legs link into one tree. 0 = own trace / root.
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
 };
 
 /// The client-side library every simulated application thread shares. It
@@ -143,6 +154,12 @@ class MongoClient {
     /// False when the op failed (deadline hit or retry budget spent).
     bool ok = true;
     bool timed_out = false;
+    /// The serving shard rejected the op's chunk version (kStaleConfig).
+    /// Surfaced instead of retried: routing is the caller's (router's)
+    /// job — it must refresh its chunk map and re-issue.
+    bool stale_config = false;
+    /// Structured-find result (Find() only; null for plain reads).
+    std::shared_ptr<const proto::FindResult> find;
     /// Retry attempts this op needed (0 = first attempt answered).
     int retries = 0;
     /// Whether a hedge was sent, and whether it answered first.
@@ -162,6 +179,10 @@ class MongoClient {
     /// False when the op failed (deadline hit or retry budget spent).
     bool ok = true;
     bool timed_out = false;
+    /// Chunk-version rejection — nothing was applied (the shard checks
+    /// admission before the transaction body runs), so re-routing after a
+    /// refresh cannot duplicate the write.
+    bool stale_config = false;
     int retries = 0;
     sim::Duration checkout_wait = 0;
   };
@@ -174,6 +195,7 @@ class MongoClient {
     sim::Duration latency = 0;
     bool ok = false;
     bool timed_out = false;
+    bool stale_config = false;
     int retries = 0;
     bool hedged = false;
     bool hedge_won = false;
@@ -223,6 +245,14 @@ class MongoClient {
                  server::OpClass op_class, proto::ReadBody body,
                  std::function<void(const ReadResult&)> done,
                  OpOptions opts = {});
+
+  /// Issues a structured find (inspectable, unlike a ReadBody closure —
+  /// a router can scatter it across shards and merge partials). The
+  /// matched documents arrive in `ReadResult::find`; every other per-op
+  /// mechanism (deadline, retries, hedging, pools) applies unchanged.
+  void Find(ReadPreference pref, server::OpClass op_class,
+            std::shared_ptr<const proto::FindSpec> spec,
+            std::function<void(const ReadResult&)> done, OpOptions opts = {});
 
   /// Issues a read-write transaction (always to the primary). With
   /// WriteConcern::kMajority the acknowledgement waits for majority
@@ -323,6 +353,8 @@ class MongoClient {
     ReadPreference pref = ReadPreference::kPrimary;
     server::OpClass op_class = server::OpClass::kPointRead;
     proto::ReadBody read_body;
+    std::shared_ptr<const proto::FindSpec> find_spec;
+    proto::RouteInfo route;
     proto::TxnBody txn_body;
     repl::WriteConcern concern = repl::WriteConcern::kW1;
     repl::OpTime after;
@@ -364,6 +396,9 @@ class MongoClient {
     sim::Time checkout_start = 0;
     uint64_t hedge_span = 0;
     sim::Time hedge_start = 0;
+    /// Trace/parent overrides for router sub-ops (OpOptions::trace_id).
+    uint64_t trace_override = 0;
+    uint64_t parent_span_override = 0;
     std::function<void(const ReadResult&)> read_done;
     std::function<void(const WriteResult&)> write_done;
   };
@@ -421,7 +456,12 @@ class MongoClient {
   /// bounded exponential backoff (or fails the op: budget spent).
   void RetryAttempt(uint64_t op_id);
   void CompleteOp(uint64_t op_id, const proto::Reply& reply);
-  void FailOp(uint64_t op_id, bool timed_out);
+  void FailOp(uint64_t op_id, bool timed_out, bool stale_config = false);
+  /// Trace id the op's spans belong to (its own op id, unless a router
+  /// threaded the enclosing client op's trace through OpOptions).
+  uint64_t TraceId(uint64_t op_id, const PendingOp& op) const {
+    return op.trace_override != 0 ? op.trace_override : op_id;
+  }
   void CancelOpTimers(PendingOp* op);
   /// Returns every connection the op still holds: the winning reply's
   /// connection is checked in healthy, abandoned ones are discarded.

@@ -135,4 +135,21 @@ bool WriteDecisionsCsv(const Experiment& experiment, const std::string& path) {
   return true;
 }
 
+bool WriteShardsCsv(const Experiment& experiment, const std::string& path) {
+  CsvFile csv(path);
+  if (!csv.ok()) return false;
+  csv.Line(
+      "# units: start_s=seconds shard=index reads_routed=count "
+      "balance_fraction=fraction");
+  csv.Line("start_s,shard,reads_routed,balance_fraction");
+  for (const PeriodRow& row : experiment.rows()) {
+    for (size_t s = 0; s < row.shard_balance_fraction.size(); ++s) {
+      csv.Line("%.1f,%zu,%llu,%.2f", sim::ToSeconds(row.start), s,
+               static_cast<unsigned long long>(row.shard_reads[s]),
+               row.shard_balance_fraction[s]);
+    }
+  }
+  return true;
+}
+
 }  // namespace dcg::exp

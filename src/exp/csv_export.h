@@ -24,6 +24,11 @@ bool WriteSamplesCsv(const Experiment& experiment, const std::string& path);
 /// for the move. Header-only for the fixed-preference baselines.
 bool WriteDecisionsCsv(const Experiment& experiment, const std::string& path);
 
+/// Sharded runs: one row per (report period, shard) with the shard's
+/// published balance fraction and the point ops the router dispatched to
+/// it that period. Header-only for single-replica-set runs.
+bool WriteShardsCsv(const Experiment& experiment, const std::string& path);
+
 }  // namespace dcg::exp
 
 #endif  // DCG_EXP_CSV_EXPORT_H_

@@ -41,75 +41,133 @@ Experiment::Experiment(ExperimentConfig config)
   DCG_CHECK_MSG(!config_.phases.empty(), "need at least one phase");
   DCG_CHECK_MSG(config_.phases.front().at == 0, "first phase must start at 0");
 
-  // --- Topology: client host + one host per replica-set node. ---
+  // --- Topology: client host, then either one replica set or a sharded
+  // cluster (router + N replica-set shards) behind it. ---
   network_ = std::make_unique<net::Network>(&loop_, rng_.Fork());
   const net::HostId client_host = network_->AddHost("client-host");
-  std::vector<net::HostId> node_hosts;
-  const int nodes = config_.repl.secondaries + 1;
-  DCG_CHECK(static_cast<int>(config_.client_node_rtt.size()) >= nodes);
-  for (int i = 0; i < nodes; ++i) {
-    node_hosts.push_back(network_->AddHost("db-node-" + std::to_string(i)));
-    network_->SetLink(client_host, node_hosts[i], config_.client_node_rtt[i],
-                      config_.rtt_jitter);
-  }
-  for (int i = 0; i < nodes; ++i) {
-    for (int j = i + 1; j < nodes; ++j) {
-      network_->SetLink(node_hosts[i], node_hosts[j], config_.inter_node_rtt,
-                        config_.rtt_jitter);
+  if (config_.shards >= 2) {
+    DCG_CHECK_MSG(config_.kind == WorkloadKind::kYcsb,
+                  "sharded mode supports the YCSB workload only");
+    DCG_CHECK_MSG(config_.faults.empty(),
+                  "fault schedules target the single-replica-set topology");
+    shard::ShardedClusterConfig cluster_config;
+    cluster_config.shards = config_.shards;
+    cluster_config.shard_key = config_.shard_key;
+    cluster_config.chunks_per_shard = config_.chunks_per_shard;
+    cluster_config.split_points = config_.split_points;
+    cluster_config.repl = config_.repl;
+    cluster_config.server = config_.server;
+    cluster_config.client_options = config_.client_options;
+    cluster_config.balancer = config_.balancer;
+    cluster_config.run_balancers =
+        config_.system == SystemType::kDecongestant;
+    cluster_config.fixed_pref = config_.system == SystemType::kSecondary
+                                    ? driver::ReadPreference::kSecondary
+                                    : driver::ReadPreference::kPrimary;
+    cluster_config.client_node_rtt = config_.client_node_rtt;
+    cluster_config.client_router_rtt = config_.client_router_rtt;
+    cluster_config.inter_node_rtt = config_.inter_node_rtt;
+    cluster_config.rtt_jitter = config_.rtt_jitter;
+    cluster_ = std::make_unique<shard::ShardedCluster>(
+        &loop_, rng_.Fork(), network_.get(), client_host, cluster_config);
+    cluster_->SetTracer(&tracer_);
+    last_shard_reads_.assign(static_cast<size_t>(config_.shards), 0);
+  } else {
+    std::vector<net::HostId> node_hosts;
+    const int nodes = config_.repl.secondaries + 1;
+    DCG_CHECK(static_cast<int>(config_.client_node_rtt.size()) >= nodes);
+    for (int i = 0; i < nodes; ++i) {
+      node_hosts.push_back(network_->AddHost("db-node-" + std::to_string(i)));
+      network_->SetLink(client_host, node_hosts[i],
+                        config_.client_node_rtt[i], config_.rtt_jitter);
     }
+    for (int i = 0; i < nodes; ++i) {
+      for (int j = i + 1; j < nodes; ++j) {
+        network_->SetLink(node_hosts[i], node_hosts[j],
+                          config_.inter_node_rtt, config_.rtt_jitter);
+      }
+    }
+
+    // --- Replica set and driver. ---
+    rs_ = std::make_unique<repl::ReplicaSet>(&loop_, rng_.Fork(),
+                                             network_.get(), config_.repl,
+                                             config_.server, node_hosts);
+    client_ = std::make_unique<driver::MongoClient>(&loop_, rng_.Fork(),
+                                                    rs_->command_bus(),
+                                                    client_host,
+                                                    config_.client_options);
+
+    // The tracer is attached unconditionally (so its disabled cost is what
+    // production runs pay) and enabled only on request.
+    rs_->SetTracer(&tracer_);
+    client_->SetTracer(&tracer_);
   }
-
-  // --- Replica set and driver. ---
-  rs_ = std::make_unique<repl::ReplicaSet>(&loop_, rng_.Fork(),
-                                           network_.get(), config_.repl,
-                                           config_.server, node_hosts);
-  client_ = std::make_unique<driver::MongoClient>(&loop_, rng_.Fork(),
-                                                  rs_->command_bus(),
-                                                  client_host,
-                                                  config_.client_options);
-
-  // The tracer is attached unconditionally (so its disabled cost is what
-  // production runs pay) and enabled only on request.
-  rs_->SetTracer(&tracer_);
-  client_->SetTracer(&tracer_);
   if (config_.trace) tracer_.Enable(config_.trace_max_spans);
 
   // --- Routing policy / system under test. ---
-  switch (config_.system) {
-    case SystemType::kDecongestant:
-      policy_ = std::make_unique<core::DecongestantPolicy>(&shared_state_);
-      balancer_ = std::make_unique<core::ReadBalancer>(
-          client_.get(), &shared_state_, config_.balancer, rng_.Fork());
-      break;
-    case SystemType::kPrimary:
-      policy_ = std::make_unique<core::FixedPolicy>(
-          driver::ReadPreference::kPrimary);
-      break;
-    case SystemType::kSecondary:
-      policy_ = std::make_unique<core::FixedPolicy>(
-          driver::ReadPreference::kSecondary);
-      break;
+  if (sharded()) {
+    // The routing decision lives inside the router (per-shard policies,
+    // balancers, shared budget); the workload's own policy pins the
+    // client→router leg to "primary" — the router always is.
+    policy_ = std::make_unique<core::FixedPolicy>(
+        driver::ReadPreference::kPrimary);
+  } else {
+    switch (config_.system) {
+      case SystemType::kDecongestant:
+        policy_ = std::make_unique<core::DecongestantPolicy>(&shared_state_);
+        balancer_ = std::make_unique<core::ReadBalancer>(
+            client_.get(), &shared_state_, config_.balancer, rng_.Fork());
+        break;
+      case SystemType::kPrimary:
+        policy_ = std::make_unique<core::FixedPolicy>(
+            driver::ReadPreference::kPrimary);
+        break;
+      case SystemType::kSecondary:
+        policy_ = std::make_unique<core::FixedPolicy>(
+            driver::ReadPreference::kSecondary);
+        break;
+    }
   }
 
-  // --- Pre-replicated data: every node loads the identical snapshot. ---
-  for (int i = 0; i < nodes; ++i) {
-    store::Database* db = &rs_->node(i).db();
-    if (config_.kind == WorkloadKind::kYcsb) {
-      workload::YcsbWorkload::Load(config_.ycsb, db);
-    } else {
-      workload::TpccWorkload::Load(config_.tpcc, db);
+  // --- Pre-replicated data: every node loads the identical snapshot; in
+  // sharded mode each shard's nodes load only the records it owns (the
+  // union across shards is the unsharded snapshot). ---
+  if (sharded()) {
+    for (int s = 0; s < cluster_->shard_count(); ++s) {
+      for (int i = 0; i <= config_.repl.secondaries; ++i) {
+        store::Database* db = &cluster_->shard(s).node(i).db();
+        workload::YcsbWorkload::Load(
+            config_.ycsb, db, [this, s](int64_t key) {
+              return cluster_->ShardFor(doc::Value(key)) == s;
+            });
+        if (config_.run_s_workload) {
+          workload::SWorkload::Load(config_.s_config, db);
+        }
+      }
     }
-    if (config_.run_s_workload) {
-      workload::SWorkload::Load(config_.s_config, db);
+  } else {
+    for (int i = 0; i <= config_.repl.secondaries; ++i) {
+      store::Database* db = &rs_->node(i).db();
+      if (config_.kind == WorkloadKind::kYcsb) {
+        workload::YcsbWorkload::Load(config_.ycsb, db);
+      } else {
+        workload::TpccWorkload::Load(config_.tpcc, db);
+      }
+      if (config_.run_s_workload) {
+        workload::SWorkload::Load(config_.s_config, db);
+      }
     }
   }
 
   // --- Workload objects. ---
+  driver::MongoClient* workload_client =
+      sharded() ? &cluster_->top_client() : client_.get();
   if (config_.kind == WorkloadKind::kYcsb) {
     auto ycsb_config = config_.ycsb;
     ycsb_config.read_proportion = config_.phases.front().ycsb_read_proportion;
+    ycsb_config.stamp_route = sharded();
     auto ycsb = std::make_unique<workload::YcsbWorkload>(
-        client_.get(), policy_.get(), ycsb_config, rng_.Fork());
+        workload_client, policy_.get(), ycsb_config, rng_.Fork());
     ycsb_ = ycsb.get();
     workload_ = std::move(ycsb);
   } else {
@@ -119,43 +177,73 @@ Experiment::Experiment(ExperimentConfig config)
     workload_ = std::move(tpcc);
   }
 
-  injector_ = std::make_unique<fault::FaultInjector>(&loop_, network_.get(),
-                                                     rs_.get(), client_host);
-  // pool_clear faults reach the driver through this hook — the injector
-  // itself never sees client internals.
-  injector_->SetPoolClearHook([this](int node) { client_->ClearPool(node); });
+  if (!sharded()) {
+    injector_ = std::make_unique<fault::FaultInjector>(&loop_, network_.get(),
+                                                       rs_.get(), client_host);
+    // pool_clear faults reach the driver through this hook — the injector
+    // itself never sees client internals.
+    injector_->SetPoolClearHook([this](int node) { client_->ClearPool(node); });
+  }
 
   pool_ = std::make_unique<ClientPool>(
       &loop_, workload_.get(),
       [this](const workload::OpOutcome& o) { OnOp(o); });
 
   if (config_.run_s_workload) {
-    std::function<bool()> secondary_in_use;
-    switch (config_.system) {
-      case SystemType::kDecongestant:
-        secondary_in_use = [this] {
-          return shared_state_.balance_fraction() > 0.0;
-        };
-        break;
-      case SystemType::kPrimary:
-        secondary_in_use = [] { return false; };
-        break;
-      case SystemType::kSecondary:
-        secondary_in_use = [] { return true; };
-        break;
+    // All probe samples — one S workload per shard in sharded mode — feed
+    // the same series: the client-wide staleness distribution the shared
+    // budget is supposed to bound.
+    auto on_sample = [this](double staleness_s) {
+      // Stored in milliseconds for sub-second histogram resolution.
+      current_.s_staleness.Add(staleness_s * 1000.0);
+      s_samples_.emplace_back(loop_.Now(), staleness_s);
+    };
+    if (sharded()) {
+      for (int s = 0; s < cluster_->shard_count(); ++s) {
+        std::function<bool()> secondary_in_use;
+        switch (config_.system) {
+          case SystemType::kDecongestant:
+            secondary_in_use = [this, s] {
+              return cluster_->shared_state(s).balance_fraction() > 0.0;
+            };
+            break;
+          case SystemType::kPrimary:
+            secondary_in_use = [] { return false; };
+            break;
+          case SystemType::kSecondary:
+            secondary_in_use = [] { return true; };
+            break;
+        }
+        shard_s_workloads_.push_back(std::make_unique<workload::SWorkload>(
+            &cluster_->router().shard_client(s), std::move(secondary_in_use),
+            config_.s_config, rng_.Fork(), on_sample));
+      }
+    } else {
+      std::function<bool()> secondary_in_use;
+      switch (config_.system) {
+        case SystemType::kDecongestant:
+          secondary_in_use = [this] {
+            return shared_state_.balance_fraction() > 0.0;
+          };
+          break;
+        case SystemType::kPrimary:
+          secondary_in_use = [] { return false; };
+          break;
+        case SystemType::kSecondary:
+          secondary_in_use = [] { return true; };
+          break;
+      }
+      s_workload_ = std::make_unique<workload::SWorkload>(
+          client_.get(), std::move(secondary_in_use), config_.s_config,
+          rng_.Fork(), on_sample);
     }
-    s_workload_ = std::make_unique<workload::SWorkload>(
-        client_.get(), std::move(secondary_in_use), config_.s_config,
-        rng_.Fork(), [this](double staleness_s) {
-          // Stored in milliseconds for sub-second histogram resolution.
-          current_.s_staleness.Add(staleness_s * 1000.0);
-          s_samples_.emplace_back(loop_.Now(), staleness_s);
-        });
   }
 
   // Per-Read-Preference latency histograms, off the same completion path
   // the Read Balancer harvests (observers are multicast).
-  client_->AddOpObserver([this](const driver::MongoClient::OpStats& stats) {
+  workload_client->AddOpObserver([this](
+                                     const driver::MongoClient::OpStats&
+                                         stats) {
     if (!stats.is_read || !stats.ok || !stats.record_latency) return;
     pref_read_latency_[static_cast<size_t>(stats.requested)].Add(
         static_cast<double>(stats.latency));
@@ -167,11 +255,57 @@ Experiment::~Experiment() = default;
 
 void Experiment::RegisterMetrics() {
   // Control-plane gauges.
-  registry_.RegisterGauge("balance_fraction", "fraction", {},
-                          [this] { return shared_state_.balance_fraction(); });
-  registry_.RegisterGauge("true_staleness_max", "seconds", {}, [this] {
-    return sim::ToSeconds(rs_->MaxTrueStaleness());
-  });
+  if (sharded()) {
+    // Per-shard control plane, plus cluster-wide rollups and the router's
+    // own routing counters.
+    for (int s = 0; s < cluster_->shard_count(); ++s) {
+      const std::string shard = std::to_string(s);
+      registry_.RegisterGauge(
+          "balance_fraction", "fraction", {{"shard", shard}},
+          [this, s] { return cluster_->shared_state(s).balance_fraction(); });
+      registry_.RegisterGauge(
+          "true_staleness_max", "seconds", {{"shard", shard}}, [this, s] {
+            return sim::ToSeconds(cluster_->shard(s).MaxTrueStaleness());
+          });
+      if (cluster_->balancer(s) != nullptr) {
+        registry_.RegisterGauge(
+            "staleness_estimate", "seconds", {{"shard", shard}}, [this, s] {
+              return static_cast<double>(
+                  cluster_->balancer(s)->staleness_estimate_seconds());
+            });
+        registry_.RegisterGauge(
+            "effective_stale_bound", "seconds", {{"shard", shard}},
+            [this, s] {
+              return static_cast<double>(
+                  cluster_->budget().EffectiveBound(s));
+            });
+      }
+      registry_.RegisterCounter(
+          "routed_to_shard", "ops", {{"shard", shard}}, [this, s] {
+            return static_cast<double>(cluster_->router().routed_to_shard(s));
+          });
+    }
+    registry_.RegisterGauge("true_staleness_max", "seconds", {}, [this] {
+      sim::Duration worst = 0;
+      for (int s = 0; s < cluster_->shard_count(); ++s) {
+        worst = std::max(worst, cluster_->shard(s).MaxTrueStaleness());
+      }
+      return sim::ToSeconds(worst);
+    });
+    registry_.RegisterCounter("router_stale_refreshes", "ops", {}, [this] {
+      return static_cast<double>(cluster_->router().stale_refreshes());
+    });
+    registry_.RegisterCounter("router_scatter_finds", "ops", {}, [this] {
+      return static_cast<double>(cluster_->router().scatter_finds());
+    });
+  } else {
+    registry_.RegisterGauge("balance_fraction", "fraction", {}, [this] {
+      return shared_state_.balance_fraction();
+    });
+    registry_.RegisterGauge("true_staleness_max", "seconds", {}, [this] {
+      return sim::ToSeconds(rs_->MaxTrueStaleness());
+    });
+  }
   if (balancer_ != nullptr) {
     registry_.RegisterGauge("staleness_estimate", "seconds", {}, [this] {
       return static_cast<double>(balancer_->staleness_estimate_seconds());
@@ -179,7 +313,7 @@ void Experiment::RegisterMetrics() {
   }
 
   // Per-op outcome counters (cumulative; consumers diff across samples).
-  const metrics::OpCounters& counters = client_->op_counters();
+  const metrics::OpCounters& counters = client().op_counters();
   registry_.RegisterCounter("ops_ok", "ops", {},
                             [&counters] { return double(counters.ok); });
   registry_.RegisterCounter("ops_timed_out", "ops", {}, [&counters] {
@@ -205,7 +339,7 @@ void Experiment::RegisterMetrics() {
                               return double(counters.checkout_timeouts);
                             });
   registry_.RegisterGauge("pool_queue_depth", "checkouts", {},
-                          [this] { return double(client_->PoolQueueDepth()); });
+                          [this] { return double(client().PoolQueueDepth()); });
   registry_.RegisterCounter("envelopes_sent", "envelopes", {}, [&counters] {
     return double(counters.envelopes_sent);
   });
@@ -213,13 +347,14 @@ void Experiment::RegisterMetrics() {
     return double(counters.ops_batched);
   });
   registry_.RegisterHistogram("batch_occupancy", "ops", {},
-                              &client_->batch_occupancy(), 1.0);
+                              &client().batch_occupancy(), 1.0);
 
-  // Per-node RTT estimates, as the driver's server selection sees them.
-  for (int node = 0; node < client_->node_count(); ++node) {
+  // Per-node RTT estimates, as the driver's server selection sees them
+  // (in sharded mode the topology is one node: the router).
+  for (int node = 0; node < client().node_count(); ++node) {
     registry_.RegisterGauge(
         "rtt_ewma", "ms", {{"node", std::to_string(node)}},
-        [this, node] { return sim::ToMillis(client_->RttEstimate(node)); });
+        [this, node] { return sim::ToMillis(client().RttEstimate(node)); });
   }
 
   // Read latency distribution per requested Read Preference (ns → ms).
@@ -263,13 +398,33 @@ void Experiment::OnOp(const workload::OpOutcome& outcome) {
 void Experiment::SampleStaleness() {
   StalenessPoint point;
   point.at = loop_.Now();
-  point.true_max_s = sim::ToSeconds(rs_->MaxTrueStaleness());
-  if (balancer_ != nullptr) {
-    point.estimate_s =
-        static_cast<double>(balancer_->staleness_estimate_seconds());
-    current_.est_staleness_max_s =
-        std::max(current_.est_staleness_max_s,
-                 balancer_->staleness_estimate_seconds());
+  if (sharded()) {
+    // Client-wide staleness is the worst shard — the quantity the shared
+    // StalenessBudget promises stays under the single StaleBound.
+    sim::Duration true_worst = 0;
+    int64_t est_worst = -1;
+    for (int s = 0; s < cluster_->shard_count(); ++s) {
+      true_worst = std::max(true_worst, cluster_->shard(s).MaxTrueStaleness());
+      if (cluster_->balancer(s) != nullptr) {
+        est_worst = std::max(
+            est_worst, cluster_->balancer(s)->staleness_estimate_seconds());
+      }
+    }
+    point.true_max_s = sim::ToSeconds(true_worst);
+    if (est_worst >= 0) {
+      point.estimate_s = static_cast<double>(est_worst);
+      current_.est_staleness_max_s =
+          std::max(current_.est_staleness_max_s, est_worst);
+    }
+  } else {
+    point.true_max_s = sim::ToSeconds(rs_->MaxTrueStaleness());
+    if (balancer_ != nullptr) {
+      point.estimate_s =
+          static_cast<double>(balancer_->staleness_estimate_seconds());
+      current_.est_staleness_max_s =
+          std::max(current_.est_staleness_max_s,
+                   balancer_->staleness_estimate_seconds());
+    }
   }
   staleness_series_.push_back(point);
   loop_.ScheduleAfter(sim::Seconds(1), [this] { SampleStaleness(); });
@@ -277,15 +432,30 @@ void Experiment::SampleStaleness() {
 
 void Experiment::ClosePeriod() {
   current_.end = loop_.Now();
-  current_.balance_fraction = shared_state_.balance_fraction();
-  const driver::pool::ConnectionPool::Stats pool_now = client_->PoolTotals();
+  if (sharded()) {
+    // Per-shard columns plus the max fraction as the scalar rollup.
+    double max_fraction = 0.0;
+    for (int s = 0; s < cluster_->shard_count(); ++s) {
+      const double fraction = cluster_->shared_state(s).balance_fraction();
+      max_fraction = std::max(max_fraction, fraction);
+      current_.shard_balance_fraction.push_back(fraction);
+      const uint64_t routed = cluster_->router().routed_to_shard(s);
+      current_.shard_reads.push_back(routed -
+                                     last_shard_reads_[static_cast<size_t>(s)]);
+      last_shard_reads_[static_cast<size_t>(s)] = routed;
+    }
+    current_.balance_fraction = max_fraction;
+  } else {
+    current_.balance_fraction = shared_state_.balance_fraction();
+  }
+  const driver::pool::ConnectionPool::Stats pool_now = client().PoolTotals();
   current_.pool_checkout_timeouts =
       pool_now.checkout_timeouts - last_pool_totals_.checkout_timeouts;
   current_.pool_checkout_wait_ms =
       sim::ToMillis(pool_now.wait_total - last_pool_totals_.wait_total);
-  current_.pool_queue_depth = client_->PoolQueueDepth();
+  current_.pool_queue_depth = client().PoolQueueDepth();
   last_pool_totals_ = pool_now;
-  const metrics::OpCounters& ops_now = client_->op_counters();
+  const metrics::OpCounters& ops_now = client().op_counters();
   current_.envelopes_sent =
       ops_now.envelopes_sent - last_op_counters_.envelopes_sent;
   current_.ops_batched = ops_now.ops_batched - last_op_counters_.ops_batched;
@@ -315,10 +485,15 @@ void Experiment::ClosePeriod() {
 }
 
 void Experiment::Run() {
-  rs_->Start();
-  client_->Start();
-  if (balancer_ != nullptr) balancer_->Start();
+  if (sharded()) {
+    cluster_->Start();
+  } else {
+    rs_->Start();
+    client_->Start();
+    if (balancer_ != nullptr) balancer_->Start();
+  }
   if (s_workload_ != nullptr) s_workload_->Start();
+  for (auto& s_workload : shard_s_workloads_) s_workload->Start();
   if (!config_.faults.empty()) injector_->Arm(config_.faults);
 
   // Phase schedule.

@@ -16,6 +16,7 @@
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 #include "repl/replica_set.h"
+#include "shard/sharded_cluster.h"
 #include "sim/event_loop.h"
 #include "workload/s_workload.h"
 #include "workload/tpcc.h"
@@ -64,6 +65,19 @@ struct ExperimentConfig {
   repl::ReplicaSetParams repl;
   server::ServerParams server;
   driver::ClientOptions client_options;
+
+  /// Sharded mode: shards >= 2 swaps the single replica set for a
+  /// shard::ShardedCluster — N replica-set shards behind a bus-routed
+  /// mongos, per-shard Read Balancers joined to one client-wide
+  /// StalenessBudget (stale_bound_seconds applies cluster-wide). The
+  /// default (1) keeps the classic single-replica-set path untouched.
+  /// Sharded runs support YCSB only and no fault schedule.
+  int shards = 1;
+  shard::ShardKeyPattern shard_key;
+  int chunks_per_shard = 4;
+  /// Ranged shard key only: strictly ascending chunk split points.
+  std::vector<doc::Value> split_points;
+  sim::Duration client_router_rtt = sim::Millis(0.3);
 
   bool run_s_workload = true;
   workload::SWorkloadConfig s_config;
@@ -123,6 +137,12 @@ struct PeriodRow {
   double balance_from = 0.0;
   double balance_to = 0.0;
   obs::BalanceReason balance_reason = obs::BalanceReason::kNone;
+  // Sharded runs only (empty otherwise): per-shard published fraction at
+  // period end and point ops the router dispatched to each shard this
+  // period. The scalar balance_fraction column holds the max across
+  // shards (the most-shedding shard).
+  std::vector<double> shard_balance_fraction;
+  std::vector<uint64_t> shard_reads;
 
   double ReadThroughput() const;
   double SecondaryPercent() const;
@@ -187,7 +207,19 @@ class Experiment {
   sim::EventLoop& loop() { return loop_; }
   net::Network& network() { return *network_; }
   repl::ReplicaSet& replica_set() { return *rs_; }
-  driver::MongoClient& client() { return *client_; }
+  /// The client whose op counters / pool / RTTs the run reports: the
+  /// plain driver in single-replica-set mode, the client→router driver in
+  /// sharded mode.
+  driver::MongoClient& client() {
+    return cluster_ != nullptr ? cluster_->top_client() : *client_;
+  }
+  /// True when config.shards >= 2 built a sharded cluster.
+  bool sharded() const { return cluster_ != nullptr; }
+  /// The sharded stack (null in single-replica-set mode).
+  shard::ShardedCluster* sharded_cluster() { return cluster_.get(); }
+  const shard::ShardedCluster* sharded_cluster() const {
+    return cluster_.get();
+  }
   core::ReadBalancer* balancer() { return balancer_.get(); }
   core::SharedState& shared_state() { return shared_state_; }
   workload::YcsbWorkload* ycsb() { return ycsb_; }
@@ -220,6 +252,13 @@ class Experiment {
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<repl::ReplicaSet> rs_;
   std::unique_ptr<driver::MongoClient> client_;
+  /// Sharded mode only; rs_ and client_ stay null when this is set.
+  std::unique_ptr<shard::ShardedCluster> cluster_;
+  /// Sharded mode: one S workload per shard, each probing through that
+  /// shard's sub-client (samples merge into the one client-wide series).
+  std::vector<std::unique_ptr<workload::SWorkload>> shard_s_workloads_;
+  /// Router per-shard dispatch counters at the last period boundary.
+  std::vector<uint64_t> last_shard_reads_;
   core::SharedState shared_state_;
   std::unique_ptr<core::RoutingPolicy> policy_;
   std::unique_ptr<core::ReadBalancer> balancer_;

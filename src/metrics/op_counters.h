@@ -16,6 +16,9 @@ struct OpCounters {
   uint64_t ok = 0;
   /// Operations that hit their client-side deadline before any reply.
   uint64_t timed_out = 0;
+  /// Operations a shard rejected for carrying a stale chunk version
+  /// (kStaleConfig) — each one costs its router a refresh + re-route.
+  uint64_t stale_config = 0;
   /// Operations that needed at least one retry (counted once per op).
   uint64_t retried = 0;
   /// Total retry attempts across all operations.
@@ -42,6 +45,7 @@ struct OpCounters {
   OpCounters& operator+=(const OpCounters& other) {
     ok += other.ok;
     timed_out += other.timed_out;
+    stale_config += other.stale_config;
     retried += other.retried;
     retries_total += other.retries_total;
     hedges_sent += other.hedges_sent;

@@ -26,6 +26,8 @@ std::string_view ToString(SpanKind kind) {
       return "commit_wait";
     case SpanKind::kEnvelope:
       return "envelope";
+    case SpanKind::kRouter:
+      return "router";
   }
   return "unknown";
 }
@@ -42,6 +44,8 @@ std::string_view Category(SpanKind kind) {
       return "server";
     case SpanKind::kCommitWait:
       return "repl";
+    case SpanKind::kRouter:
+      return "shard";
     default:
       return "driver";
   }

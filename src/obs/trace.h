@@ -25,6 +25,11 @@ namespace dcg::obs {
 ///   envelope          coalescing buffer wait + shared pool checkout
 /// child covering enqueue → wire send (recorded once per envelope,
 /// against the first member's trace).
+/// In sharded mode a client op additionally traverses the mongos:
+///   router            arrival at shard::Router → merged reply send; the
+///                     per-shard sub-ops' own op/attempt spans parent
+///                     under it (same trace id), so client→router→shard
+///                     legs read as one linked tree.
 enum class SpanKind : uint8_t {
   kOp,
   kAttempt,
@@ -35,6 +40,7 @@ enum class SpanKind : uint8_t {
   kHedge,
   kCommitWait,
   kEnvelope,
+  kRouter,
 };
 
 std::string_view ToString(SpanKind kind);

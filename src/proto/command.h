@@ -3,9 +3,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "doc/filter.h"
+#include "doc/value.h"
 #include "net/network.h"
 #include "proto/op_context.h"
 #include "repl/oplog.h"
@@ -39,6 +44,58 @@ enum class ReplyStatus {
   /// The command required a primary but the serving node is not one —
   /// the driver must re-discover topology and retry elsewhere.
   kNotPrimary,
+  /// The command carried a shard/chunk version older than what the
+  /// serving shard knows (MongoDB's StaleConfig). Rejected before any
+  /// body ran — a router must refresh its routing table and re-route.
+  kStaleConfig,
+};
+
+/// Mongos-style routing metadata a command carries alongside its opaque
+/// body. The client stamps collection + shard-key value (bodies are
+/// closures the router cannot inspect); the router adds the chunk it
+/// resolved and the routing-table version it resolved against, which the
+/// shard checks at admission. Empty collection = unrouted traffic.
+struct RouteInfo {
+  std::string collection;
+  /// True when `key` holds the op's shard-key value (point ops). False =
+  /// untargeted (scatter reads, internal traffic).
+  bool has_key = false;
+  doc::Value key;
+  /// Chunk the router resolved `key` to (-1 = unrouted/scatter).
+  int64_t chunk_id = -1;
+  /// Routing-table version the router resolved against (0 = unversioned:
+  /// the shard admits without a staleness check).
+  uint64_t shard_version = 0;
+};
+
+/// A structured (inspectable) find: unlike the opaque ReadBody closures,
+/// a router can split this across shards and merge the partial results.
+/// Mirrors the find-command fields mongos itself forwards: filter, sort,
+/// limit, and the allowPartialResults escape hatch.
+struct FindSpec {
+  std::string collection;
+  doc::Filter filter = doc::Filter::True();
+  /// Sort path ("" = no sort: _id order). Merge uses doc::Value's
+  /// canonical total order on this field.
+  std::string sort_field;
+  bool sort_descending = false;
+  size_t limit = std::numeric_limits<size_t>::max();
+  /// Return only the match count, not the documents.
+  bool count_only = false;
+  /// allowPartialResults: a router may answer with the shards that made
+  /// the deadline instead of failing the whole op.
+  bool allow_partial = false;
+};
+
+/// Result of a structured find, whether from one shard or merged by a
+/// router across shards.
+struct FindResult {
+  std::vector<doc::Value> docs;
+  size_t count = 0;
+  /// True when a router omitted at least one shard (allow_partial path).
+  bool partial = false;
+  /// Shards that contributed (1 for a single-node execution).
+  int shards_answered = 1;
 };
 
 /// What the primary's serverStatus reports about replication progress.
@@ -92,6 +149,9 @@ struct Reply {
   sim::Time sent_at = 0;
   ServerStatusReply server_status;  // kServerStatus only
   HelloReply hello;                 // kHello only
+  /// kFind with a FindSpec payload: the documents/count that matched.
+  /// Shared (immutable once built) so fan-in merging never copies twice.
+  std::shared_ptr<const FindResult> find_result;
 };
 
 /// One typed wire command. In a real driver this is a BSON message; here
@@ -104,8 +164,13 @@ struct Command {
   /// kFind: fail with kNotPrimary unless the serving node is the primary
   /// (Read Preference primary is a *server-checked* contract).
   bool require_primary = false;
-  ReadBody read_body;        // kFind
-  TxnBody txn_body;          // kWrite
+  ReadBody read_body;  // kFind (opaque; exactly one of read_body/find_spec)
+  /// kFind, structured: the server executes the spec against its data and
+  /// replies with a FindResult; a router can scatter it across shards.
+  std::shared_ptr<const FindSpec> find_spec;
+  /// Routing metadata (sharded mode); inert on unsharded buses.
+  RouteInfo route;
+  TxnBody txn_body;  // kWrite
   repl::WriteConcern concern = repl::WriteConcern::kW1;  // kWrite
   /// Service-cost multiplier applied server-side to this command's CPU
   /// sample. 1.0 for singleton commands; members of an Envelope carry the

@@ -48,8 +48,15 @@ struct OpContext {
 
   /// Span id of the client-side attempt (or hedge arm) that sent this
   /// command; server-side spans (wire, parking, service) parent under it.
-  /// 0 = untraced. The op_id doubles as the trace id.
+  /// 0 = untraced. The op_id doubles as the trace id unless `trace_id`
+  /// overrides it.
   uint64_t parent_span = 0;
+
+  /// Trace the spans of this operation belong to when it is a sub-op of a
+  /// larger one (a router fanning a client op to shards keeps the client
+  /// op's trace here, so all legs link into one tree). 0 = op_id is the
+  /// trace id.
+  uint64_t trace_id = 0;
 
   /// Instant the client put the command on the wire, so the server can
   /// record the request's wire-transit span. 0 = untraced.

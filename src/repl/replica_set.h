@@ -145,6 +145,12 @@ class ReplicaSet : public server::CommandBackend {
     for (auto& service : services_) service->SetTracer(tracer);
   }
 
+  /// Installs a sharding admission check on every node's command service
+  /// (stale chunk-version rejection — see CommandService::AdmissionCheck).
+  void SetAdmissionCheck(server::CommandService::AdmissionCheck check) {
+    for (auto& service : services_) service->SetAdmissionCheck(check);
+  }
+
   // --- server::CommandBackend (dispatched into by CommandServices) ---
 
   bool NodeAlive(int idx) const override { return alive_[idx]; }

@@ -8,6 +8,26 @@ namespace {
 /// Poll interval for a parked causal read waiting on afterClusterTime —
 /// the same cadence the old client-side park loop used.
 constexpr sim::Duration kClusterTimePoll = sim::Millis(5);
+
+/// Runs a structured find against one node's data. A missing collection
+/// matches nothing (MongoDB finds against a dropped namespace are empty).
+std::shared_ptr<const proto::FindResult> ExecuteFindSpec(
+    const proto::FindSpec& spec, const store::Database& db) {
+  auto result = std::make_shared<proto::FindResult>();
+  const store::Collection* coll = db.Get(spec.collection);
+  if (coll == nullptr) return result;
+  if (spec.count_only) {
+    result->count = coll->Count(spec.filter);
+    return result;
+  }
+  store::FindOptions options;
+  options.sort_path = spec.sort_field;
+  options.sort_descending = spec.sort_descending;
+  options.limit = spec.limit;
+  result->docs = coll->FindWith(spec.filter, options);
+  result->count = result->docs.size();
+  return result;
+}
 }  // namespace
 
 CommandService::CommandService(sim::EventLoop* loop, net::Network* network,
@@ -23,7 +43,7 @@ void CommandService::RecordSpan(const proto::OpContext& ctx,
                                 obs::SpanKind kind, sim::Time start,
                                 sim::Time end) {
   obs::SpanRecord span;
-  span.trace_id = ctx.op_id;
+  span.trace_id = ctx.trace_id != 0 ? ctx.trace_id : ctx.op_id;
   span.span_id = tracer_->NewSpanId();
   span.parent_span_id = ctx.parent_span;
   span.kind = kind;
@@ -54,10 +74,21 @@ void CommandService::Handle(proto::Command command) {
       SendReply(command, proto::Reply{});
       return;
     case proto::CommandKind::kFind:
-      HandleFind(std::move(command));
-      return;
     case proto::CommandKind::kWrite:
-      HandleWrite(std::move(command));
+      // Sharding admission: a versioned command naming a chunk this shard
+      // no longer owns is rejected here, before any body runs — a stale
+      // write applies nothing, so the router's re-route cannot duplicate.
+      if (admission_check_ && !admission_check_(command)) {
+        proto::Reply reply;
+        reply.status = proto::ReplyStatus::kStaleConfig;
+        SendReply(command, reply);
+        return;
+      }
+      if (command.kind == proto::CommandKind::kFind) {
+        HandleFind(std::move(command));
+      } else {
+        HandleWrite(std::move(command));
+      }
       return;
     case proto::CommandKind::kServerStatus:
       HandleServerStatus(std::move(command));
@@ -127,7 +158,13 @@ void CommandService::ExecuteFind(proto::Command command) {
                         enqueued_at]() mutable {
     // Ops already in service when a node dies still complete — their
     // replies race the failure, exactly like in-flight responses do.
-    command.read_body(backend_->NodeData(node_));
+    std::shared_ptr<const proto::FindResult> find_result;
+    if (command.find_spec != nullptr) {
+      find_result = ExecuteFindSpec(*command.find_spec,
+                                    backend_->NodeData(node_));
+    } else {
+      command.read_body(backend_->NodeData(node_));
+    }
     if (Traced(command.ctx)) {
       // CPU queueing + service, together: the client-observable server
       // time the Balancer's Lss estimate is trying to recover.
@@ -135,6 +172,7 @@ void CommandService::ExecuteFind(proto::Command command) {
                  loop_->Now());
     }
     proto::Reply reply;
+    reply.find_result = std::move(find_result);
     reply.operation_time = backend_->NodeLastApplied(node_);
     reply.from_primary = IsPrimaryHere();
     SendReply(command, reply);

@@ -79,6 +79,12 @@ class CommandBackend {
 /// failure.
 class CommandService {
  public:
+  /// Sharding admission check, run when a find/write begins dispatch —
+  /// BEFORE any body executes, so a rejected write applies nothing.
+  /// Returns false to reject the command with kStaleConfig (the command's
+  /// RouteInfo named a chunk/version this shard no longer owns).
+  using AdmissionCheck = std::function<bool(const proto::Command&)>;
+
   CommandService(sim::EventLoop* loop, net::Network* network,
                  CommandBackend* backend, int node_index, net::HostId host);
 
@@ -99,6 +105,13 @@ class CommandService {
   /// — request wire transit, afterClusterTime parking, CPU service — are
   /// recorded under the client attempt span the command named.
   void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Installs the sharding admission check (nullptr removes it). Only
+  /// versioned commands (route.shard_version != 0) are ever rejected, so
+  /// unrouted/internal traffic is unaffected.
+  void SetAdmissionCheck(AdmissionCheck check) {
+    admission_check_ = std::move(check);
+  }
 
   int node_index() const { return node_; }
   net::HostId host() const { return host_; }
@@ -135,6 +148,7 @@ class CommandService {
   const net::HostId host_;
   uint64_t commands_served_ = 0;
   obs::Tracer* tracer_ = nullptr;
+  AdmissionCheck admission_check_;
 };
 
 }  // namespace dcg::server

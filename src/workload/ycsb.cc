@@ -30,9 +30,12 @@ YcsbWorkload::YcsbWorkload(driver::MongoClient* client,
       rng_(std::move(rng)),
       key_chooser_(config.record_count, config.zipfian_theta) {}
 
-void YcsbWorkload::Load(const YcsbConfig& config, store::Database* db) {
+void YcsbWorkload::Load(const YcsbConfig& config, store::Database* db,
+                        const std::function<bool(int64_t)>& keep) {
   // A fixed seed independent of the experiment seed: every node loads the
-  // byte-identical snapshot.
+  // byte-identical snapshot. The RNG is consumed for every record even
+  // when `keep` filters it out, so a shard's kept records carry the same
+  // field bytes they would in the unsharded snapshot.
   sim::Rng rng(0x5eed5eedULL);
   store::Collection& table = db->GetOrCreate(config.table);
   for (int64_t key = 0; key < config.record_count; ++key) {
@@ -43,6 +46,7 @@ void YcsbWorkload::Load(const YcsbConfig& config, store::Database* db) {
       fields.emplace_back(FieldName(f),
                           doc::Value(FieldValue(&rng, config.field_length)));
     }
+    if (keep != nullptr && !keep(key)) continue;
     const bool inserted = table.Insert(doc::Value(std::move(fields)));
     DCG_CHECK(inserted);
   }
@@ -60,6 +64,12 @@ void YcsbWorkload::IssueRead(Done done) {
   ++reads_issued_;
   const int64_t key = key_chooser_.Next(&rng_);
   const driver::ReadPreference pref = policy_->ChooseReadPreference(&rng_);
+  driver::OpOptions opts;
+  if (config_.stamp_route) {
+    opts.route.collection = config_.table;
+    opts.route.has_key = true;
+    opts.route.key = doc::Value(key);
+  }
   auto found = std::make_shared<bool>(false);
   client_->Read(
       pref, server::OpClass::kPointRead,
@@ -87,7 +97,8 @@ void YcsbWorkload::IssueRead(Done done) {
         outcome.hedge_won = r.hedge_won;
         outcome.checkout_wait = r.checkout_wait;
         done(outcome);
-      });
+      },
+      std::move(opts));
 }
 
 void YcsbWorkload::IssueUpdate(Done done) {
@@ -98,6 +109,12 @@ void YcsbWorkload::IssueUpdate(Done done) {
   doc::UpdateSpec spec;
   spec.Set(FieldName(field),
            doc::Value(FieldValue(&rng_, config_.field_length)));
+  driver::OpOptions opts;
+  if (config_.stamp_route) {
+    opts.route.collection = config_.table;
+    opts.route.has_key = true;
+    opts.route.key = doc::Value(key);
+  }
   client_->Write(
       server::OpClass::kUpdate,
       [this, key, spec = std::move(spec)](repl::TxnContext* ctx) {
@@ -115,7 +132,8 @@ void YcsbWorkload::IssueUpdate(Done done) {
         outcome.retries = r.retries;
         outcome.checkout_wait = r.checkout_wait;
         done(outcome);
-      });
+      },
+      repl::WriteConcern::kW1, std::move(opts));
 }
 
 }  // namespace dcg::workload

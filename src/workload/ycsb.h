@@ -1,6 +1,7 @@
 #ifndef DCG_WORKLOAD_YCSB_H_
 #define DCG_WORKLOAD_YCSB_H_
 
+#include <functional>
 #include <string>
 
 #include "core/routing_policy.h"
@@ -20,6 +21,10 @@ struct YcsbConfig {
   double read_proportion = 0.5;  // A = 0.5, B = 0.95
   double zipfian_theta = 0.99;
   std::string table = "usertable";
+  /// Sharded runs: stamp collection + shard key (the record id) on every
+  /// op so a shard::Router can resolve the owning shard. Inert against a
+  /// plain replica set (the unsharded server ignores routing info).
+  bool stamp_route = false;
 
   static YcsbConfig WorkloadA() {
     YcsbConfig c;
@@ -42,8 +47,12 @@ class YcsbWorkload : public Workload {
 
   /// Populates `db` with the record set. Call once per replica node before
   /// the run — the experiment starts from an already-replicated snapshot,
-  /// like restoring all nodes from the same backup.
-  static void Load(const YcsbConfig& config, store::Database* db);
+  /// like restoring all nodes from the same backup. `keep` filters the
+  /// record ids loaded (sharded runs load each node with only the records
+  /// its shard owns); field content is generated identically either way,
+  /// so the union across shards equals the unsharded snapshot.
+  static void Load(const YcsbConfig& config, store::Database* db,
+                   const std::function<bool(int64_t)>& keep = nullptr);
 
   /// Switches the read/write mix mid-run (the Figure 2/3 phase changes).
   void set_read_proportion(double p) { config_.read_proportion = p; }

@@ -14,6 +14,7 @@
 
 #include "exp/experiment.h"
 #include "fault/fault_injector.h"
+#include "shard/sharded_cluster.h"
 
 namespace dcg {
 namespace {
@@ -229,6 +230,86 @@ TEST(DeterminismTest, SameSeedSameTraceWithBatching) {
   const std::string second = RunTrace(config);
   ASSERT_FALSE(first.empty());
   EXPECT_EQ(first, second);
+}
+
+// --- sharded mode ---------------------------------------------------------
+//
+// A sharded run routes everything through the mongos (shard::Router):
+// per-shard replica sets, a versioned chunk map, per-shard balancers
+// joined to one StalenessBudget. None of that may draw hidden
+// randomness. The trace serialises per-period rows (including the
+// per-shard columns), the staleness series, router counters, per-shard
+// replication counters, and every node's database fingerprint.
+
+exp::ExperimentConfig ShardedSmallConfig(uint64_t seed) {
+  exp::ExperimentConfig config = SmallConfig(seed);
+  config.shards = 2;
+  return config;
+}
+
+std::string ShardedRunTrace(const exp::ExperimentConfig& config) {
+  exp::Experiment experiment(config);
+  experiment.Run();
+
+  std::ostringstream trace;
+  for (const auto& row : experiment.rows()) {
+    trace << row.start << ' ' << row.end << ' ' << row.reads << ' '
+          << row.reads_secondary << ' ' << row.writes << ' '
+          << row.balance_fraction << ' ' << row.est_staleness_max_s << ' '
+          << row.read_latency.count() << ' ' << row.read_latency.max();
+    for (size_t s = 0; s < row.shard_balance_fraction.size(); ++s) {
+      trace << ' ' << row.shard_reads[s] << ' '
+            << row.shard_balance_fraction[s];
+    }
+    trace << '\n';
+  }
+  for (const auto& point : experiment.staleness_series()) {
+    trace << point.at << ' ' << point.estimate_s << ' ' << point.true_max_s
+          << '\n';
+  }
+  for (const auto& [at, staleness] : experiment.s_samples()) {
+    trace << at << ' ' << staleness << '\n';
+  }
+  shard::ShardedCluster* cluster = experiment.sharded_cluster();
+  shard::Router& router = cluster->router();
+  trace << router.commands_served() << ' ' << router.routed_reads() << ' '
+        << router.routed_writes() << ' ' << router.stale_refreshes() << ' '
+        << experiment.network().messages_delivered() << ' '
+        << experiment.network().messages_dropped() << '\n';
+  for (int s = 0; s < cluster->shard_count(); ++s) {
+    auto& rs = cluster->shard(s);
+    trace << rs.committed_writes() << ' ' << rs.majority_writes_acked()
+          << ' ' << rs.pull_restarts() << '\n';
+    for (int i = 0; i < rs.node_count(); ++i) {
+      trace << rs.node(i).db().Fingerprint() << '\n';
+    }
+  }
+  return trace.str();
+}
+
+// Captured when the sharded mode landed. Same contract as the unsharded
+// goldens: re-capture only for an intentional semantic change.
+constexpr uint64_t kGoldenShardedTrace = 7522357553552555326ull;
+
+TEST(DeterminismTest, ShardedTraceMatchesGoldenFingerprint) {
+  const uint64_t h = TraceHash(ShardedRunTrace(ShardedSmallConfig(42)));
+  std::cout << "sharded trace hash: " << h << "ull\n";
+  if (kGoldenShardedTrace == 0) {
+    GTEST_SKIP() << "golden hash not yet recorded";
+  }
+  EXPECT_EQ(h, kGoldenShardedTrace);
+}
+
+TEST(DeterminismTest, ShardedSameSeedSameTrace) {
+  const std::string first = ShardedRunTrace(ShardedSmallConfig(42));
+  const std::string second = ShardedRunTrace(ShardedSmallConfig(42));
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(DeterminismTest, ShardedDifferentSeedsDifferentTraces) {
+  EXPECT_NE(ShardedRunTrace(ShardedSmallConfig(42)),
+            ShardedRunTrace(ShardedSmallConfig(43)));
 }
 
 TEST(DeterminismTest, TpccSameSeedSameTrace) {
