@@ -1,28 +1,32 @@
 // Extension bench (paper §6 future work, "more sophisticated feedback
-// control"): the paper's ±10 % step controller vs a proportional
-// controller, judged on (a) periods to converge after a congestion step
-// and (b) behaviour after convergence.
+// control"): every registered Balance Fraction strategy races on the
+// same congestion step, judged on (a) periods to converge and (b)
+// behaviour after convergence. The paper's ±10 % step law is the
+// baseline; the rivals (proportional, CPQ-style SLA feedback, AoI
+// capping, PID) ride the registry, so a newly registered controller
+// joins the race without touching this file.
 
-#include <memory>
+#include <algorithm>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
+#include "core/controller.h"
 
 int main() {
   using namespace dcg;
   using namespace dcg::bench;
 
-  Banner("Extension: controllers", "Algorithm 1 step vs proportional control");
+  Banner("Extension: controllers",
+         "Algorithm 1 step law vs the registered rivals");
 
-  struct Variant {
-    const char* name;
-    bool proportional;
-  };
-  const Variant variants[] = {{"step (paper)", false},
-                              {"proportional", true}};
-
-  double reach_time[2];
-  double throughput[2];
-  for (int v = 0; v < 2; ++v) {
+  const std::vector<std::string_view>& names = core::RegisteredControllers();
+  std::vector<double> reach_time(names.size(), -1);
+  std::vector<double> throughput(names.size(), 0);
+  std::vector<double> mean_age(names.size(), 0);
+  size_t baseline = 0;
+  for (size_t v = 0; v < names.size(); ++v) {
+    if (core::IsDefaultController(names[v])) baseline = v;
     exp::ExperimentConfig config;
     config.seed = 65;
     config.system = exp::SystemType::kDecongestant;
@@ -30,12 +34,9 @@ int main() {
     config.phases = {{0, 45, 0.95}};  // immediately congested primary
     config.duration = sim::Seconds(400);
     config.warmup = sim::Seconds(150);
+    config.controller = std::string(names[v]);
 
     exp::Experiment experiment(config);
-    if (variants[v].proportional) {
-      experiment.balancer()->SetController(
-          std::make_unique<core::ProportionalController>());
-    }
     double reached = -1;
     experiment.balancer()->SetPeriodCallback(
         [&](const core::ReadBalancer::PeriodStats& stats) {
@@ -44,20 +45,34 @@ int main() {
           }
         });
     experiment.Run();
+    const exp::Summary summary = experiment.Summarize();
     reach_time[v] = reached;
-    throughput[v] = experiment.Summarize().read_throughput;
-    std::printf("%-14s controller: fraction>=0.65 at t=%4.0f s, "
-                "steady reads/s %.0f\n",
-                variants[v].name, reached, throughput[v]);
+    throughput[v] = summary.read_throughput;
+    mean_age[v] = summary.mean_served_age_s;
+    std::printf("%-13s fraction>=0.65 at t=%4.0f s, steady reads/s %6.0f, "
+                "mean served age %.3f s\n",
+                std::string(names[v]).c_str(), reached, throughput[v],
+                mean_age[v]);
   }
 
-  ShapeCheck("both controllers converge to the shared-load equilibrium",
-             reach_time[0] > 0 && reach_time[1] > 0);
+  bool all_converge = true;
+  bool throughput_close = true;
+  for (size_t v = 0; v < names.size(); ++v) {
+    // The CPQ policy chases its SLA, not the latency ratio: under a
+    // congested primary it still sheds, but convergence to a specific
+    // fraction is not part of its contract. Everyone else must get there.
+    if (names[v] != "cpq" && reach_time[v] < 0) all_converge = false;
+    if (throughput[v] < 0.75 * throughput[baseline]) throughput_close = false;
+  }
+  ShapeCheck("every ratio-driven controller converges to the equilibrium",
+             all_converge);
+  ShapeCheck("no rival collapses throughput (within 25% of the paper's law)",
+             throughput_close);
+  const size_t prop =
+      std::find(names.begin(), names.end(), "proportional") - names.begin();
   ShapeCheck(
       "the proportional controller converges at least as fast as the "
       "step controller",
-      reach_time[1] <= reach_time[0]);
-  ShapeCheck("steady-state throughput is equivalent (within 5%)",
-             throughput[1] >= 0.95 * throughput[0]);
+      reach_time[prop] > 0 && reach_time[prop] <= reach_time[baseline]);
   return 0;
 }

@@ -4,15 +4,33 @@
 //
 // Usage:
 //   sim_cli [--workload=ycsb-a|ycsb-b|tpcc] [--system=decongestant|
-//           primary|secondary] [--clients=N] [--duration=SECONDS]
-//           [--warmup=SECONDS] [--seed=N] [--stale-bound=SECONDS]
-//           [--controller=step|proportional] [--no-s-workload]
+//           primary|secondary] [--scenario=fig2|fig3|fig9] [--clients=N]
+//           [--duration=SECONDS] [--warmup=SECONDS] [--seed=N]
+//           [--stale-bound=SECONDS]
+//           [--controller=decongestant|proportional|cpq|aoi|pid]
+//           [--no-s-workload]
 //           [--kill-primary-at=SECONDS] [--faults=SPEC] [--chaos-seed=N]
 //           [--hedged-reads] [--op-deadline=MS] [--max-pool-size=N]
 //           [--wait-queue-timeout=MS] [--batch-max-ops=N]
 //           [--batch-max-delay-us=US] [--csv-prefix=PATH] [--quiet]
 //           [--trace-out=PATH] [--trace-max-spans=N] [--metrics-out=PATH]
 //           [--explain-balancer] [--shards=N] [--shard-key=hashed|ranged]
+//
+// --scenario loads a paper-figure preset (workload, phase schedule, seed,
+//   duration) so the bake-off and CI can invoke figures by name:
+//     fig2  YCSB-A -> YCSB-B read-ratio jump (45 clients, switch at 69 %
+//           of the run, summary over the post-switch phase)
+//     fig3  load drop: YCSB-B 45 clients -> YCSB-A 5 clients at 33 %
+//     fig9  TPC-C with StaleBound 10 s (checkpoint-stall sawtooth)
+//   Later flags override preset values; phase-switch and warmup times
+//   scale with the final --duration, so short CI runs keep the shape.
+// --controller picks the Balance Fraction strategy (the controller
+//   bake-off): "decongestant" is the paper's Algorithm 1 step law
+//   (default, alias "step"), "proportional" its §6 sketch, "cpq" a
+//   Continuous-Partial-Quorums-style SLA-feedback router, "aoi" the
+//   age-of-information-capped law, "pid" a PID on the latency ratio.
+//   Every strategy ticks through the same decision log, so
+//   --explain-balancer explains all of them.
 //
 // --faults takes a semicolon-separated fault timeline (times in seconds):
 //   type@start[-end][:key=value]*   with type one of latency | loss |
@@ -72,6 +90,7 @@
 #include <memory>
 #include <string>
 
+#include "core/controller.h"
 #include "exp/csv_export.h"
 #include "exp/experiment.h"
 #include "fault/fault_injector.h"
@@ -93,6 +112,44 @@ bool ParseFlag(const char* arg, const char* name, std::string* value) {
   std::exit(2);
 }
 
+/// A paper-figure preset: everything in *fractions* of the run duration,
+/// so `--scenario=fig2 --duration=240` replays the Fig. 2 shape at CI
+/// scale. Client counts use the bench suite's paper/4 scaling.
+struct ScenarioPreset {
+  const char* workload;
+  uint64_t seed;
+  double duration_s;
+  double warmup_frac;       // warmup = warmup_frac * duration
+  int clients;
+  double phase0_read_prop;  // YCSB only
+  // Optional second phase (switch_frac < 0 disables).
+  double switch_frac = -1;
+  int phase1_clients = 0;
+  double phase1_read_prop = 0;
+  int64_t stale_bound_s = -1;  // -1: leave the default
+};
+
+bool LookupScenario(const std::string& name, ScenarioPreset* out) {
+  if (name == "fig2") {
+    // Fig. 2: YCSB-A (50 % reads) -> YCSB-B (95 %) at 620/900 s.
+    *out = {"ycsb-a", 42, 900, 660.0 / 900, 45, 0.5, 620.0 / 900, 45, 0.95};
+    return true;
+  }
+  if (name == "fig3") {
+    // Fig. 3: YCSB-B with 45 clients -> YCSB-A with 5 at 230/700 s.
+    *out = {"ycsb-b", 43, 700, 100.0 / 700, 45, 0.95, 230.0 / 700, 5, 0.5};
+    return true;
+  }
+  if (name == "fig9") {
+    // Fig. 9: read-write TPC-C, StaleBound 10 s, checkpoint sawtooth.
+    ScenarioPreset p = {"tpcc", 49, 400, 60.0 / 400, 15, 0.5};
+    p.stale_bound_s = 10;
+    *out = p;
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -105,8 +162,28 @@ int main(int argc, char** argv) {
 
   std::string workload = "ycsb-a";
   std::string system = "decongestant";
-  std::string controller = "step";
+  std::string controller = "decongestant";
   std::string shard_key = "hashed";
+
+  // Scenario presets apply first so every later flag can override them.
+  ScenarioPreset scenario{};
+  bool scenario_active = false;
+  bool warmup_given = false;
+  int clients_given = -1;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (!ParseFlag(argv[i], "scenario", &value)) continue;
+    if (!LookupScenario(value, &scenario)) {
+      Usage("unknown --scenario (fig2 | fig3 | fig9)");
+    }
+    scenario_active = true;
+    workload = scenario.workload;
+    config.seed = scenario.seed;
+    config.duration = sim::Seconds(scenario.duration_s);
+    if (scenario.stale_bound_s >= 0) {
+      config.balancer.stale_bound_seconds = scenario.stale_bound_s;
+    }
+  }
   std::string csv_prefix;
   std::string fault_spec;
   std::string trace_out;
@@ -123,12 +200,16 @@ int main(int argc, char** argv) {
       workload = value;
     } else if (ParseFlag(argv[i], "system", &value)) {
       system = value;
+    } else if (ParseFlag(argv[i], "scenario", &value)) {
+      // Applied in the pre-pass above.
     } else if (ParseFlag(argv[i], "clients", &value)) {
       config.phases[0].clients = std::atoi(value.c_str());
+      clients_given = config.phases[0].clients;
     } else if (ParseFlag(argv[i], "duration", &value)) {
       config.duration = sim::Seconds(std::atof(value.c_str()));
     } else if (ParseFlag(argv[i], "warmup", &value)) {
       config.warmup = sim::Seconds(std::atof(value.c_str()));
+      warmup_given = true;
     } else if (ParseFlag(argv[i], "seed", &value)) {
       config.seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "stale-bound", &value)) {
@@ -204,6 +285,29 @@ int main(int argc, char** argv) {
     Usage("unknown --workload");
   }
 
+  if (scenario_active) {
+    // Rebuild the phase schedule from the preset fractions against the
+    // *final* duration, so `--duration` overrides scale the whole shape.
+    const double duration_s = sim::ToSeconds(config.duration);
+    const int clients0 =
+        clients_given > 0 ? clients_given : scenario.clients;
+    config.phases = {{0, clients0, scenario.phase0_read_prop}};
+    if (scenario.switch_frac >= 0) {
+      // Keep a user --clients override proportional across the switch.
+      int clients1 = scenario.phase1_clients;
+      if (clients_given > 0 && scenario.clients > 0) {
+        clients1 = std::max(
+            1, clients_given * scenario.phase1_clients / scenario.clients);
+      }
+      config.phases.push_back({sim::Seconds(duration_s *
+                                            scenario.switch_frac),
+                               clients1, scenario.phase1_read_prop});
+    }
+    if (!warmup_given) {
+      config.warmup = sim::Seconds(duration_s * scenario.warmup_frac);
+    }
+  }
+
   if (system == "decongestant") {
     config.system = exp::SystemType::kDecongestant;
   } else if (system == "primary") {
@@ -256,21 +360,20 @@ int main(int argc, char** argv) {
     }
   }
 
-  exp::Experiment experiment(config);
-  if (config.system == exp::SystemType::kDecongestant &&
-      controller == "proportional") {
-    if (experiment.sharded()) {
-      for (int s = 0; s < experiment.sharded_cluster()->shard_count(); ++s) {
-        experiment.sharded_cluster()->balancer(s)->SetController(
-            std::make_unique<core::ProportionalController>());
-      }
-    } else {
-      experiment.balancer()->SetController(
-          std::make_unique<core::ProportionalController>());
+  if (!core::IsDefaultController(controller) &&
+      core::MakeController(controller) == nullptr) {
+    std::string known;
+    for (std::string_view name : core::RegisteredControllers()) {
+      if (!known.empty()) known += " | ";
+      known += name;
     }
-  } else if (controller != "step") {
-    Usage("unknown --controller");
+    std::fprintf(stderr, "sim_cli: unknown --controller (%s)\n",
+                 known.c_str());
+    return 2;
   }
+  config.controller = controller;
+
+  exp::Experiment experiment(config);
   if (kill_primary_at >= 0) {
     experiment.loop().ScheduleAt(sim::Seconds(kill_primary_at), [&] {
       experiment.replica_set().KillNode(
@@ -278,10 +381,12 @@ int main(int argc, char** argv) {
     });
   }
 
-  std::printf("workload=%s system=%s clients=%d duration=%.0fs seed=%llu\n",
-              workload.c_str(), system.c_str(), config.phases[0].clients,
-              sim::ToSeconds(config.duration),
-              static_cast<unsigned long long>(config.seed));
+  std::printf(
+      "workload=%s system=%s controller=%s clients=%d duration=%.0fs "
+      "seed=%llu\n",
+      workload.c_str(), system.c_str(), controller.c_str(),
+      config.phases[0].clients, sim::ToSeconds(config.duration),
+      static_cast<unsigned long long>(config.seed));
   experiment.Run();
 
   const bool tpcc = config.kind == exp::WorkloadKind::kTpcc;
@@ -329,6 +434,12 @@ int main(int argc, char** argv) {
       summary.read_throughput, summary.p80_read_latency_ms,
       summary.secondary_percent, summary.p80_staleness_s,
       summary.max_staleness_s);
+  if (!experiment.sharded()) {
+    std::printf(
+        "served age: mean %.3f s, max %.3f s, bound violations %llu\n",
+        summary.mean_served_age_s, summary.max_served_age_s,
+        static_cast<unsigned long long>(summary.bound_violations));
+  }
 
   if (experiment.sharded()) {
     shard::ShardedCluster* cluster = experiment.sharded_cluster();
@@ -408,7 +519,7 @@ int main(int argc, char** argv) {
       std::printf("\nbalancer decisions: none (system=%s has no balancer)\n",
                   system.c_str());
     } else {
-      uint64_t reason_counts[8] = {};
+      uint64_t reason_counts[obs::kBalanceReasonCount] = {};
       std::printf("\nbalancer decisions (%llu):\n",
                   static_cast<unsigned long long>(log->size()));
       for (const obs::BalanceDecision& d : log->entries()) {
@@ -424,7 +535,7 @@ int main(int argc, char** argv) {
             static_cast<long long>(d.stale_bound_s));
       }
       std::printf("  by reason:");
-      for (size_t r = 0; r < 8; ++r) {
+      for (size_t r = 0; r < obs::kBalanceReasonCount; ++r) {
         if (reason_counts[r] == 0) continue;
         std::printf(" %s=%llu",
                     std::string(

@@ -40,17 +40,19 @@ bool WritePeriodsCsv(const Experiment& experiment, const std::string& path) {
       "ops_ok=count ops_timed_out=count ops_retried=count hedges_won=count "
       "pool_checkout_timeouts=count pool_checkout_wait_ms=ms "
       "pool_queue_depth=count envelopes_sent=count ops_batched=count "
+      "served_age_mean_s=seconds served_age_max_s=seconds "
       "balance_from=fraction balance_to=fraction balance_reason=enum");
   csv.Line(
       "start_s,reads,reads_secondary,writes,read_throughput,"
       "p80_latency_ms,secondary_pct,balance_fraction,est_staleness_s,"
       "stock_level,stock_level_p80_ms,ops_ok,ops_timed_out,ops_retried,"
       "hedges_won,pool_checkout_timeouts,pool_checkout_wait_ms,"
-      "pool_queue_depth,envelopes_sent,ops_batched,balance_from,balance_to,"
-      "balance_reason");
+      "pool_queue_depth,envelopes_sent,ops_batched,served_age_mean_s,"
+      "served_age_max_s,balance_from,balance_to,balance_reason");
   for (const PeriodRow& row : experiment.rows()) {
     csv.Line("%.1f,%llu,%llu,%llu,%.2f,%.3f,%.2f,%.2f,%lld,%llu,%.3f,"
-             "%llu,%llu,%llu,%llu,%llu,%.3f,%d,%llu,%llu,%.2f,%.2f,%s",
+             "%llu,%llu,%llu,%llu,%llu,%.3f,%d,%llu,%llu,%.4f,%.4f,"
+             "%.2f,%.2f,%s",
              sim::ToSeconds(row.start),
              static_cast<unsigned long long>(row.reads),
              static_cast<unsigned long long>(row.reads_secondary),
@@ -69,6 +71,8 @@ bool WritePeriodsCsv(const Experiment& experiment, const std::string& path) {
              row.pool_checkout_wait_ms, row.pool_queue_depth,
              static_cast<unsigned long long>(row.envelopes_sent),
              static_cast<unsigned long long>(row.ops_batched),
+             row.served_age.count() > 0 ? row.served_age.mean() / 1000.0 : 0.0,
+             row.served_age.max() / 1000.0,
              row.balance_from, row.balance_to,
              row.balance_decided
                  ? std::string(obs::ToString(row.balance_reason)).c_str()

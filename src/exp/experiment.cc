@@ -129,6 +129,25 @@ Experiment::Experiment(ExperimentConfig config)
     }
   }
 
+  // --- Controller strategy. The default name leaves the balancers on the
+  // StepController they construct with — the bit-identical golden path —
+  // so only a non-default selection touches them at all. ---
+  if (config_.system == SystemType::kDecongestant &&
+      !core::IsDefaultController(config_.controller)) {
+    if (sharded()) {
+      for (int s = 0; s < cluster_->shard_count(); ++s) {
+        if (cluster_->balancer(s) == nullptr) continue;
+        auto controller = core::MakeController(config_.controller);
+        DCG_CHECK_MSG(controller != nullptr, "unknown controller strategy");
+        cluster_->balancer(s)->SetController(std::move(controller));
+      }
+    } else {
+      auto controller = core::MakeController(config_.controller);
+      DCG_CHECK_MSG(controller != nullptr, "unknown controller strategy");
+      balancer_->SetController(std::move(controller));
+    }
+  }
+
   // --- Pre-replicated data: every node loads the identical snapshot; in
   // sharded mode each shard's nodes load only the records it owns (the
   // union across shards is the unsharded snapshot). ---
@@ -239,14 +258,30 @@ Experiment::Experiment(ExperimentConfig config)
     }
   }
 
-  // Per-Read-Preference latency histograms, off the same completion path
-  // the Read Balancer harvests (observers are multicast).
+  // Per-Read-Preference latency and served-age histograms, off the same
+  // completion path the Read Balancer harvests (observers are multicast).
+  // The age of a served read is the serving node's true staleness when
+  // the read completed — 0 for the primary — i.e. the age-of-information
+  // the client actually consumed, per preference and per node.
+  if (!sharded()) {
+    node_served_age_.resize(static_cast<size_t>(client_->node_count()));
+  }
   workload_client->AddOpObserver([this](
                                      const driver::MongoClient::OpStats&
                                          stats) {
     if (!stats.is_read || !stats.ok || !stats.record_latency) return;
     pref_read_latency_[static_cast<size_t>(stats.requested)].Add(
         static_cast<double>(stats.latency));
+    if (sharded()) return;  // serving node is behind the router
+    const int primary = rs_->primary_index();
+    if (stats.node < 0 || primary < 0) return;  // election in flight
+    const double age_ms =
+        stats.node == primary
+            ? 0.0
+            : sim::ToMillis(rs_->TrueStaleness(stats.node));
+    current_.served_age.Add(age_ms);
+    pref_served_age_[static_cast<size_t>(stats.requested)].Add(age_ms);
+    node_served_age_[static_cast<size_t>(stats.node)].Add(age_ms);
   });
   RegisterMetrics();
 }
@@ -364,6 +399,25 @@ void Experiment::RegisterMetrics() {
         {{"pref",
           std::string(ToString(static_cast<driver::ReadPreference>(pref)))}},
         &pref_read_latency_[pref], 1.0 / sim::kMillisecond);
+  }
+
+  // Served-read age of information (histograms record ms; exported in
+  // seconds): what age of data each preference / each node actually
+  // handed to clients. Single-replica-set mode only — behind a router
+  // the client cannot name the serving node.
+  if (!sharded()) {
+    for (size_t pref = 0; pref < 5; ++pref) {
+      registry_.RegisterHistogram(
+          "served_read_age", "seconds",
+          {{"pref",
+            std::string(ToString(static_cast<driver::ReadPreference>(pref)))}},
+          &pref_served_age_[pref], 1.0 / 1000.0);
+    }
+    for (size_t node = 0; node < node_served_age_.size(); ++node) {
+      registry_.RegisterHistogram("served_read_age", "seconds",
+                                  {{"node", std::to_string(node)}},
+                                  &node_served_age_[node], 1.0 / 1000.0);
+    }
   }
 }
 
@@ -520,6 +574,7 @@ Summary Experiment::Summarize() const {
   metrics::Histogram read_latency;
   metrics::Histogram sl_latency;
   metrics::Histogram staleness;
+  metrics::Histogram served_age;
   sim::Duration measured = 0;
   uint64_t stock_level = 0;
   for (const PeriodRow& row : rows_) {
@@ -531,6 +586,7 @@ Summary Experiment::Summarize() const {
     read_latency.Merge(row.read_latency);
     sl_latency.Merge(row.stock_level_latency);
     staleness.Merge(row.s_staleness);
+    served_age.Merge(row.served_age);
   }
   uint64_t secondary_reads = 0;
   for (const PeriodRow& row : rows_) {
@@ -556,6 +612,18 @@ Summary Experiment::Summarize() const {
       sl_latency.Percentile(80) / static_cast<double>(sim::kMillisecond);
   summary.p80_staleness_s = staleness.Percentile(80) / 1000.0;
   summary.max_staleness_s = staleness.max() / 1000.0;
+  if (served_age.count() > 0) {
+    summary.mean_served_age_s = served_age.mean() / 1000.0;
+    summary.max_served_age_s = served_age.max() / 1000.0;
+  }
+  if (config_.balancer.stale_bound_seconds > 0) {
+    const double bound_s =
+        static_cast<double>(config_.balancer.stale_bound_seconds);
+    for (const auto& [at, staleness_s] : s_samples_) {
+      if (at < config_.warmup) continue;
+      if (staleness_s > bound_s) ++summary.bound_violations;
+    }
+  }
   return summary;
 }
 

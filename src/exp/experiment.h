@@ -2,6 +2,7 @@
 #define DCG_EXP_EXPERIMENT_H_
 
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -50,6 +51,12 @@ struct Phase {
 struct ExperimentConfig {
   uint64_t seed = 42;
   SystemType system = SystemType::kDecongestant;
+  /// Balance Fraction controller strategy, by registry name
+  /// (core::MakeController): "decongestant" (the paper's Algorithm 1,
+  /// default), "proportional", "cpq", "aoi", or "pid". Applied to every
+  /// Read Balancer the run builds (one per shard in sharded mode).
+  /// Ignored for the fixed-preference baselines.
+  std::string controller = "decongestant";
 
   WorkloadKind kind = WorkloadKind::kYcsb;
   workload::YcsbConfig ycsb;
@@ -130,6 +137,12 @@ struct PeriodRow {
   // counters (both zero with batching off — the default).
   uint64_t envelopes_sent = 0;  // coalesced batches put on the wire
   uint64_t ops_batched = 0;     // attempts that rode an envelope
+  // Served-read age of information: for every completed read, the true
+  // staleness of the serving node when the read finished (0 for the
+  // primary). Stored in milliseconds for sub-second resolution;
+  // single-replica-set runs only (empty in sharded mode, where the
+  // serving node sits behind the router).
+  metrics::Histogram served_age;
   // Balancer decision summary for the period (Decongestant only): the
   // last control-tick move and its Algorithm 1 reason. balance_decided is
   // false when no tick fell inside the period.
@@ -169,6 +182,14 @@ struct Summary {
   double write_throughput = 0;
   uint64_t total_reads = 0;
   uint64_t total_writes = 0;
+  /// Age-of-information aggregates over the served-read age histograms
+  /// (seconds; 0 when no ages were recorded — e.g. sharded mode).
+  double mean_served_age_s = 0;
+  double max_served_age_s = 0;
+  /// S-workload samples (after warmup) that exceeded the staleness bound
+  /// — what the paper promises stays at ~0 for Decongestant. 0 when the
+  /// bound is disabled.
+  uint64_t bound_violations = 0;
 };
 
 /// Builds the full stack — event loop, network, replica set, driver,
@@ -275,6 +296,12 @@ class Experiment {
   /// Cumulative read latency per requested Read Preference, fed from the
   /// driver's completion path; registered as histogram series.
   metrics::Histogram pref_read_latency_[5];
+  /// Cumulative served-read age (ms) per requested Read Preference and
+  /// per serving node, fed from the same completion path (single
+  /// replica-set mode only). Sized once in the constructor — registered
+  /// histogram series hold pointers into the vector.
+  metrics::Histogram pref_served_age_[5];
+  std::vector<metrics::Histogram> node_served_age_;
   /// First balancer decision not yet folded into a PeriodRow.
   size_t decision_cursor_ = 0;
 

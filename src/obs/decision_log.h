@@ -34,7 +34,26 @@ enum class BalanceReason : uint8_t {
   /// latency histories and staleness inputs described the *old* primary,
   /// so the balancer reset them and restarted from the floor fraction.
   kPrimarySwapReset,
+  /// CPQ policy: the read-latency SLA was missed while the primary was
+  /// the slow side — fraction stepped toward the secondaries.
+  kSlaShedToSecondary,
+  /// CPQ policy: the SLA was missed while the secondaries were the slow
+  /// side — fraction stepped back toward the primary.
+  kSlaShedToPrimary,
+  /// CPQ policy: the SLA was met with headroom — drift toward the fresh
+  /// primary (the freshness-seeking role of Algorithm 1's probe).
+  kSlaHeadroomProbe,
+  /// AoI policy: per-secondary age estimates capped the fraction below
+  /// what the latency signal alone would have chosen.
+  kAoiCapped,
+  /// PID policy: the integral/derivative terms moved the fraction while
+  /// the raw ratio sat inside the dead band.
+  kPidAdjust,
 };
+
+/// Number of BalanceReason values (for reason-indexed count arrays).
+inline constexpr size_t kBalanceReasonCount =
+    static_cast<size_t>(BalanceReason::kPidAdjust) + 1;
 
 std::string_view ToString(BalanceReason reason);
 

@@ -1,0 +1,60 @@
+#!/bin/bash
+# Controller bake-off: run the Fig. 2 / Fig. 3 / Fig. 9 scenarios once
+# per registered Balance Fraction strategy and print the markdown
+# comparison table committed to EXPERIMENTS.md. CI runs a single short
+# fig2 pass of the same thing; this script is the full-duration version.
+#
+# Usage: tools/bakeoff.sh [BUILD_DIR] [OUT_DIR]
+#   BUILD_DIR  cmake build tree containing examples/sim_cli
+#              (default: build)
+#   OUT_DIR    where logs and CSVs land (default: a fresh mktemp dir)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-$(mktemp -d /tmp/bakeoff.XXXXXX)}"
+SIM_CLI="$BUILD_DIR/examples/sim_cli"
+if [ ! -x "$SIM_CLI" ]; then
+  echo "bakeoff: $SIM_CLI not found — build the sim_cli target first" >&2
+  exit 2
+fi
+mkdir -p "$OUT_DIR"
+
+CONTROLLERS=(decongestant cpq aoi pid)
+SCENARIOS=(fig2 fig3 fig9)
+
+for scenario in "${SCENARIOS[@]}"; do
+  for controller in "${CONTROLLERS[@]}"; do
+    log="$OUT_DIR/${scenario}_${controller}.txt"
+    echo "bakeoff: $scenario / $controller ..." >&2
+    "$SIM_CLI" --scenario="$scenario" --controller="$controller" --quiet \
+      --csv-prefix="$OUT_DIR/${scenario}_${controller}" > "$log"
+  done
+done
+
+# Parse every summary into one markdown table per scenario.
+python3 - "$OUT_DIR" <<'PYEOF'
+import re
+import sys
+
+out_dir = sys.argv[1]
+controllers = ["decongestant", "cpq", "aoi", "pid"]
+for scenario in ["fig2", "fig3", "fig9"]:
+    print(f"\n### {scenario}\n")
+    print("| controller | read txn/s | P80 latency (ms) | secondary % | "
+          "mean served age (s) | max served age (s) | bound violations |")
+    print("|---|---|---|---|---|---|---|")
+    for controller in controllers:
+        text = open(f"{out_dir}/{scenario}_{controller}.txt").read()
+        m = re.search(r"summary: (\d+) read txn/s, P80 ([\d.]+) ms, "
+                      r"([\d.]+)% on secondaries", text)
+        age = re.search(r"served age: mean ([\d.]+) s, max ([\d.]+) s, "
+                        r"bound violations (\d+)", text)
+        if not m or not age:
+            raise SystemExit(f"{scenario}/{controller}: summary lines missing")
+        print(f"| {controller} | {m.group(1)} | {m.group(2)} | {m.group(3)} "
+              f"| {age.group(1)} | {age.group(2)} | {age.group(3)} |")
+PYEOF
+
+echo >&2
+echo "bakeoff: logs and CSVs in $OUT_DIR" >&2

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Lint the Python heredocs embedded in .github/workflows/ci.yml.
+
+The CI smoke steps pipe inline Python into `python3 - <<'EOF'`. A syntax
+error in one of those blocks only surfaces when the (slow, Release-build)
+job reaches the step — this check extracts every heredoc and byte-compiles
+it so the cheap lint job fails first instead.
+
+Usage: python3 tools/check_ci_python.py [workflow.yml ...]
+       (defaults to .github/workflows/ci.yml from the repo root)
+"""
+
+import pathlib
+import sys
+
+HEREDOC_OPEN = "python3 - <<'EOF'"
+HEREDOC_CLOSE = "EOF"
+
+
+def extract_heredocs(text):
+    """Yields (start_line, source) for every python3 heredoc in `text`."""
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        if lines[i].strip() == HEREDOC_OPEN:
+            indent = len(lines[i]) - len(lines[i].lstrip())
+            start = i + 1
+            body = []
+            i += 1
+            while i < len(lines) and lines[i].strip() != HEREDOC_CLOSE:
+                # The shell strips nothing inside a quoted heredoc, but the
+                # YAML block scalar already removed the step indentation;
+                # whatever is left beyond the opener's indent is real code
+                # indentation and must be preserved.
+                body.append(lines[i][indent:] if lines[i].strip() else "")
+                i += 1
+            if i >= len(lines):
+                raise SyntaxError(
+                    f"heredoc opened on line {start} is never closed")
+            yield start + 1, "\n".join(body) + "\n"
+        i += 1
+
+
+def main(argv):
+    root = pathlib.Path(__file__).resolve().parent.parent
+    paths = ([pathlib.Path(a) for a in argv[1:]]
+             or [root / ".github" / "workflows" / "ci.yml"])
+    failures = 0
+    total = 0
+    for path in paths:
+        text = path.read_text()
+        for line, source in extract_heredocs(text):
+            total += 1
+            name = f"{path.name}:{line}"
+            try:
+                compile(source, name, "exec")
+                print(f"ok: heredoc at {name} ({len(source.splitlines())} "
+                      "lines)")
+            except SyntaxError as err:
+                failures += 1
+                print(f"FAIL: heredoc at {name}: {err}", file=sys.stderr)
+    if total == 0:
+        print("FAIL: no python3 heredocs found — extractor out of sync "
+              "with the workflow?", file=sys.stderr)
+        return 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
