@@ -14,6 +14,8 @@
 //           [--wait-queue-timeout=MS] [--batch-max-ops=N]
 //           [--batch-max-delay-us=US] [--csv-prefix=PATH] [--quiet]
 //           [--trace-out=PATH] [--trace-max-spans=N] [--metrics-out=PATH]
+//           [--metrics-format=json|openmetrics] [--slo=SPEC]
+//           [--report-out=PATH]
 //           [--explain-balancer] [--shards=N] [--shard-key=hashed|ranged]
 //
 // --scenario loads a paper-figure preset (workload, phase schedule, seed,
@@ -58,7 +60,27 @@
 //   --trace-max-spans caps the buffer (default 1M spans).
 // --metrics-out writes every registered metric series (counters, gauges,
 //   latency histograms per Read Preference), sampled once per report
-//   period, as JSON.
+//   period. --metrics-format picks the encoding: "json" (default) or
+//   "openmetrics" (the Prometheus ecosystem text exposition, with
+//   # TYPE/# UNIT/# HELP lines and an # EOF terminator).
+// --slo evaluates service-level objectives once per report period, with
+//   SRE-style multi-window burn-rate alerting (page + ticket severities,
+//   pending -> firing -> resolved). SPEC is "default" (freshness: served
+//   age <= stale bound for 99 % of secondary reads; latency: read p80 <=
+//   the 3 ms CPQ SLA target; success: 99.9 % of ops complete) or
+//   semicolon-separated objectives:
+//     kind[:key=value]*  with kind freshness | latency | success and keys
+//     objective=F bound=X name=S page=RATE ticket=RATE window=S short=S
+//     hold=S resolve=S   (page/ticket=0 disables that severity).
+//   Alert transitions print after the summary, land in
+//   <csv-prefix>_slo.csv, appear as instant markers in --trace-out, and
+//   add slo_* columns to <csv-prefix>_periods.csv. With --shards>=2 the
+//   freshness objective is tracked per shard over the shard's staleness
+//   signal. Without --slo no engine is built and goldens are untouched.
+// --report-out renders a self-contained HTML dashboard (inline SVG, no
+//   scripts or external assets): throughput / latency / fraction /
+//   staleness / served-age time series, per-shard panels, alert timeline
+//   lanes, and balancer decision annotations.
 // --shards=N (N >= 2) runs the YCSB workload against a sharded cluster:
 //   N replica-set shards behind a bus-routed mongos, each shard with its
 //   own Read Balancer joined to one shared client-wide staleness budget
@@ -93,8 +115,11 @@
 #include "core/controller.h"
 #include "exp/csv_export.h"
 #include "exp/experiment.h"
+#include "exp/report_builder.h"
 #include "fault/fault_injector.h"
 #include "obs/decision_log.h"
+#include "obs/report.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 
 namespace {
@@ -188,6 +213,9 @@ int main(int argc, char** argv) {
   std::string fault_spec;
   std::string trace_out;
   std::string metrics_out;
+  std::string metrics_format = "json";
+  std::string slo_spec;
+  std::string report_out;
   double kill_primary_at = -1;
   uint64_t chaos_seed = 0;
   bool chaos = false;
@@ -254,6 +282,17 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "metrics-out", &value)) {
       if (value.empty()) Usage("--metrics-out needs a path");
       metrics_out = value;
+    } else if (ParseFlag(argv[i], "metrics-format", &value)) {
+      if (value != "json" && value != "openmetrics") {
+        Usage("unknown --metrics-format (json | openmetrics)");
+      }
+      metrics_format = value;
+    } else if (ParseFlag(argv[i], "slo", &value)) {
+      if (value.empty()) Usage("--slo needs a spec (try --slo=default)");
+      slo_spec = value;
+    } else if (ParseFlag(argv[i], "report-out", &value)) {
+      if (value.empty()) Usage("--report-out needs a path");
+      report_out = value;
     } else if (ParseFlag(argv[i], "shards", &value)) {
       config.shards = std::atoi(value.c_str());
       if (config.shards < 1) Usage("--shards needs a positive count");
@@ -357,6 +396,19 @@ int main(int argc, char** argv) {
       }
     } else {
       Usage("unknown --shard-key (hashed | ranged)");
+    }
+  }
+
+  if (!slo_spec.empty()) {
+    // Defaults for the "default" bundle and unset bounds: the balancer's
+    // staleness bound and the CPQ controller's read-latency SLA target.
+    obs::SloDefaults defaults;
+    defaults.stale_bound_seconds = config.balancer.stale_bound_seconds;
+    defaults.latency_target_ms =
+        sim::ToMillis(core::CpqController().sla_target());
+    std::string error;
+    if (!obs::ParseSloSpecs(slo_spec, defaults, &config.slos, &error)) {
+      Usage(error.c_str());
     }
   }
 
@@ -513,6 +565,45 @@ int main(int argc, char** argv) {
         sim::ToMillis(pool.wait_total));
   }
 
+  if (const obs::SloEngine* engine = experiment.slo_engine();
+      engine != nullptr) {
+    std::printf("\nslo: %llu objectives, %llu evaluations, %d firing, "
+                "%llu alert events\n",
+                static_cast<unsigned long long>(engine->trackers().size()),
+                static_cast<unsigned long long>(engine->evaluations()),
+                engine->firing_count(),
+                static_cast<unsigned long long>(engine->events().size()));
+    for (const auto& tracker : engine->trackers()) {
+      char shard_col[24] = "";
+      if (tracker->shard() >= 0) {
+        std::snprintf(shard_col, sizeof(shard_col), " shard=%d",
+                      tracker->shard());
+      }
+      std::printf("  %s%s: sli=%.4f burn=%.2f",
+                  std::string(tracker->spec().display_name()).c_str(),
+                  shard_col, tracker->last_sli(), tracker->last_burn());
+      for (size_t r = 0; r < tracker->rule_count(); ++r) {
+        std::printf(" %s=%s",
+                    std::string(obs::ToString(tracker->rule(r).severity))
+                        .c_str(),
+                    std::string(obs::ToString(tracker->state(r))).c_str());
+      }
+      std::printf("\n");
+    }
+    for (const obs::SloEvent& e : engine->events()) {
+      char shard_col[24] = "";
+      if (e.shard >= 0) {
+        std::snprintf(shard_col, sizeof(shard_col), " shard=%d", e.shard);
+      }
+      std::printf(
+          "  alert t=%6.0fs %s%s %s %s burn=%.2f/%.2f sli=%.4f\n",
+          sim::ToSeconds(e.at), e.slo.c_str(), shard_col,
+          std::string(obs::ToString(e.severity)).c_str(),
+          std::string(obs::ToString(e.transition)).c_str(), e.burn_long,
+          e.burn_short, e.sli);
+    }
+  }
+
   if (explain_balancer) {
     const obs::DecisionLog* log = experiment.balancer_decisions();
     if (log == nullptr) {
@@ -549,8 +640,10 @@ int main(int argc, char** argv) {
 
   if (!trace_out.empty()) {
     const obs::Tracer& tracer = experiment.tracer();
+    const obs::SloEngine* engine = experiment.slo_engine();
     const bool ok = obs::WriteChromeTrace(
-        tracer, experiment.balancer_decisions(), trace_out);
+        tracer, experiment.balancer_decisions(),
+        engine != nullptr ? &engine->events() : nullptr, trace_out);
     std::printf("trace export to %s: %s (%llu spans, %llu dropped)\n",
                 trace_out.c_str(), ok ? "ok" : "FAILED",
                 static_cast<unsigned long long>(tracer.spans().size()),
@@ -559,9 +652,13 @@ int main(int argc, char** argv) {
   }
 
   if (!metrics_out.empty()) {
-    const bool ok = experiment.metrics_registry().WriteJson(metrics_out);
-    std::printf("metrics export to %s: %s (%llu series, %llu samples)\n",
-                metrics_out.c_str(), ok ? "ok" : "FAILED",
+    const bool ok =
+        metrics_format == "openmetrics"
+            ? experiment.metrics_registry().WriteOpenMetrics(metrics_out)
+            : experiment.metrics_registry().WriteJson(metrics_out);
+    std::printf("metrics export to %s (%s): %s (%llu series, %llu samples)\n",
+                metrics_out.c_str(), metrics_format.c_str(),
+                ok ? "ok" : "FAILED",
                 static_cast<unsigned long long>(
                     experiment.metrics_registry().series_count()),
                 static_cast<unsigned long long>(
@@ -574,12 +671,26 @@ int main(int argc, char** argv) {
         exp::WritePeriodsCsv(experiment, csv_prefix + "_periods.csv") &&
         exp::WriteStalenessCsv(experiment, csv_prefix + "_staleness.csv") &&
         exp::WriteSamplesCsv(experiment, csv_prefix + "_samples.csv") &&
-        exp::WriteDecisionsCsv(experiment, csv_prefix + "_decisions.csv");
+        exp::WriteDecisionsCsv(experiment, csv_prefix + "_decisions.csv") &&
+        experiment.metrics_registry().WriteCsv(csv_prefix + "_metrics.csv");
     if (experiment.sharded()) {
       ok = ok && exp::WriteShardsCsv(experiment, csv_prefix + "_shards.csv");
     }
+    if (experiment.slo_engine() != nullptr) {
+      ok = ok && exp::WriteSloCsv(experiment, csv_prefix + "_slo.csv");
+    }
     std::printf("csv export to %s_*.csv: %s\n", csv_prefix.c_str(),
                 ok ? "ok" : "FAILED");
+    if (!ok) return 1;
+  }
+
+  if (!report_out.empty()) {
+    const obs::ReportData report = exp::BuildReportData(experiment);
+    const bool ok = obs::WriteHtmlReport(report, report_out);
+    std::printf("report export to %s: %s (%llu panels, %llu alert lanes)\n",
+                report_out.c_str(), ok ? "ok" : "FAILED",
+                static_cast<unsigned long long>(report.panels.size()),
+                static_cast<unsigned long long>(report.alert_lanes.size()));
     if (!ok) return 1;
   }
   return 0;

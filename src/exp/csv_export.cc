@@ -41,18 +41,21 @@ bool WritePeriodsCsv(const Experiment& experiment, const std::string& path) {
       "pool_checkout_timeouts=count pool_checkout_wait_ms=ms "
       "pool_queue_depth=count envelopes_sent=count ops_batched=count "
       "served_age_mean_s=seconds served_age_max_s=seconds "
-      "balance_from=fraction balance_to=fraction balance_reason=enum");
+      "balance_from=fraction balance_to=fraction balance_reason=enum "
+      "slo_firing=count slo_pending=count slo_max_burn=ratio "
+      "slo_events=count");
   csv.Line(
       "start_s,reads,reads_secondary,writes,read_throughput,"
       "p80_latency_ms,secondary_pct,balance_fraction,est_staleness_s,"
       "stock_level,stock_level_p80_ms,ops_ok,ops_timed_out,ops_retried,"
       "hedges_won,pool_checkout_timeouts,pool_checkout_wait_ms,"
       "pool_queue_depth,envelopes_sent,ops_batched,served_age_mean_s,"
-      "served_age_max_s,balance_from,balance_to,balance_reason");
+      "served_age_max_s,balance_from,balance_to,balance_reason,"
+      "slo_firing,slo_pending,slo_max_burn,slo_events");
   for (const PeriodRow& row : experiment.rows()) {
     csv.Line("%.1f,%llu,%llu,%llu,%.2f,%.3f,%.2f,%.2f,%lld,%llu,%.3f,"
              "%llu,%llu,%llu,%llu,%llu,%.3f,%d,%llu,%llu,%.4f,%.4f,"
-             "%.2f,%.2f,%s",
+             "%.2f,%.2f,%s,%d,%d,%.3f,%llu",
              sim::ToSeconds(row.start),
              static_cast<unsigned long long>(row.reads),
              static_cast<unsigned long long>(row.reads_secondary),
@@ -76,7 +79,31 @@ bool WritePeriodsCsv(const Experiment& experiment, const std::string& path) {
              row.balance_from, row.balance_to,
              row.balance_decided
                  ? std::string(obs::ToString(row.balance_reason)).c_str()
-                 : "-");
+                 : "-",
+             row.slo_firing, row.slo_pending, row.slo_max_burn,
+             static_cast<unsigned long long>(row.slo_events));
+  }
+  return true;
+}
+
+bool WriteSloCsv(const Experiment& experiment, const std::string& path) {
+  CsvFile csv(path);
+  if (!csv.ok()) return false;
+  csv.Line(
+      "# units: time_s=seconds slo=name shard=index(-1=cluster) "
+      "severity=enum transition=enum burn_long=ratio burn_short=ratio "
+      "sli=fraction good=count bad=count");
+  csv.Line("time_s,slo,shard,severity,transition,burn_long,burn_short,sli,"
+           "good,bad");
+  const obs::SloEngine* engine = experiment.slo_engine();
+  if (engine == nullptr) return true;
+  for (const obs::SloEvent& e : engine->events()) {
+    csv.Line("%.1f,%s,%d,%s,%s,%.4f,%.4f,%.6f,%llu,%llu",
+             sim::ToSeconds(e.at), e.slo.c_str(), e.shard,
+             std::string(obs::ToString(e.severity)).c_str(),
+             std::string(obs::ToString(e.transition)).c_str(), e.burn_long,
+             e.burn_short, e.sli, static_cast<unsigned long long>(e.good),
+             static_cast<unsigned long long>(e.bad));
   }
   return true;
 }

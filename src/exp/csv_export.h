@@ -29,6 +29,11 @@ bool WriteDecisionsCsv(const Experiment& experiment, const std::string& path);
 /// it that period. Header-only for single-replica-set runs.
 bool WriteShardsCsv(const Experiment& experiment, const std::string& path);
 
+/// Writes the SLO alert transition log — one row per state-machine edge
+/// (pending/firing/cancelled/resolved) with the burn rates and window
+/// counts behind it. Header-only when the run had no --slo objectives.
+bool WriteSloCsv(const Experiment& experiment, const std::string& path);
+
 }  // namespace dcg::exp
 
 #endif  // DCG_EXP_CSV_EXPORT_H_

@@ -283,7 +283,35 @@ Experiment::Experiment(ExperimentConfig config)
     pref_served_age_[static_cast<size_t>(stats.requested)].Add(age_ms);
     node_served_age_[static_cast<size_t>(stats.node)].Add(age_ms);
   });
+
+  // --- SLO engine (only when objectives were requested — the golden path
+  // never builds one). Cluster-wide objectives consume the per-op stream
+  // in OnOp; sharded freshness instead watches each shard's staleness
+  // signal, because the serving node hides behind the router. ---
+  if (!config_.slos.empty()) {
+    slo_ = std::make_unique<obs::SloEngine>(config_.report_period);
+    for (const obs::SloSpec& spec : config_.slos) {
+      if (spec.kind == obs::SloKind::kFreshness && sharded()) {
+        for (int s = 0; s < cluster_->shard_count(); ++s) {
+          obs::SloTracker& tracker = slo_->AddSlo(spec, s);
+          if (cluster_->balancer(s) != nullptr) {
+            tracker.SetSource([this, s] {
+              return static_cast<double>(
+                  cluster_->balancer(s)->staleness_estimate_seconds());
+            });
+          } else {
+            tracker.SetSource([this, s] {
+              return sim::ToSeconds(cluster_->shard(s).MaxTrueStaleness());
+            });
+          }
+        }
+      } else {
+        slo_->AddSlo(spec);
+      }
+    }
+  }
   RegisterMetrics();
+  if (slo_ != nullptr) slo_->RegisterMetrics(&registry_);
 }
 
 Experiment::~Experiment() = default;
@@ -422,6 +450,22 @@ void Experiment::RegisterMetrics() {
 }
 
 void Experiment::OnOp(const workload::OpOutcome& outcome) {
+  if (slo_ != nullptr) {
+    slo_->ObserveOutcome(outcome.ok);
+    if (outcome.ok && outcome.read_only) {
+      slo_->ObserveReadLatencyMs(sim::ToMillis(outcome.latency));
+      if (!sharded() && outcome.node >= 0) {
+        const int primary = rs_->primary_index();
+        if (primary >= 0) {
+          const double age_s =
+              outcome.node == primary
+                  ? 0.0
+                  : sim::ToSeconds(rs_->TrueStaleness(outcome.node));
+          slo_->ObserveServedAge(age_s, outcome.used_secondary);
+        }
+      }
+    }
+  }
   if (outcome.ok) {
     ++current_.ops_ok;
   } else if (outcome.timed_out) {
@@ -530,6 +574,16 @@ void Experiment::ClosePeriod() {
       current_.balance_to = d.to_fraction;
       current_.balance_reason = d.reason;
     }
+  }
+  if (slo_ != nullptr) {
+    // Evaluate before the registry samples, so slo_sli/slo_burn gauges
+    // reflect this period.
+    slo_->Evaluate(loop_.Now());
+    current_.slo_firing = slo_->firing_count();
+    current_.slo_pending = slo_->pending_count();
+    current_.slo_max_burn = slo_->max_burn();
+    current_.slo_events = slo_->events().size() - slo_event_cursor_;
+    slo_event_cursor_ = slo_->events().size();
   }
   registry_.Sample(loop_.Now());
   rows_.push_back(std::move(current_));

@@ -15,6 +15,7 @@
 #include "metrics/histogram.h"
 #include "net/network.h"
 #include "obs/metrics_registry.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "repl/replica_set.h"
 #include "shard/sharded_cluster.h"
@@ -94,6 +95,15 @@ struct ExperimentConfig {
   /// sim_cli string form.
   fault::FaultSchedule faults;
 
+  /// Service-level objectives evaluated once per report period (sim_cli
+  /// --slo, obs::ParseSloSpecs). Empty (the default) builds no engine at
+  /// all — the golden path runs the exact same event sequence. With specs
+  /// present the engine is fed from the unified op-completion path and
+  /// evaluated inside the existing period-close event, so it still
+  /// schedules nothing of its own. Freshness objectives become per-shard
+  /// trackers over the shard staleness signal when shards >= 2.
+  std::vector<obs::SloSpec> slos;
+
   /// Enables per-op span tracing (sim_cli --trace-out). The tracer is
   /// always *attached* to the stack — off by default, so the disabled-path
   /// overhead is exactly what bench_baseline's trace_overhead_off measures.
@@ -156,6 +166,13 @@ struct PeriodRow {
   // shards (the most-shedding shard).
   std::vector<double> shard_balance_fraction;
   std::vector<uint64_t> shard_reads;
+  // SLO engine state at period close (all zero without --slo): alert
+  // rules firing/pending across every tracker, the worst long-window burn
+  // rate, and how many alert transitions the period produced.
+  int slo_firing = 0;
+  int slo_pending = 0;
+  double slo_max_burn = 0.0;
+  uint64_t slo_events = 0;
 
   double ReadThroughput() const;
   double SecondaryPercent() const;
@@ -260,6 +277,8 @@ class Experiment {
   const obs::DecisionLog* balancer_decisions() const {
     return balancer_ == nullptr ? nullptr : &balancer_->decisions();
   }
+  /// SLO engine; null unless config.slos requested objectives.
+  const obs::SloEngine* slo_engine() const { return slo_.get(); }
 
  private:
   void OnOp(const workload::OpOutcome& outcome);
@@ -293,6 +312,11 @@ class Experiment {
 
   obs::Tracer tracer_;
   obs::MetricsRegistry registry_;
+  /// Built only when config.slos is non-empty; fed from OnOp, advanced in
+  /// ClosePeriod.
+  std::unique_ptr<obs::SloEngine> slo_;
+  /// First SLO event not yet folded into a PeriodRow.
+  size_t slo_event_cursor_ = 0;
   /// Cumulative read latency per requested Read Preference, fed from the
   /// driver's completion path; registered as histogram series.
   metrics::Histogram pref_read_latency_[5];

@@ -1,0 +1,18 @@
+#ifndef DCG_EXP_REPORT_BUILDER_H_
+#define DCG_EXP_REPORT_BUILDER_H_
+
+#include "exp/experiment.h"
+#include "obs/report.h"
+
+namespace dcg::exp {
+
+/// Converts a finished Experiment into the dashboard description
+/// obs::WriteHtmlReport renders: summary stat tiles, time-series panels
+/// (throughput, latency, balance fraction, staleness, served age —
+/// per-shard series in sharded mode), alert timeline lanes from the SLO
+/// engine's event log, and balancer decision-reason annotations.
+obs::ReportData BuildReportData(const Experiment& experiment);
+
+}  // namespace dcg::exp
+
+#endif  // DCG_EXP_REPORT_BUILDER_H_

@@ -1,6 +1,10 @@
 #include "obs/metrics_registry.h"
 
+#include <cctype>
 #include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
 
 namespace dcg::obs {
 
@@ -77,6 +81,267 @@ bool MetricsRegistry::WriteJson(const std::string& path) const {
     std::fputs("]}", f);
   }
   std::fputs("\n]}\n", f);
+  const bool ok = std::fflush(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+namespace {
+
+// OpenMetrics metric names are [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                    c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() ||
+      (!std::isalpha(static_cast<unsigned char>(out[0])) && out[0] != '_' &&
+       out[0] != ':')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+// Units become part of the family name, so they follow the same alphabet;
+// "ops/s" style rates read as "ops_per_s".
+std::string SanitizeUnit(const std::string& unit) {
+  std::string out;
+  out.reserve(unit.size());
+  for (char c : unit) {
+    if (c == '/') {
+      out += "_per_";
+    } else if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else {
+      out.push_back('_');
+    }
+  }
+  return out;
+}
+
+// The spec requires the family name to end with its unit.
+std::string FamilyName(const std::string& name, const std::string& unit) {
+  std::string family = SanitizeMetricName(name);
+  if (unit.empty()) return family;
+  const std::string suffix = "_" + unit;
+  if (family.size() >= suffix.size() &&
+      family.compare(family.size() - suffix.size(), suffix.size(), suffix) ==
+          0) {
+    return family;
+  }
+  return family + suffix;
+}
+
+// Label-value escaping per the OpenMetrics ABNF: backslash, double quote,
+// and line feed.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// HELP text escapes backslash and line feed only.
+std::string EscapeHelp(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Renders `{k="v",...}` with `extra` appended (already escaped); returns
+// "" for an empty label set so unlabeled samples stay bare.
+std::string RenderLabelSet(const std::vector<Label>& labels,
+                           const std::string& extra = std::string()) {
+  std::string out;
+  for (const Label& label : labels) {
+    out += out.empty() ? "{" : ",";
+    out += SanitizeMetricName(label.first) + "=\"" +
+           EscapeLabelValue(label.second) + "\"";
+  }
+  if (!extra.empty()) {
+    out += out.empty() ? "{" : ",";
+    out += extra;
+  }
+  if (!out.empty()) out += "}";
+  return out;
+}
+
+std::string CsvLabels(const std::vector<Label>& labels) {
+  std::string out;
+  for (const Label& label : labels) {
+    if (!out.empty()) out += "|";
+    out += label.first + "=" + label.second;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool MetricsRegistry::WriteOpenMetrics(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+
+  // Group series into metric families: every labeled series with the same
+  // name shares one # TYPE/# UNIT/# HELP block.
+  struct ScalarFamily {
+    const char* type;
+    std::string unit;
+    std::vector<const ScalarSeries*> series;
+  };
+  std::vector<std::string> scalar_order;
+  std::map<std::string, ScalarFamily> scalar_families;
+  for (const ScalarSeries& series : scalars_) {
+    const std::string family = FamilyName(series.name, SanitizeUnit(series.unit));
+    auto [it, inserted] = scalar_families.try_emplace(family);
+    if (inserted) {
+      scalar_order.push_back(family);
+      it->second.type = series.type;
+      it->second.unit = SanitizeUnit(series.unit);
+    }
+    it->second.series.push_back(&series);
+  }
+  for (const std::string& family : scalar_order) {
+    const ScalarFamily& group = scalar_families.at(family);
+    const bool counter = std::string(group.type) == "counter";
+    std::fprintf(f, "# TYPE %s %s\n", family.c_str(),
+                 counter ? "counter" : "gauge");
+    if (!group.unit.empty()) {
+      std::fprintf(f, "# UNIT %s %s\n", family.c_str(), group.unit.c_str());
+    }
+    std::fprintf(f, "# HELP %s %s\n", family.c_str(),
+                 EscapeHelp("Sampled " + std::string(group.type) +
+                            " series from the run's metrics registry.")
+                     .c_str());
+    for (const ScalarSeries* series : group.series) {
+      const std::string labels = RenderLabelSet(series->labels);
+      const std::string sample_name = counter ? family + "_total" : family;
+      for (const auto& [at, value] : series->samples) {
+        std::fprintf(f, "%s%s %.9g %.3f\n", sample_name.c_str(),
+                     labels.c_str(), value, sim::ToSeconds(at));
+      }
+    }
+  }
+
+  struct HistogramFamily {
+    std::string unit;
+    std::vector<const HistogramSeries*> series;
+  };
+  std::vector<std::string> histogram_order;
+  std::map<std::string, HistogramFamily> histogram_families;
+  for (const HistogramSeries& series : histograms_) {
+    const std::string family = FamilyName(series.name, SanitizeUnit(series.unit));
+    auto [it, inserted] = histogram_families.try_emplace(family);
+    if (inserted) {
+      histogram_order.push_back(family);
+      it->second.unit = SanitizeUnit(series.unit);
+    }
+    it->second.series.push_back(&series);
+  }
+  for (const std::string& family : histogram_order) {
+    const HistogramFamily& group = histogram_families.at(family);
+    std::fprintf(f, "# TYPE %s summary\n", family.c_str());
+    if (!group.unit.empty()) {
+      std::fprintf(f, "# UNIT %s %s\n", family.c_str(), group.unit.c_str());
+    }
+    std::fprintf(
+        f, "# HELP %s %s\n", family.c_str(),
+        EscapeHelp(
+            "Cumulative distribution snapshots from the run's metrics "
+            "registry.")
+            .c_str());
+    for (const HistogramSeries* series : group.series) {
+      for (const HistogramSample& s : series->samples) {
+        const double t = sim::ToSeconds(s.at);
+        const auto quantile = [&](const char* q, double value) {
+          std::fprintf(f, "%s%s %.9g %.3f\n", family.c_str(),
+                       RenderLabelSet(series->labels,
+                                      "quantile=\"" + std::string(q) + "\"")
+                           .c_str(),
+                       value, t);
+        };
+        quantile("0.5", s.p50);
+        quantile("0.8", s.p80);
+        quantile("0.99", s.p99);
+        quantile("1", s.max);
+        const std::string labels = RenderLabelSet(series->labels);
+        std::fprintf(f, "%s_count%s %llu %.3f\n", family.c_str(),
+                     labels.c_str(), static_cast<unsigned long long>(s.count),
+                     t);
+        std::fprintf(f, "%s_sum%s %.9g %.3f\n", family.c_str(), labels.c_str(),
+                     s.mean * static_cast<double>(s.count), t);
+      }
+    }
+  }
+
+  std::fputs("# EOF\n", f);
+  const bool ok = std::fflush(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+bool MetricsRegistry::WriteCsv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs(
+      "# units: time_s=seconds, value=per-series `unit` column; labels are "
+      "pipe-separated key=value pairs\n",
+      f);
+  std::fputs("time_s,name,type,unit,labels,value\n", f);
+  for (const ScalarSeries& series : scalars_) {
+    const std::string labels = CsvLabels(series.labels);
+    for (const auto& [at, value] : series.samples) {
+      std::fprintf(f, "%.1f,%s,%s,%s,%s,%.9g\n", sim::ToSeconds(at),
+                   series.name.c_str(), series.type, series.unit.c_str(),
+                   labels.c_str(), value);
+    }
+  }
+  for (const HistogramSeries& series : histograms_) {
+    const std::string labels = CsvLabels(series.labels);
+    for (const HistogramSample& s : series.samples) {
+      const double t = sim::ToSeconds(s.at);
+      const auto row = [&](const char* stat, double value) {
+        std::fprintf(f, "%.1f,%s_%s,histogram,%s,%s,%.9g\n", t,
+                     series.name.c_str(), stat, series.unit.c_str(),
+                     labels.c_str(), value);
+      };
+      row("count", static_cast<double>(s.count));
+      row("mean", s.mean);
+      row("p50", s.p50);
+      row("p80", s.p80);
+      row("p99", s.p99);
+      row("max", s.max);
+    }
+  }
   const bool ok = std::fflush(f) == 0;
   std::fclose(f);
   return ok;

@@ -63,6 +63,20 @@ class MetricsRegistry {
   /// failure.
   bool WriteJson(const std::string& path) const;
 
+  /// Writes all series in the OpenMetrics text exposition format
+  /// (one `# TYPE`/`# UNIT`/`# HELP` block per metric family, label
+  /// escaping per spec, `# EOF` terminator). Counters gain the `_total`
+  /// sample suffix; histograms are exported as summaries with quantile
+  /// labels plus `_count`/`_sum`. Family names carry the unit as a
+  /// suffix, as the spec requires. Timestamps are sim seconds.
+  bool WriteOpenMetrics(const std::string& path) const;
+
+  /// Writes all samples as one long-format CSV (time, name, labels,
+  /// value) with the standard units comment line, so sweeps can diff
+  /// series without a JSON parser. Histogram snapshots expand into
+  /// `<name>_count/_mean/_p50/_p80/_p99/_max` rows.
+  bool WriteCsv(const std::string& path) const;
+
  private:
   struct ScalarSeries {
     std::string name;

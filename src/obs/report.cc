@@ -1,0 +1,389 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace dcg::obs {
+namespace {
+
+// Validated categorical palette (fixed slot order — the ordering is the
+// color-vision-deficiency safety mechanism, so series take slots by
+// position, never by hue preference). Light / dark steps of the same
+// eight hues.
+constexpr int kSlots = 8;
+const char* const kSeriesLight[kSlots] = {"#2a78d6", "#eb6834", "#1baf7a",
+                                          "#eda100", "#e87ba4", "#008300",
+                                          "#4a3aa7", "#e34948"};
+const char* const kSeriesDark[kSlots] = {"#3987e5", "#d95926", "#199e70",
+                                         "#c98500", "#d55181", "#008300",
+                                         "#9085e9", "#e66767"};
+
+// Status colors (fixed, never themed): page = critical, ticket = serious,
+// pending = warning. Bands always carry a text label too — a status color
+// never carries meaning alone.
+const char* StatusColorVar(const std::string& severity) {
+  if (severity == "page") return "var(--status-critical)";
+  if (severity == "ticket") return "var(--status-serious)";
+  return "var(--status-warning)";
+}
+
+std::string EscapeHtml(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string FormatNumber(double v) {
+  char buffer[48];
+  if (std::fabs(v) >= 1000) {
+    std::snprintf(buffer, sizeof(buffer), "%.0f", v);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.4g", v);
+  }
+  return buffer;
+}
+
+// Chart geometry: fixed plot box, responsive via the SVG viewBox.
+constexpr double kWidth = 860;
+constexpr double kHeight = 220;
+constexpr double kLeft = 64;
+constexpr double kRight = 120;  // room for direct labels at line ends
+constexpr double kTop = 14;
+constexpr double kBottom = 30;
+
+struct TimeDomain {
+  double t0 = 0;
+  double t1 = 1;
+  double X(double t) const {
+    const double span = t1 > t0 ? t1 - t0 : 1;
+    return kLeft + (t - t0) / span * (kWidth - kLeft - kRight);
+  }
+};
+
+TimeDomain ComputeTimeDomain(const ReportData& data) {
+  TimeDomain domain;
+  bool seen = false;
+  auto fold = [&](double t) {
+    if (!seen) {
+      domain.t0 = domain.t1 = t;
+      seen = true;
+    } else {
+      domain.t0 = std::min(domain.t0, t);
+      domain.t1 = std::max(domain.t1, t);
+    }
+  };
+  for (const ReportPanel& panel : data.panels) {
+    for (const ReportSeries& series : panel.series) {
+      for (const ReportPoint& p : series.points) fold(p.t);
+    }
+  }
+  for (const ReportLane& lane : data.alert_lanes) {
+    for (const ReportBand& band : lane.bands) {
+      fold(band.t0);
+      fold(band.t1);
+    }
+  }
+  for (const ReportMarker& marker : data.markers) fold(marker.t);
+  if (domain.t1 <= domain.t0) domain.t1 = domain.t0 + 1;
+  return domain;
+}
+
+void WritePanel(std::FILE* f, const ReportPanel& panel,
+                const TimeDomain& domain) {
+  std::fprintf(f, "<figure class=\"panel\">\n");
+  std::fprintf(f, "<figcaption>%s <span class=\"unit\">%s</span>",
+               EscapeHtml(panel.title).c_str(), EscapeHtml(panel.unit).c_str());
+  if (panel.series.size() >= 2) {
+    std::fputs("<span class=\"legend\">", f);
+    for (size_t i = 0; i < panel.series.size(); ++i) {
+      const size_t slot = i % kSlots;
+      std::fprintf(f,
+                   "<span class=\"key\"><span class=\"swatch s%zu\"></span>"
+                   "%s</span>",
+                   slot + 1, EscapeHtml(panel.series[i].name).c_str());
+    }
+    std::fputs("</span>", f);
+  }
+  std::fputs("</figcaption>\n", f);
+
+  // Y domain over all series (always include 0 for magnitude series).
+  double lo = 0, hi = 0;
+  bool seen = false;
+  for (const ReportSeries& series : panel.series) {
+    for (const ReportPoint& p : series.points) {
+      if (!seen) {
+        lo = hi = p.v;
+        seen = true;
+      } else {
+        lo = std::min(lo, p.v);
+        hi = std::max(hi, p.v);
+      }
+    }
+  }
+  lo = std::min(lo, 0.0);
+  if (hi <= lo) hi = lo + 1;
+  const double plot_h = kHeight - kTop - kBottom;
+  auto y = [&](double v) {
+    return kTop + (hi - v) / (hi - lo) * plot_h;
+  };
+
+  std::fprintf(f,
+               "<svg viewBox=\"0 0 %.0f %.0f\" role=\"img\" "
+               "aria-label=\"%s\">\n",
+               kWidth, kHeight, EscapeHtml(panel.title).c_str());
+  // Gridlines + y tick labels (4 divisions), then the baseline.
+  for (int tick = 0; tick <= 4; ++tick) {
+    const double v = lo + (hi - lo) * tick / 4.0;
+    const double ty = y(v);
+    std::fprintf(f,
+                 "<line class=\"grid\" x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" "
+                 "y2=\"%.1f\"/>\n",
+                 kLeft, ty, kWidth - kRight, ty);
+    std::fprintf(f,
+                 "<text class=\"tick\" x=\"%.1f\" y=\"%.1f\" "
+                 "text-anchor=\"end\">%s</text>\n",
+                 kLeft - 6, ty + 3, FormatNumber(v).c_str());
+  }
+  std::fprintf(f,
+               "<line class=\"axis\" x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" "
+               "y2=\"%.1f\"/>\n",
+               kLeft, y(lo), kWidth - kRight, y(lo));
+  // X tick labels (time in seconds).
+  for (int tick = 0; tick <= 5; ++tick) {
+    const double t = domain.t0 + (domain.t1 - domain.t0) * tick / 5.0;
+    std::fprintf(f,
+                 "<text class=\"tick\" x=\"%.1f\" y=\"%.1f\" "
+                 "text-anchor=\"middle\">%ss</text>\n",
+                 domain.X(t), kHeight - kBottom + 16,
+                 FormatNumber(t).c_str());
+  }
+  // The lines: 2px strokes, one slot per series, in fixed order. Each
+  // polyline carries a native tooltip naming the series.
+  for (size_t i = 0; i < panel.series.size(); ++i) {
+    const ReportSeries& series = panel.series[i];
+    if (series.points.empty()) continue;
+    const size_t slot = i % kSlots;
+    std::fprintf(f, "<polyline class=\"line s%zu\" points=\"", slot + 1);
+    for (const ReportPoint& p : series.points) {
+      std::fprintf(f, "%.1f,%.1f ", domain.X(p.t), y(p.v));
+    }
+    std::fprintf(f, "\"><title>%s</title></polyline>\n",
+                 EscapeHtml(series.name).c_str());
+    // Direct label at the line end, in text ink (never the series color);
+    // the adjacent colored dot carries identity.
+    const ReportPoint& last = series.points.back();
+    std::fprintf(f,
+                 "<circle class=\"dot s%zu\" cx=\"%.1f\" cy=\"%.1f\" "
+                 "r=\"3\"/>\n",
+                 slot + 1, domain.X(last.t), y(last.v));
+    if (panel.series.size() >= 2 && panel.series.size() <= 4) {
+      std::fprintf(f,
+                   "<text class=\"label\" x=\"%.1f\" y=\"%.1f\">%s</text>\n",
+                   domain.X(last.t) + 7,
+                   y(last.v) + 3.5 + 11.0 * static_cast<double>(i % 2) -
+                       5.5,
+                   EscapeHtml(series.name).c_str());
+    }
+  }
+  std::fputs("</svg>\n</figure>\n", f);
+}
+
+void WriteLanes(std::FILE* f, const ReportData& data,
+                const TimeDomain& domain) {
+  if (data.alert_lanes.empty() && data.markers.empty()) return;
+  std::fputs("<figure class=\"panel\">\n<figcaption>Alert timeline "
+             "<span class=\"unit\">page = critical, ticket = serious, "
+             "pending = warning</span></figcaption>\n",
+             f);
+  const double lane_h = 26;
+  const size_t lanes = data.alert_lanes.size() +
+                       (data.markers.empty() ? 0 : 1);
+  const double height = kTop + lane_h * static_cast<double>(lanes) + kBottom;
+  std::fprintf(f, "<svg viewBox=\"0 0 %.0f %.0f\" role=\"img\" "
+               "aria-label=\"Alert timeline\">\n",
+               kWidth, height);
+  for (size_t i = 0; i < data.alert_lanes.size(); ++i) {
+    const ReportLane& lane = data.alert_lanes[i];
+    const double top = kTop + lane_h * static_cast<double>(i);
+    std::fprintf(f,
+                 "<line class=\"grid\" x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" "
+                 "y2=\"%.1f\"/>\n",
+                 kLeft, top + lane_h - 4, kWidth - kRight, top + lane_h - 4);
+    std::fprintf(f,
+                 "<text class=\"tick\" x=\"%.1f\" y=\"%.1f\" "
+                 "text-anchor=\"end\">%s</text>\n",
+                 kLeft - 6, top + lane_h - 8, EscapeHtml(lane.name).c_str());
+    for (const ReportBand& band : lane.bands) {
+      const double x0 = domain.X(band.t0);
+      const double x1 = std::max(domain.X(band.t1), x0 + 2);
+      std::fprintf(f,
+                   "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" "
+                   "height=\"%.1f\" rx=\"2\" fill=\"%s\">"
+                   "<title>%s (%ss \xe2\x80\x93 %ss)</title></rect>\n",
+                   x0, top + 4, x1 - x0, lane_h - 12,
+                   StatusColorVar(band.severity),
+                   EscapeHtml(band.label).c_str(),
+                   FormatNumber(band.t0).c_str(),
+                   FormatNumber(band.t1).c_str());
+    }
+  }
+  if (!data.markers.empty()) {
+    const double top =
+        kTop + lane_h * static_cast<double>(data.alert_lanes.size());
+    std::fprintf(f,
+                 "<text class=\"tick\" x=\"%.1f\" y=\"%.1f\" "
+                 "text-anchor=\"end\">decisions</text>\n",
+                 kLeft - 6, top + lane_h - 8);
+    std::fprintf(f,
+                 "<line class=\"grid\" x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" "
+                 "y2=\"%.1f\"/>\n",
+                 kLeft, top + lane_h - 4, kWidth - kRight, top + lane_h - 4);
+    for (const ReportMarker& marker : data.markers) {
+      std::fprintf(f,
+                   "<line class=\"marker\" x1=\"%.1f\" y1=\"%.1f\" "
+                   "x2=\"%.1f\" y2=\"%.1f\"><title>%s</title></line>\n",
+                   domain.X(marker.t), top + 6, domain.X(marker.t),
+                   top + lane_h - 6, EscapeHtml(marker.label).c_str());
+    }
+  }
+  // Shared time ticks under the lanes.
+  for (int tick = 0; tick <= 5; ++tick) {
+    const double t = domain.t0 + (domain.t1 - domain.t0) * tick / 5.0;
+    std::fprintf(f,
+                 "<text class=\"tick\" x=\"%.1f\" y=\"%.1f\" "
+                 "text-anchor=\"middle\">%ss</text>\n",
+                 domain.X(t), height - kBottom + 16,
+                 FormatNumber(t).c_str());
+  }
+  std::fputs("</svg>\n</figure>\n", f);
+}
+
+void WriteStyle(std::FILE* f) {
+  std::fputs("<style>\n.viz-root {\n  color-scheme: light;\n", f);
+  std::fputs("  --surface-1: #fcfcfb;\n  --page: #f9f9f7;\n"
+             "  --text-primary: #0b0b0b;\n  --text-secondary: #52514e;\n"
+             "  --muted: #898781;\n  --grid: #e1e0d9;\n"
+             "  --axis: #c3c2b7;\n  --border: rgba(11,11,11,0.10);\n",
+             f);
+  for (int i = 0; i < kSlots; ++i) {
+    std::fprintf(f, "  --series-%d: %s;\n", i + 1, kSeriesLight[i]);
+  }
+  std::fputs("  --status-warning: #fab219;\n  --status-serious: #ec835a;\n"
+             "  --status-critical: #d03b3b;\n}\n",
+             f);
+  std::fputs("@media (prefers-color-scheme: dark) {\n"
+             "  :root:where(:not([data-theme=\"light\"])) .viz-root {\n"
+             "    color-scheme: dark;\n    --surface-1: #1a1a19;\n"
+             "    --page: #0d0d0d;\n    --text-primary: #ffffff;\n"
+             "    --text-secondary: #c3c2b7;\n    --grid: #2c2c2a;\n"
+             "    --axis: #383835;\n"
+             "    --border: rgba(255,255,255,0.10);\n",
+             f);
+  for (int i = 0; i < kSlots; ++i) {
+    std::fprintf(f, "    --series-%d: %s;\n", i + 1, kSeriesDark[i]);
+  }
+  std::fputs("  }\n}\n", f);
+  std::fputs(
+      "body { margin: 0; background: var(--page); }\n"
+      ".viz-root { font-family: system-ui, -apple-system, \"Segoe UI\", "
+      "sans-serif; color: var(--text-primary); max-width: 920px; margin: 0 "
+      "auto; padding: 24px 16px 48px; }\n"
+      "h1 { font-size: 20px; margin: 0 0 4px; }\n"
+      ".subtitle { color: var(--text-secondary); font-size: 13px; margin: 0 "
+      "0 16px; }\n"
+      ".stats { display: flex; flex-wrap: wrap; gap: 10px; margin: 0 0 "
+      "18px; }\n"
+      ".stat { background: var(--surface-1); border: 1px solid "
+      "var(--border); border-radius: 8px; padding: 8px 14px; }\n"
+      ".stat .v { font-size: 18px; }\n"
+      ".stat .l { color: var(--text-secondary); font-size: 11px; }\n"
+      ".panel { background: var(--surface-1); border: 1px solid "
+      "var(--border); border-radius: 8px; padding: 12px 12px 4px; margin: 0 "
+      "0 14px; }\n"
+      "figcaption { font-size: 13px; margin: 0 0 6px; }\n"
+      ".unit { color: var(--muted); font-size: 11px; margin-left: 6px; }\n"
+      ".legend { float: right; font-size: 11px; color: "
+      "var(--text-secondary); }\n"
+      ".key { margin-left: 10px; }\n"
+      ".swatch { display: inline-block; width: 9px; height: 9px; "
+      "border-radius: 2px; margin-right: 4px; vertical-align: -1px; }\n"
+      "svg { width: 100%; height: auto; display: block; }\n"
+      ".grid { stroke: var(--grid); stroke-width: 1; }\n"
+      ".axis { stroke: var(--axis); stroke-width: 1; }\n"
+      ".tick { fill: var(--muted); font-size: 10px; font-variant-numeric: "
+      "tabular-nums; }\n"
+      ".label { fill: var(--text-secondary); font-size: 10px; }\n"
+      ".line { fill: none; stroke-width: 2; stroke-linejoin: round; }\n"
+      ".marker { stroke: var(--muted); stroke-width: 2; }\n",
+      f);
+  for (int i = 0; i < kSlots; ++i) {
+    std::fprintf(f, ".line.s%d { stroke: var(--series-%d); }\n", i + 1,
+                 i + 1);
+    std::fprintf(f, ".dot.s%d { fill: var(--series-%d); }\n", i + 1, i + 1);
+    std::fprintf(f, ".swatch.s%d { background: var(--series-%d); }\n", i + 1,
+                 i + 1);
+  }
+  std::fputs("</style>\n", f);
+}
+
+}  // namespace
+
+bool WriteHtmlReport(const ReportData& data, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs("<!doctype html>\n<html lang=\"en\">\n<head>\n"
+             "<meta charset=\"utf-8\">\n"
+             "<meta name=\"viewport\" content=\"width=device-width, "
+             "initial-scale=1\">\n",
+             f);
+  std::fprintf(f, "<title>%s</title>\n", EscapeHtml(data.title).c_str());
+  WriteStyle(f);
+  std::fputs("</head>\n<body>\n<div class=\"viz-root\">\n", f);
+  std::fprintf(f, "<h1>%s</h1>\n", EscapeHtml(data.title).c_str());
+  if (!data.subtitle.empty()) {
+    std::fprintf(f, "<p class=\"subtitle\">%s</p>\n",
+                 EscapeHtml(data.subtitle).c_str());
+  }
+  if (!data.stats.empty()) {
+    std::fputs("<div class=\"stats\">\n", f);
+    for (const ReportStat& stat : data.stats) {
+      std::fprintf(f,
+                   "<div class=\"stat\"><div class=\"v\">%s</div>"
+                   "<div class=\"l\">%s</div></div>\n",
+                   EscapeHtml(stat.value).c_str(),
+                   EscapeHtml(stat.label).c_str());
+    }
+    std::fputs("</div>\n", f);
+  }
+  const TimeDomain domain = ComputeTimeDomain(data);
+  WriteLanes(f, data, domain);
+  for (const ReportPanel& panel : data.panels) {
+    WritePanel(f, panel, domain);
+  }
+  std::fputs("</div>\n</body>\n</html>\n", f);
+  const bool ok = std::fflush(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace dcg::obs

@@ -1,0 +1,80 @@
+#ifndef DCG_OBS_REPORT_H_
+#define DCG_OBS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace dcg::obs {
+
+/// Plain-data description of one run dashboard, rendered by
+/// WriteHtmlReport into a single dependency-free HTML file (inline CSS +
+/// SVG, no scripts, no external assets). The structs carry no simulator
+/// types on purpose: exp::BuildReportData converts an Experiment into
+/// this form, and tests can build one by hand.
+
+/// One (time seconds, value) sample of a plotted series.
+struct ReportPoint {
+  double t = 0;
+  double v = 0;
+};
+
+/// One line on a panel. Series colors come from the panel's slot order —
+/// fixed by position, never cycled.
+struct ReportSeries {
+  std::string name;
+  std::vector<ReportPoint> points;
+};
+
+/// One chart: a titled, single-axis time-series plot. Panels with two or
+/// more series render a legend plus direct labels at the line ends.
+struct ReportPanel {
+  std::string title;
+  /// Y-axis unit, shown with the title (e.g. "ops/s", "seconds").
+  std::string unit;
+  std::vector<ReportSeries> series;
+};
+
+/// One interval on an alert timeline lane. `severity` selects the status
+/// color: "page" (critical), "ticket" (serious), or "pending" (warning).
+struct ReportBand {
+  double t0 = 0;
+  double t1 = 0;
+  std::string severity;
+  std::string label;
+};
+
+/// One alert timeline: a named horizontal strip of firing/pending bands
+/// on the shared time axis.
+struct ReportLane {
+  std::string name;
+  std::vector<ReportBand> bands;
+};
+
+/// One instant annotation (balancer decision reasons, alert edges) drawn
+/// as a tick on the annotation strip with a hover tooltip.
+struct ReportMarker {
+  double t = 0;
+  std::string label;
+};
+
+/// One header stat tile ("Reads/s", "P80 latency", ...).
+struct ReportStat {
+  std::string label;
+  std::string value;
+};
+
+struct ReportData {
+  std::string title;
+  std::string subtitle;
+  std::vector<ReportStat> stats;
+  std::vector<ReportPanel> panels;
+  std::vector<ReportLane> alert_lanes;
+  std::vector<ReportMarker> markers;
+};
+
+/// Renders the dashboard to `path`. Returns false on I/O failure.
+bool WriteHtmlReport(const ReportData& data, const std::string& path);
+
+}  // namespace dcg::obs
+
+#endif  // DCG_OBS_REPORT_H_

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "obs/decision_log.h"
+#include "obs/slo.h"
 
 namespace dcg::obs {
 
@@ -55,6 +56,12 @@ std::string_view Category(SpanKind kind) {
 
 bool WriteChromeTrace(const Tracer& tracer, const DecisionLog* decisions,
                       const std::string& path) {
+  return WriteChromeTrace(tracer, decisions, nullptr, path);
+}
+
+bool WriteChromeTrace(const Tracer& tracer, const DecisionLog* decisions,
+                      const std::vector<SloEvent>* slo_events,
+                      const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   // One synthetic process, one thread per trace id: Perfetto then renders
@@ -93,6 +100,24 @@ bool WriteChromeTrace(const Tracer& tracer, const DecisionLog* decisions,
           d.ratio_valid ? 1 : 0, d.published_fraction,
           static_cast<long long>(d.staleness_estimate_s),
           static_cast<long long>(d.stale_bound_s));
+    }
+  }
+  if (slo_events != nullptr) {
+    for (const SloEvent& e : *slo_events) {
+      std::fprintf(
+          f,
+          ",\n{\"name\":\"slo %.*s %.*s (%.*s)\",\"cat\":\"slo\","
+          "\"ph\":\"i\",\"s\":\"g\",\"ts\":%.3f,\"pid\":1,"
+          "\"args\":{\"shard\":%d,\"burn_long\":%.4f,\"burn_short\":%.4f,"
+          "\"sli\":%.6f,\"good\":%llu,\"bad\":%llu}}",
+          static_cast<int>(e.slo.size()), e.slo.data(),
+          static_cast<int>(ToString(e.transition).size()),
+          ToString(e.transition).data(),
+          static_cast<int>(ToString(e.severity).size()),
+          ToString(e.severity).data(), sim::ToMicros(e.at), e.shard,
+          e.burn_long, e.burn_short, e.sli,
+          static_cast<unsigned long long>(e.good),
+          static_cast<unsigned long long>(e.bad));
     }
   }
   std::fputs("\n]}\n", f);

@@ -88,6 +88,12 @@ class Tracer {
     spans_.reserve(std::min(max_spans, size_t{1} << 16));
   }
 
+  /// Stops recording again (keeps the id counter, cap, and any recorded
+  /// spans) — benches toggle one tracer on and off to measure the probe
+  /// sites' disabled-branch cost against the recording cost on the same
+  /// rig, where allocator and code-layout state are held equal.
+  void Disable() { enabled_ = false; }
+
   bool enabled() const { return enabled_; }
 
   /// Fresh span id (deterministic: a counter, monotone per tracer).
@@ -123,6 +129,7 @@ class Tracer {
 };
 
 class DecisionLog;
+struct SloEvent;
 
 /// Writes the recorded spans as Chrome trace-event JSON ("ph":"X"
 /// complete events, microsecond timestamps), loadable in Perfetto or
@@ -132,6 +139,13 @@ class DecisionLog;
 /// event, aligning fraction moves with the op traffic around them.
 /// Returns false on I/O failure.
 bool WriteChromeTrace(const Tracer& tracer, const DecisionLog* decisions,
+                      const std::string& path);
+
+/// Same, plus SLO alert transitions as global instant events (category
+/// "slo"), so pages/resolves line up against the op traffic and fraction
+/// moves that caused them.
+bool WriteChromeTrace(const Tracer& tracer, const DecisionLog* decisions,
+                      const std::vector<SloEvent>* slo_events,
                       const std::string& path);
 
 }  // namespace dcg::obs

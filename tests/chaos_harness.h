@@ -10,6 +10,7 @@
 #include "exp/csv_export.h"
 #include "exp/experiment.h"
 #include "fault/fault_injector.h"
+#include "obs/slo.h"
 
 namespace dcg::chaos {
 
@@ -54,6 +55,14 @@ struct ChaosOptions {
   /// for schedules that provably stall every secondary (full partition).
   bool expect_zero_within_period = false;
 
+  /// When non-empty, a compact SLO spec (obs::ParseSloSpecs grammar, e.g.
+  /// "freshness" or "default") evaluated once per report period during the
+  /// run. The report then carries the alert-event log summary (first page
+  /// fire time, resolution, counts) and the deterministic trace gains one
+  /// line per alert transition. Empty (the default) builds no engine, so
+  /// existing schedule goldens are untouched.
+  std::string slo_spec;
+
   /// When true, enable span tracing for the run and check invariant 8:
   /// the span tree is well-formed (checkout ⊆ attempt/hedge ⊆ op, all
   /// spans of an op share its trace id, retry/hedge arms parent under the
@@ -88,6 +97,22 @@ struct ChaosReport {
   /// ran against a non-vacuous batched workload.
   uint64_t envelopes_sent = 0;
   uint64_t ops_batched = 0;
+  /// SLO alert-event summary (all zero/-1 unless options.slo_spec set).
+  uint64_t slo_event_count = 0;
+  uint64_t slo_pages_fired = 0;
+  uint64_t slo_tickets_fired = 0;
+  /// Sim time of the first page-severity kFiring transition, -1 if none.
+  sim::Time first_page_fire = -1;
+  /// Sim time of the last page-severity kResolved transition, -1 if none.
+  sim::Time last_page_resolve = -1;
+  /// Sim time of the first secondary read served staler than the
+  /// freshness SLO's bound (StaleBound when no spec is set; ground truth,
+  /// before grace), -1 if none — the instant a freshness SLO first has
+  /// something to alert on. Note the balancer's estimate is conservative,
+  /// so the gate can close before truth ever crosses StaleBound itself;
+  /// alert-conformance schedules pair a tight SLO bound with the looser
+  /// safety valve.
+  sim::Time first_overbound_read = -1;
 
   bool ok() const { return violations.empty(); }
   std::string ViolationText() const {
@@ -154,6 +179,16 @@ inline ChaosReport RunChaos(const ChaosOptions& options) {
   config.faults = options.schedule;
   config.trace = options.trace;
   config.trace_max_spans = options.trace_max_spans;
+  if (!options.slo_spec.empty()) {
+    obs::SloDefaults defaults;
+    defaults.stale_bound_seconds = options.stale_bound_seconds;
+    std::string error;
+    if (!obs::ParseSloSpecs(options.slo_spec, defaults, &config.slos,
+                            &error)) {
+      violation("slo: bad spec: " + error);
+      return report;
+    }
+  }
 
   exp::Experiment experiment(config);
   auto& rs = experiment.replica_set();
@@ -162,6 +197,13 @@ inline ChaosReport RunChaos(const ChaosOptions& options) {
   const sim::Duration bound = sim::Seconds(
       static_cast<double>(options.stale_bound_seconds));
   const sim::Duration freshness_limit = bound + options.freshness_grace;
+  sim::Duration overbound_threshold = bound;
+  for (const obs::SloSpec& slo : config.slos) {
+    if (slo.kind == obs::SloKind::kFreshness) {
+      overbound_threshold =
+          std::min(overbound_threshold, sim::Seconds(slo.bound));
+    }
+  }
 
   // --- Invariant 1: per-read ground-truth freshness. ---
   uint64_t freshness_violations = 0;
@@ -178,6 +220,9 @@ inline ChaosReport RunChaos(const ChaosOptions& options) {
                                     outcome.operation_time.wall);
     report.worst_secondary_staleness =
         std::max(report.worst_secondary_staleness, staleness);
+    if (staleness > overbound_threshold && report.first_overbound_read < 0) {
+      report.first_overbound_read = loop.Now();
+    }
     if (staleness > freshness_limit && freshness_violations++ == 0) {
       char buf[160];
       std::snprintf(buf, sizeof(buf),
@@ -432,6 +477,33 @@ inline ChaosReport RunChaos(const ChaosOptions& options) {
   }
   for (const std::string& entry : experiment.fault_injector().log()) {
     trace += entry + "\n";
+  }
+  if (const obs::SloEngine* engine = experiment.slo_engine();
+      engine != nullptr) {
+    for (const obs::SloEvent& e : engine->events()) {
+      ++report.slo_event_count;
+      if (e.transition == obs::SloTransition::kFiring) {
+        if (e.severity == obs::SloSeverity::kPage) {
+          ++report.slo_pages_fired;
+          if (report.first_page_fire < 0) report.first_page_fire = e.at;
+        } else {
+          ++report.slo_tickets_fired;
+        }
+      }
+      if (e.transition == obs::SloTransition::kResolved &&
+          e.severity == obs::SloSeverity::kPage) {
+        report.last_page_resolve = e.at;
+      }
+      std::snprintf(line, sizeof(line),
+                    "slo t=%.0f %s%s %s %s burn=%.2f/%.2f sli=%.4f\n",
+                    sim::ToSeconds(e.at), e.slo.c_str(),
+                    e.shard >= 0 ? (" shard" + std::to_string(e.shard)).c_str()
+                                 : "",
+                    std::string(obs::ToString(e.severity)).c_str(),
+                    std::string(obs::ToString(e.transition)).c_str(),
+                    e.burn_long, e.burn_short, e.sli);
+      trace += line;
+    }
   }
   std::snprintf(line, sizeof(line),
                 "commits=%llu elections=%llu stepdowns=%llu resyncs=%llu "

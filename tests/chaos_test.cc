@@ -433,6 +433,71 @@ TEST(ChaosTest, TracedRunKeepsSpanTreeWellFormed) {
   EXPECT_GT(report.total_reads, 0u);
 }
 
+// Alert conformance, firing side: rerun the headline secondary-partition
+// staleness schedule with a freshness SLO attached. Replication freezes
+// at t=80 s while the primary keeps committing, so served ages climb
+// 1 s/s; the window between ages crossing the SLO bound and the safety
+// gate zeroing the fraction is exactly when secondaries serve over-bound
+// reads — the page alert must fire within two evaluation windows of the
+// first such read, and must resolve once the symptom stops (gate closed,
+// cluster healed).
+TEST(ChaosTest, FreshnessPageFiresUnderStalenessFaultAndResolves) {
+  ChaosOptions options;
+  options.seed = 1001;
+  options.schedule.Add(Event(FaultType::kPartition, 80, 140, {1, 2}));
+  options.expect_zero_within_period = true;
+  // The SLO bound (2 s) sits well inside the safety valve (StaleBound
+  // 10 s): the balancer's conservative estimate closes the gate before
+  // truth crosses 10 s, but ages in (2 s, gate-close) are served for
+  // several seconds — the alertable symptom. One-period (10 s) windows
+  // give the burn signal bucket granularity: the transition bucket is
+  // mostly bad against a 1% budget, far over the page rate of 5.
+  options.slo_spec =
+      "freshness:bound=2:objective=0.99:page=5:ticket=0:window=10:short=10:"
+      "resolve=20";
+  const ChaosReport report = RunChaos(options);
+  EXPECT_TRUE(report.ok()) << report.ViolationText();
+  ASSERT_GE(report.first_overbound_read, 0) << "schedule too weak";
+  ASSERT_GE(report.first_page_fire, 0)
+      << "freshness page never fired under a staleness fault";
+  // Two evaluation windows (2 x 10 s), plus the partial period the first
+  // over-bound read lands in.
+  EXPECT_LE(report.first_page_fire,
+            report.first_overbound_read + sim::Seconds(30));
+  EXPECT_GE(report.last_page_resolve, report.first_page_fire)
+      << "freshness page never resolved after recovery";
+  EXPECT_EQ(report.slo_tickets_fired, 0u);  // ticket severity disabled
+}
+
+// Alert conformance, quiet side: the same SLO on a fault-free run must
+// never leave inactive — a healthy run fires zero alerts of any severity.
+TEST(ChaosTest, FaultFreeRunFiresNoAlerts) {
+  ChaosOptions options;
+  options.seed = 1003;
+  options.slo_spec = "freshness;success";
+  const ChaosReport report = RunChaos(options);
+  EXPECT_TRUE(report.ok()) << report.ViolationText();
+  EXPECT_GT(report.secondary_reads, 0u);
+  EXPECT_EQ(report.slo_event_count, 0u) << report.trace;
+}
+
+// SLO-enabled runs stay deterministic: identical seeds and specs produce
+// identical traces, including the alert-event lines.
+TEST(ChaosTest, SloTracesAreDeterministic) {
+  auto make = [] {
+    ChaosOptions options;
+    options.seed = 1001;
+    options.schedule.Add(Event(FaultType::kPartition, 80, 140, {1, 2}));
+    options.slo_spec = "freshness:bound=2:window=10:short=10";
+    return options;
+  };
+  const ChaosReport a = RunChaos(make());
+  const ChaosReport b = RunChaos(make());
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_NE(a.trace.find("slo t="), std::string::npos)
+      << "default bundle produced no alert lines under a staleness fault";
+}
+
 // Different seeds must not produce the same trace (the trace actually
 // carries run-specific content).
 TEST(ChaosTest, DifferentSeedsDiverge) {

@@ -15,6 +15,8 @@
 #include "net/network.h"
 #include "obs/decision_log.h"
 #include "obs/metrics_registry.h"
+#include "obs/report.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "repl/replica_set.h"
 
@@ -204,6 +206,138 @@ TEST(MetricsRegistryTest, SamplesScalarsAndHistograms) {
   EXPECT_NE(json.find("\"node\":\"2\""), std::string::npos);
   EXPECT_NE(json.find("\"pref\":\"primary\""), std::string::npos);
   EXPECT_NE(json.find("2.5"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, OpenMetricsExportIsWellFormed) {
+  obs::MetricsRegistry registry;
+  double fraction = 0.4;
+  uint64_t ops = 7;
+  metrics::Histogram latency;
+  registry.RegisterGauge("balance fraction", "fraction", {},
+                         [&] { return fraction; });
+  // A label value exercising every escape: backslash, quote, newline.
+  registry.RegisterCounter("ops", "ops", {{"node", "a\\b\"c\nd"}},
+                           [&] { return double(ops); });
+  registry.RegisterHistogram("read latency", "ms", {{"pref", "secondary"}},
+                             &latency, 1.0);
+  latency.Add(4.0);
+  latency.Add(8.0);
+  registry.Sample(sim::Seconds(10));
+
+  const std::string path = "obs_test_metrics.om";
+  ASSERT_TRUE(registry.WriteOpenMetrics(path));
+  const std::string text = ReadFile(path);
+  std::remove(path.c_str());
+
+  // Metric names sanitized with the unit suffix deduplicated ("balance
+  // fraction" + unit "fraction" stays balance_fraction), families
+  // typed/united/helped, counter samples suffixed _total, label escapes
+  // applied, EOF terminator last.
+  EXPECT_NE(text.find("# TYPE balance_fraction gauge"), std::string::npos);
+  EXPECT_NE(text.find("# UNIT balance_fraction fraction"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP balance_fraction"), std::string::npos);
+  EXPECT_NE(text.find("balance_fraction 0.4 10.000"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ops_ops counter"), std::string::npos);
+  EXPECT_NE(text.find("ops_ops_total{node=\"a\\\\b\\\"c\\nd\"} 7"),
+            std::string::npos);
+  // Histograms export as summaries with quantile samples + count + sum.
+  EXPECT_NE(text.find("# TYPE read_latency_ms summary"), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.8\""), std::string::npos);
+  EXPECT_NE(text.find("read_latency_ms_count{pref=\"secondary\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("read_latency_ms_sum"), std::string::npos);
+  const size_t eof = text.rfind("# EOF\n");
+  ASSERT_NE(eof, std::string::npos);
+  EXPECT_EQ(eof + 6, text.size());  // nothing after the terminator
+}
+
+TEST(MetricsRegistryTest, CsvExportIsLongFormat) {
+  obs::MetricsRegistry registry;
+  double fraction = 0.4;
+  metrics::Histogram latency;
+  registry.RegisterGauge("fraction", "fraction", {{"shard", "1"}},
+                         [&] { return fraction; });
+  registry.RegisterHistogram("latency", "ms", {}, &latency, 1.0);
+  latency.Add(4.0);
+  registry.Sample(sim::Seconds(10));
+  fraction = 0.6;
+  registry.Sample(sim::Seconds(20));
+
+  const std::string path = "obs_test_metrics.csv";
+  ASSERT_TRUE(registry.WriteCsv(path));
+  const std::string csv = ReadFile(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(csv.rfind("# units:", 0), 0u);  // units comment line first
+  EXPECT_NE(csv.find("time_s,name,type,unit,labels,value"),
+            std::string::npos);
+  EXPECT_NE(csv.find("10.0,fraction,gauge,fraction,shard=1,0.4"),
+            std::string::npos);
+  EXPECT_NE(csv.find("20.0,fraction,gauge,fraction,shard=1,0.6"),
+            std::string::npos);
+  EXPECT_NE(csv.find("latency_count"), std::string::npos);
+  EXPECT_NE(csv.find("latency_p80"), std::string::npos);
+}
+
+TEST(HtmlReportTest, RendersSelfContainedDashboard) {
+  obs::ReportData data;
+  data.title = "test run";
+  data.subtitle = "controller x";
+  data.stats.push_back({"Reads/s", "1234"});
+  obs::ReportPanel panel;
+  panel.title = "Read throughput";
+  panel.unit = "ops/s";
+  obs::ReportSeries all{"all reads", {{0, 10}, {10, 20}, {20, 15}}};
+  obs::ReportSeries secondary{"secondary", {{0, 5}, {10, 12}, {20, 9}}};
+  panel.series.push_back(all);
+  panel.series.push_back(secondary);
+  data.panels.push_back(panel);
+  obs::ReportLane lane;
+  lane.name = "freshness";
+  lane.bands.push_back({5, 12, "page", "freshness page fired"});
+  data.alert_lanes.push_back(lane);
+  data.markers.push_back({8, "gate 0.40 -> 0.00"});
+
+  const std::string path = "obs_test_report.html";
+  ASSERT_TRUE(obs::WriteHtmlReport(data, path));
+  const std::string html = ReadFile(path);
+  std::remove(path.c_str());
+
+  // Self-contained: no scripts, no external fetches.
+  EXPECT_EQ(html.find("<script"), std::string::npos);
+  EXPECT_EQ(html.find("http://"), std::string::npos);
+  EXPECT_EQ(html.find("https://"), std::string::npos);
+  // Title, stat tile, panel with an SVG polyline per series, a legend
+  // (two series), the alert band, and dark-mode CSS are all present.
+  EXPECT_NE(html.find("test run"), std::string::npos);
+  EXPECT_NE(html.find("1234"), std::string::npos);
+  EXPECT_NE(html.find("Read throughput"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("polyline"), std::string::npos);
+  EXPECT_NE(html.find("all reads"), std::string::npos);
+  EXPECT_NE(html.find("freshness page fired"), std::string::npos);
+  EXPECT_NE(html.find("prefers-color-scheme: dark"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, SloEventsBecomeInstantMarkers) {
+  obs::Tracer tracer;
+  std::vector<obs::SloEvent> events;
+  obs::SloEvent event;
+  event.at = sim::Seconds(42);
+  event.slo = "freshness";
+  event.severity = obs::SloSeverity::kPage;
+  event.transition = obs::SloTransition::kFiring;
+  event.burn_long = 12.5;
+  events.push_back(event);
+
+  const std::string path = "obs_test_slo_trace.json";
+  ASSERT_TRUE(obs::WriteChromeTrace(tracer, nullptr, &events, path));
+  const std::string json = ReadFile(path);
+  std::remove(path.c_str());
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"slo\""), std::string::npos);
+  EXPECT_NE(json.find("slo freshness firing (page)"), std::string::npos);
 }
 
 /// Full-stack rig with the tracer attached, mirroring how Experiment

@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Validate an OpenMetrics text exposition produced by the sim.
+
+A structural linter for the subset of the OpenMetrics 1.0 text format the
+metrics registry exports (gauge, counter, summary). CI runs it against the
+obs-smoke artifact so a malformed escape, a counter sample missing its
+`_total` suffix, or a lost `# EOF` terminator fails the cheap job instead
+of silently shipping an unscrapable file.
+
+Checks, per family:
+  - metadata ordering: `# TYPE` first, then optional `# UNIT` / `# HELP`,
+    then that family's samples — one contiguous block per family, no
+    interleaving and no duplicate blocks;
+  - metric names match [a-zA-Z_][a-zA-Z0-9_]*;
+  - a declared UNIT is a suffix of the family name (spec rule);
+  - counter samples carry the `_total` suffix, gauge samples the bare
+    family name, summary samples quantile/_count/_sum shapes only;
+  - label syntax `name="value"` with only \\\\, \\", and \\n escapes;
+  - sample values and timestamps parse as floats;
+and for the file as a whole that the final line is exactly `# EOF`.
+
+Usage: python3 tools/check_openmetrics.py FILE [FILE ...]
+"""
+
+import pathlib
+import re
+import sys
+
+NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+TYPES = {"gauge", "counter", "summary"}
+# Sample-name suffixes allowed per family type. Counters MUST use _total;
+# summaries expose quantile series under the bare name plus _count/_sum.
+SUFFIXES = {"gauge": [""], "counter": ["_total"],
+            "summary": ["", "_count", "_sum"]}
+
+
+class Checker:
+    def __init__(self, path):
+        self.path = path
+        self.errors = []
+        self.families = {}   # family -> type
+        self.closed = set()  # families whose block has ended
+        self.current = None  # family whose block is open
+        self.meta_seen = []  # metadata kinds seen for the open block
+        self.samples = 0
+
+    def fail(self, lineno, message):
+        self.errors.append(f"{self.path}:{lineno}: {message}")
+
+    def parse_labels(self, lineno, raw):
+        """Validates `k="v",k="v"` label bodies; returns the label dict."""
+        labels = {}
+        i = 0
+        while i < len(raw):
+            m = re.match(r"([a-zA-Z_][a-zA-Z0-9_]*)=\"", raw[i:])
+            if not m:
+                self.fail(lineno, f"bad label syntax at ...{raw[i:]!r}")
+                return labels
+            name = m.group(1)
+            i += m.end()
+            value = []
+            while i < len(raw) and raw[i] != '"':
+                if raw[i] == "\\":
+                    if i + 1 >= len(raw) or raw[i + 1] not in '\\"n':
+                        self.fail(lineno,
+                                  f"illegal escape in label {name}: "
+                                  f"\\{raw[i + 1:i + 2]}")
+                    i += 2
+                    value.append("?")
+                else:
+                    value.append(raw[i])
+                    i += 1
+            if i >= len(raw):
+                self.fail(lineno, f"unterminated label value for {name}")
+                return labels
+            i += 1  # closing quote
+            if name in labels:
+                self.fail(lineno, f"duplicate label {name}")
+            labels[name] = "".join(value)
+            if i < len(raw):
+                if raw[i] != ",":
+                    self.fail(lineno, f"expected ',' between labels, got "
+                                      f"{raw[i]!r}")
+                    return labels
+                i += 1
+        return labels
+
+    def handle_meta(self, lineno, kind, rest):
+        parts = rest.split(" ", 1)
+        family = parts[0]
+        if not NAME_RE.match(family):
+            self.fail(lineno, f"bad family name {family!r}")
+            return
+        if kind == "TYPE":
+            if family in self.families:
+                self.fail(lineno, f"duplicate # TYPE for {family}")
+                return
+            if family in self.closed:
+                self.fail(lineno, f"family {family} reopened — blocks must "
+                                  "be contiguous")
+            if self.current is not None:
+                self.closed.add(self.current)
+            mtype = parts[1].strip() if len(parts) > 1 else ""
+            if mtype not in TYPES:
+                self.fail(lineno, f"unsupported metric type {mtype!r} for "
+                                  f"{family}")
+                mtype = "gauge"
+            self.families[family] = mtype
+            self.current = family
+            self.meta_seen = ["TYPE"]
+            return
+        # UNIT / HELP must follow the TYPE of the block they annotate.
+        if family != self.current:
+            self.fail(lineno, f"# {kind} {family} outside its family block "
+                              f"(open block: {self.current})")
+            return
+        if kind in self.meta_seen:
+            self.fail(lineno, f"duplicate # {kind} for {family}")
+        if "samples" in self.meta_seen:
+            self.fail(lineno, f"# {kind} {family} after samples — metadata "
+                              "must precede them")
+        self.meta_seen.append(kind)
+        if kind == "UNIT":
+            unit = parts[1].strip() if len(parts) > 1 else ""
+            if not unit or not family.endswith("_" + unit) \
+                    and family != unit:
+                self.fail(lineno, f"unit {unit!r} is not a suffix of "
+                                  f"family {family!r}")
+
+    def handle_sample(self, lineno, line):
+        m = re.match(r"([a-zA-Z_][a-zA-Z0-9_]*)(\{([^}]*)\})?\s+(\S+)"
+                     r"(\s+(\S+))?\s*$", line)
+        if not m:
+            self.fail(lineno, f"unparseable sample line: {line!r}")
+            return
+        name, _, labels_raw, value, _, timestamp = m.groups()
+        family = None
+        for fam, mtype in self.families.items():
+            for suffix in SUFFIXES[mtype]:
+                if name == fam + suffix:
+                    family = fam
+                    break
+            if family:
+                break
+        if family is None:
+            self.fail(lineno, f"sample {name!r} has no matching # TYPE "
+                              "block (or the wrong suffix for its type)")
+            return
+        if family != self.current:
+            self.fail(lineno, f"sample for {family} outside its block "
+                              f"(open block: {self.current})")
+        elif "samples" not in self.meta_seen:
+            self.meta_seen.append("samples")
+        labels = self.parse_labels(lineno, labels_raw) if labels_raw else {}
+        mtype = self.families[family]
+        if mtype == "summary" and name == family \
+                and "quantile" not in labels:
+            self.fail(lineno, f"summary sample {name} needs a quantile "
+                              "label")
+        if mtype != "summary" and "quantile" in labels:
+            self.fail(lineno, f"{mtype} sample {name} carries a quantile "
+                              "label")
+        try:
+            float(value)
+        except ValueError:
+            self.fail(lineno, f"non-numeric sample value {value!r}")
+        if timestamp is not None:
+            try:
+                float(timestamp)
+            except ValueError:
+                self.fail(lineno, f"non-numeric timestamp {timestamp!r}")
+        self.samples += 1
+
+    def run(self, text):
+        if not text.endswith("# EOF\n"):
+            self.errors.append(f"{self.path}: missing `# EOF` terminator "
+                               "as the final line")
+        lines = text.splitlines()
+        for lineno, line in enumerate(lines, 1):
+            if line == "# EOF":
+                if lineno != len(lines):
+                    self.fail(lineno, "content after # EOF")
+                break
+            if not line.strip():
+                self.fail(lineno, "blank line inside exposition")
+                continue
+            if line.startswith("#"):
+                m = re.match(r"# (TYPE|UNIT|HELP) (.*)$", line)
+                if not m:
+                    self.fail(lineno, f"unknown comment line: {line!r}")
+                    continue
+                self.handle_meta(lineno, m.group(1), m.group(2))
+            else:
+                self.handle_sample(lineno, line)
+        if not self.families:
+            self.errors.append(f"{self.path}: no metric families found")
+        return self.errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[-1], file=sys.stderr)
+        return 2
+    failures = 0
+    for arg in argv[1:]:
+        path = pathlib.Path(arg)
+        checker = Checker(path)
+        errors = checker.run(path.read_text())
+        if errors:
+            failures += 1
+            for err in errors:
+                print(f"FAIL: {err}", file=sys.stderr)
+        else:
+            print(f"ok: {path} — {len(checker.families)} families, "
+                  f"{checker.samples} samples")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
